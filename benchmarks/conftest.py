@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one table or figure of the paper at the
+``quick`` experiment scale, prints the regenerated rows/series, and asserts
+the qualitative *shape* the paper reports (who wins, mixtures, orderings).
+``benchmark.pedantic(..., rounds=1)`` is used throughout because a full
+experiment is the unit of work — statistical repetition happens inside the
+harness (seeds), not by re-running the experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def show():
+    """Print a rendered table/figure under a visible banner."""
+
+    def _show(title: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")
+
+    return _show

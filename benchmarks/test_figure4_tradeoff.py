@@ -1,0 +1,48 @@
+"""Paper Figure 4: efficiency-effectiveness trade-off.
+
+OptInter and OptInter-M are re-trained at several memorized embedding
+sizes, tracing (params, AUC) curves.  Shape checks: OptInter's points cost
+fewer parameters than OptInter-M's at the same embedding size; shrinking
+the embedding degrades AUC only gracefully; and OptInter's curve is not
+dominated (its best point is at least OptInter-M-level AUC at lower cost).
+"""
+
+import numpy as np
+
+from repro.experiments import run_figure4
+
+from .conftest import run_once
+
+TOL = 0.02
+
+
+def test_figure4_efficiency_effectiveness(benchmark, show):
+    result = run_once(benchmark, run_figure4, dataset="criteo",
+                      scale="paper", cross_dims=(2, 4, 8))
+    show("Figure 4 — AUC vs parameters trade-off", result.render())
+
+    optinter = result.series("OptInter")
+    optinter_m = result.series("OptInter-M")
+    assert len(optinter) == len(optinter_m) == 3
+
+    # Same s2 -> OptInter strictly cheaper (it memorizes fewer pairs).
+    for point, point_m in zip(
+            sorted(optinter, key=lambda p: p.cross_embed_dim),
+            sorted(optinter_m, key=lambda p: p.cross_embed_dim)):
+        assert point.params < point_m.params
+
+    # Parameter counts grow with the memorized embedding size.
+    params_m = [p.params for p in
+                sorted(optinter_m, key=lambda q: q.cross_embed_dim)]
+    assert params_m == sorted(params_m)
+
+    # OptInter's best point reaches OptInter-M's best AUC (within noise)
+    # at a fraction of the parameters.
+    best = max(p.auc for p in optinter)
+    best_m = max(p.auc for p in optinter_m)
+    assert best > best_m - TOL
+
+    # Graceful degradation: the smallest-embedding OptInter point is not
+    # catastrophically below its largest-embedding point.
+    aucs = [p.auc for p in sorted(optinter, key=lambda q: q.cross_embed_dim)]
+    assert aucs[0] > aucs[-1] - 0.05

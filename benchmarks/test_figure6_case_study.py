@@ -1,0 +1,29 @@
+"""Paper Figure 6: case study — MI heat map vs selected-method map.
+
+Shape check (paper §III-G2): the two maps are positively correlated — the
+search assigns heavier modelling (memorize > factorize > naïve) to pairs
+with higher mutual information.  We quantify the paper's visual claim as a
+Spearman rank correlation and require it to be positive.
+"""
+
+import numpy as np
+
+from repro.experiments import run_figure6
+
+from .conftest import run_once
+
+
+def test_figure6_case_study(benchmark, show):
+    result = run_once(benchmark, run_figure6, dataset="avazu", scale="paper")
+    show("Figure 6 — MI map vs method map (Avazu-like)", result.render())
+
+    study = result.study
+    m = study.mi_map.shape[0]
+
+    # Structural sanity of both maps.
+    np.testing.assert_array_equal(study.mi_map, study.mi_map.T)
+    np.testing.assert_array_equal(study.method_codes, study.method_codes.T)
+    assert set(np.unique(study.method_codes)).issubset({-1, 0, 1, 2})
+
+    # The paper's claim: positively correlated maps.
+    assert study.correlation > 0.0

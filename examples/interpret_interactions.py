@@ -1,0 +1,69 @@
+"""Interpretability walk-through: the paper's Figures 5 and 6.
+
+Searches an architecture on Avazu-like data, then:
+
+* groups interactions by the selected method and prints each group's mean
+  mutual information with the label (Figure 5);
+* renders the per-pair MI heat map and the selected-method map side by
+  side as ASCII matrices and reports their Spearman rank correlation
+  (Figure 6).
+
+    python examples/interpret_interactions.py
+"""
+
+import numpy as np
+
+from repro.analysis import case_study, mi_by_method
+from repro.core import search_optinter
+from repro.experiments import default_config, prepare_dataset
+
+
+def ascii_heatmap(matrix: np.ndarray, levels: str = " .:-=+*#%@") -> str:
+    """Render a non-negative matrix as ASCII shades (row per line)."""
+    peak = matrix.max() or 1.0
+    lines = []
+    for row in matrix:
+        chars = [levels[min(int(v / peak * (len(levels) - 1)), len(levels) - 1)]
+                 for v in np.maximum(row, 0.0)]
+        lines.append(" ".join(chars))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    config = default_config("avazu", "paper")
+    print(f"Preparing Avazu-like data ({config.n_samples} rows)...")
+    bundle = prepare_dataset(config)
+
+    print("Searching the architecture (Algorithm 1)...")
+    search = search_optinter(bundle.train, bundle.val, config.search_config())
+    arch = search.architecture
+    print(f"  selection counts [memorize, factorize, naive] = {arch.counts()}")
+
+    # ------------------------------------------------------------------
+    # Figure 5: mean MI per selected method.
+    # ------------------------------------------------------------------
+    report = mi_by_method(bundle.full, arch)
+    print("\nFigure 5 — mean mutual information by selected method:")
+    for method, count, mean_mi in report.as_rows():
+        bar = "#" * int(mean_mi * 2500)
+        print(f"  {method:<10} n={count:<3} MI={mean_mi:.5f} {bar}")
+
+    # ------------------------------------------------------------------
+    # Figure 6: MI heat map vs method map.
+    # ------------------------------------------------------------------
+    study = case_study(bundle.full, arch)
+    print("\nFigure 6a — mutual information heat map (fields x fields):")
+    print(ascii_heatmap(study.mi_map))
+    print("\nFigure 6b — selected methods (2=memorize, 1=factorize, "
+          "0=naive, .=diagonal):")
+    for row in study.method_codes:
+        print(" ".join("." if v < 0 else str(v) for v in row))
+    print(f"\nSpearman correlation between the maps: "
+          f"{study.correlation:+.3f}")
+    if study.correlation > 0:
+        print("-> higher-MI interactions receive heavier modelling, "
+              "matching the paper's observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: search + re-train OptInter on a Criteo-like dataset.
+
+Runs the full two-stage pipeline of the paper on synthetic data:
+
+1. generate a Criteo-shaped dataset with planted memorizable /
+   factorizable / noise interactions;
+2. search the optimal modelling method per interaction (Algorithm 1);
+3. re-train from scratch under the fixed architecture (Algorithm 2);
+4. report test AUC / log loss, the selected architecture, and how the
+   selection compares with the generator's ground truth.
+
+Runs in well under a minute on a laptop:
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Method, RetrainConfig, SearchConfig, run_optinter
+from repro.data import PairRole, criteo_like, make_dataset
+from repro.training import evaluate_model, format_param_count
+
+
+def main() -> None:
+    print("Generating Criteo-like synthetic data (12 fields, 66 pairs)...")
+    dataset, truth = make_dataset(criteo_like(n_samples=12_000))
+    train, val, test = dataset.split((0.7, 0.1, 0.2),
+                                     rng=np.random.default_rng(0))
+    print(f"  {len(train)} train / {len(val)} val / {len(test)} test rows, "
+          f"positive ratio {dataset.positive_ratio:.3f}")
+
+    print("\nStage 1+2: OptInter search and re-train...")
+    result = run_optinter(
+        train, val,
+        SearchConfig(embed_dim=8, cross_embed_dim=4, hidden_dims=(64, 64),
+                     epochs=2, batch_size=256, lr=2e-3, lr_arch=2e-2,
+                     l2_cross=5e-2, temperature_start=0.5,
+                     temperature_end=0.5, seed=0),
+        RetrainConfig(embed_dim=8, cross_embed_dim=4, hidden_dims=(64, 64),
+                      epochs=8, batch_size=256, lr=2e-3, l2_cross=5e-2,
+                      seed=1),
+    )
+
+    counts = result.architecture.counts()
+    print(f"  searched architecture [memorize, factorize, naive] = {counts}")
+
+    metrics = evaluate_model(result.model, test)
+    print(f"  test AUC      = {metrics['auc']:.4f}")
+    print(f"  test log loss = {metrics['log_loss']:.4f}")
+    print(f"  parameters    = {format_param_count(result.model.num_parameters())}")
+
+    # Compare the search's decisions with the generator's ground truth.
+    print("\nGround-truth check (planted interactions):")
+    for role in (PairRole.MEMORIZABLE, PairRole.FACTORIZABLE):
+        for pair in truth.pairs_with_role(role):
+            chosen = result.architecture[pair]
+            marker = "ok" if chosen is not Method.NAIVE else "MISSED"
+            i, j = dataset.schema.pairs()[pair]
+            print(f"  planted {role.value:<12} pair ({i:>2},{j:>2}) "
+                  f"-> search chose {chosen.value:<9} [{marker}]")
+
+
+if __name__ == "__main__":
+    main()

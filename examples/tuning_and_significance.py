@@ -1,0 +1,54 @@
+"""Tuning and significance: the paper's experimental hygiene, end to end.
+
+Two protocols from §III-A wrapped into one walk-through:
+
+1. **Grid search** (§III-A4): tune a model's hyper-parameters against the
+   validation split only;
+2. **Significance testing** (§III-A5): compare the tuned challenger
+   against a baseline across seeds with a two-tailed paired t-test.
+
+    python examples/tuning_and_significance.py
+"""
+
+from repro.experiments import (
+    default_config,
+    grid_search,
+    prepare_dataset,
+    run_significance,
+)
+
+
+def main() -> None:
+    config = default_config("criteo", "quick")
+    config.epochs = 4
+    print(f"Preparing criteo-like data ({config.n_samples} rows)...")
+    bundle = prepare_dataset(config)
+
+    print("\nStep 1 — grid search for FNN (selection on validation AUC):")
+    sweep = grid_search("FNN", bundle, config, {
+        "lr": [5e-4, 2e-3, 8e-3],
+        "embed_dim": [4, 8],
+    })
+    print(sweep.render())
+    best = sweep.best.params
+    print(f"\nbest setting: {best}")
+
+    print("\nStep 2 — significance test: tuned FNN vs LR over 4 seeds:")
+    for key, value in best.items():
+        setattr(config, key, value)
+    result = run_significance("FNN", "LR", dataset="criteo",
+                              seeds=range(4), config=config, bundle=bundle)
+    print(result.render())
+
+    verdict = result.comparison
+    print("\nConclusion:")
+    if verdict.material:
+        print(f"  FNN's gain of {verdict.auc_gain:+.4f} AUC clears the "
+              "0.1% materiality bar the paper cites.")
+    else:
+        print("  the gain does not clear the 0.1% materiality bar; "
+              "tune further or prefer the simpler model.")
+
+
+if __name__ == "__main__":
+    main()

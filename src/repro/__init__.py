@@ -1,0 +1,22 @@
+"""OptInter reproduction: learning optimal feature interaction methods.
+
+Reproduction of "Memorize, Factorize, or be Naive: Learning Optimal Feature
+Interaction Methods for CTR Prediction" (ICDE 2022).
+
+Quickstart::
+
+    from repro.data import criteo_like, make_dataset
+    from repro.core import SearchConfig, run_optinter
+    from repro.training import evaluate_model
+
+    dataset, truth = make_dataset(criteo_like(n_samples=10_000))
+    train, val, test = dataset.split((0.7, 0.1, 0.2))
+    result = run_optinter(train, val, SearchConfig(epochs=3))
+    print(result.architecture, evaluate_model(result.model, test))
+"""
+
+from . import analysis, core, data, io, models, nn, training
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "data", "models", "core", "training", "analysis", "io", "__version__"]

@@ -1,0 +1,61 @@
+"""``repro.analysis`` — mutual-information interpretability (paper §III-G)."""
+
+from .mutual_information import (
+    conditional_entropy,
+    fieldwise_mutual_information,
+    label_entropy,
+    mi_heatmap,
+    mutual_information,
+    pairwise_mutual_information,
+)
+from .calibration import (
+    ReliabilityBin,
+    brier_score,
+    expected_calibration_error,
+    predicted_ctr_bias,
+    reliability_bins,
+)
+from .embeddings import (
+    NormFrequencyReport,
+    cross_embedding_report,
+    drift_from_initialization,
+    embedding_norms,
+    field_embedding_report,
+    norm_frequency_report,
+    value_frequencies,
+)
+from .interpret import (
+    CaseStudy,
+    MethodMIReport,
+    case_study,
+    method_map,
+    mi_by_method,
+    mi_method_correlation,
+)
+
+__all__ = [
+    "label_entropy",
+    "conditional_entropy",
+    "mutual_information",
+    "pairwise_mutual_information",
+    "fieldwise_mutual_information",
+    "mi_heatmap",
+    "MethodMIReport",
+    "mi_by_method",
+    "method_map",
+    "mi_method_correlation",
+    "CaseStudy",
+    "case_study",
+    "brier_score",
+    "reliability_bins",
+    "ReliabilityBin",
+    "expected_calibration_error",
+    "predicted_ctr_bias",
+    "embedding_norms",
+    "value_frequencies",
+    "NormFrequencyReport",
+    "norm_frequency_report",
+    "field_embedding_report",
+    "cross_embedding_report",
+    "drift_from_initialization",
+]

@@ -1,0 +1,96 @@
+"""Probability calibration analysis for CTR predictors.
+
+CTR predictions feed downstream bidding / ranking economics, so *ranking*
+quality (AUC) is not enough: the predicted probabilities must match
+observed click rates.  This module provides the standard tooling:
+
+* :func:`brier_score` — mean squared error of the probabilities;
+* :func:`reliability_bins` / :func:`expected_calibration_error` — the
+  binned reliability diagram and its scalar summary (ECE);
+* :func:`predicted_ctr_bias` — predicted-vs-observed base-rate ratio, the
+  single number production teams page on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_prob: np.ndarray):
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_prob = np.asarray(y_prob, dtype=np.float64).ravel()
+    if y_true.shape != y_prob.shape:
+        raise ValueError("y_true and y_prob must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    if ((y_prob < 0) | (y_prob > 1)).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+    return y_true, y_prob
+
+
+def brier_score(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Mean squared error between probabilities and outcomes."""
+    y_true, y_prob = _validate(y_true, y_prob)
+    return float(np.mean((y_prob - y_true) ** 2))
+
+
+@dataclass
+class ReliabilityBin:
+    """One bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_predicted: float
+    observed_rate: float
+
+    @property
+    def gap(self) -> float:
+        """|predicted - observed| within the bin (0 for empty bins)."""
+        if self.count == 0:
+            return 0.0
+        return abs(self.mean_predicted - self.observed_rate)
+
+
+def reliability_bins(y_true: np.ndarray, y_prob: np.ndarray,
+                     num_bins: int = 10) -> List[ReliabilityBin]:
+    """Equal-width probability bins with predicted/observed rates."""
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    y_true, y_prob = _validate(y_true, y_prob)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    # Right-closed last bin so p = 1.0 lands inside.
+    indices = np.clip(np.digitize(y_prob, edges[1:-1]), 0, num_bins - 1)
+    bins: List[ReliabilityBin] = []
+    for b in range(num_bins):
+        mask = indices == b
+        count = int(mask.sum())
+        bins.append(ReliabilityBin(
+            lower=float(edges[b]),
+            upper=float(edges[b + 1]),
+            count=count,
+            mean_predicted=float(y_prob[mask].mean()) if count else 0.0,
+            observed_rate=float(y_true[mask].mean()) if count else 0.0,
+        ))
+    return bins
+
+
+def expected_calibration_error(y_true: np.ndarray, y_prob: np.ndarray,
+                               num_bins: int = 10) -> float:
+    """ECE: count-weighted mean |predicted - observed| over bins."""
+    y_true, y_prob = _validate(y_true, y_prob)
+    bins = reliability_bins(y_true, y_prob, num_bins=num_bins)
+    total = sum(b.count for b in bins)
+    return float(sum(b.count * b.gap for b in bins) / total)
+
+
+def predicted_ctr_bias(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """mean(predicted) / mean(observed); 1.0 means globally unbiased."""
+    y_true, y_prob = _validate(y_true, y_prob)
+    observed = y_true.mean()
+    if observed == 0.0:
+        raise ValueError("no positives observed; bias is undefined")
+    return float(y_prob.mean() / observed)

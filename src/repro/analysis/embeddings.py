@@ -1,0 +1,107 @@
+"""Embedding-table diagnostics.
+
+Learned CTR embeddings encode exposure: frequently seen values move far
+from their initialisation while rare values barely train.  These
+diagnostics make that visible — useful both for the paper's sparsity
+argument (§I: memorized methods overfit because cross features are rarer
+than original features) and for debugging real trainings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import stats
+
+from ..data.dataset import CTRDataset
+from ..models.base import CrossEmbedding, FieldEmbedding
+
+
+def embedding_norms(table: np.ndarray) -> np.ndarray:
+    """L2 norm of every row of an embedding table."""
+    table = np.asarray(table)
+    if table.ndim != 2:
+        raise ValueError(f"expected a 2-D table, got shape {table.shape}")
+    return np.linalg.norm(table, axis=1)
+
+
+def value_frequencies(ids: np.ndarray, vocab_size: int) -> np.ndarray:
+    """Occurrence count of each id in ``ids`` (flattened)."""
+    ids = np.asarray(ids).reshape(-1)
+    if ids.size and (ids.min() < 0 or ids.max() >= vocab_size):
+        raise ValueError("ids out of vocabulary range")
+    return np.bincount(ids, minlength=vocab_size).astype(np.float64)
+
+
+@dataclass
+class NormFrequencyReport:
+    """Embedding norm vs training frequency for one table."""
+
+    correlation: float
+    mean_norm_frequent: float
+    mean_norm_rare: float
+    n_frequent: int
+    n_rare: int
+
+    def render(self) -> str:
+        return (f"norm-frequency Spearman rho = {self.correlation:+.3f}; "
+                f"frequent rows ({self.n_frequent}) mean norm "
+                f"{self.mean_norm_frequent:.4f} vs rare rows "
+                f"({self.n_rare}) {self.mean_norm_rare:.4f}")
+
+
+def norm_frequency_report(table: np.ndarray, ids: np.ndarray,
+                          frequent_quantile: float = 0.8
+                          ) -> NormFrequencyReport:
+    """Correlate per-row embedding norms with training-set frequencies."""
+    if not 0.0 < frequent_quantile < 1.0:
+        raise ValueError("frequent_quantile must be in (0, 1)")
+    norms = embedding_norms(table)
+    freqs = value_frequencies(ids, vocab_size=norms.shape[0])
+    if np.all(freqs == freqs[0]) or np.all(norms == norms[0]):
+        rho = 0.0
+    else:
+        rho, _ = stats.spearmanr(freqs, norms)
+        rho = float(rho)
+    threshold = np.quantile(freqs, frequent_quantile)
+    frequent = freqs >= max(threshold, 1)
+    rare = ~frequent
+    return NormFrequencyReport(
+        correlation=rho,
+        mean_norm_frequent=float(norms[frequent].mean()) if frequent.any() else 0.0,
+        mean_norm_rare=float(norms[rare].mean()) if rare.any() else 0.0,
+        n_frequent=int(frequent.sum()),
+        n_rare=int(rare.sum()),
+    )
+
+
+def field_embedding_report(embedding: FieldEmbedding,
+                           dataset: CTRDataset) -> NormFrequencyReport:
+    """Norm-frequency report for a model's original-feature table."""
+    shifted = dataset.x + embedding.offsets[None, :]
+    return norm_frequency_report(embedding.table.weight.data, shifted)
+
+
+def cross_embedding_report(embedding: CrossEmbedding,
+                           dataset: CTRDataset) -> NormFrequencyReport:
+    """Norm-frequency report for a memorized cross table.
+
+    Only the pairs the embedding actually covers contribute ids.
+    """
+    if dataset.x_cross is None:
+        raise ValueError("dataset has no cross features")
+    selected = dataset.x_cross[:, embedding._column_index]
+    shifted = selected + embedding.offsets[None, :]
+    return norm_frequency_report(embedding.table.weight.data, shifted)
+
+
+def drift_from_initialization(trained: np.ndarray,
+                              initial: np.ndarray) -> np.ndarray:
+    """Per-row L2 distance between trained and initial tables."""
+    trained = np.asarray(trained)
+    initial = np.asarray(initial)
+    if trained.shape != initial.shape:
+        raise ValueError("tables must have identical shapes")
+    return np.linalg.norm(trained - initial, axis=1)

@@ -1,0 +1,101 @@
+"""Interpretability analyses of searched architectures (paper §III-G).
+
+Figure 5: mean MI of the interactions each method was assigned to —
+memorized interactions should carry the highest MI, naïve the lowest.
+Figure 6: per-pair MI heat map vs. the selected-method map, plus a rank
+correlation quantifying the paper's "positively correlated" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import stats
+
+from ..core.architecture import Architecture, Method, METHOD_ORDER
+from ..data.dataset import CTRDataset
+from .mutual_information import mi_heatmap, pairwise_mutual_information
+
+
+@dataclass
+class MethodMIReport:
+    """Figure 5 data: mean MI per selected method."""
+
+    mean_mi: Dict[Method, float]
+    counts: Dict[Method, int]
+
+    def as_rows(self):
+        """(method, count, mean MI) rows for printing."""
+        return [
+            (method.value, self.counts[method], self.mean_mi[method])
+            for method in METHOD_ORDER
+        ]
+
+
+def mi_by_method(dataset: CTRDataset, architecture: Architecture,
+                 pair_scores: Optional[np.ndarray] = None) -> MethodMIReport:
+    """Group interaction MI scores by the method the search assigned."""
+    if architecture.num_pairs != dataset.num_pairs:
+        raise ValueError("architecture and dataset pair counts differ")
+    if pair_scores is None:
+        pair_scores = pairwise_mutual_information(dataset)
+    mean_mi: Dict[Method, float] = {}
+    counts: Dict[Method, int] = {}
+    for method in METHOD_ORDER:
+        pairs = architecture.pairs_with(method)
+        counts[method] = len(pairs)
+        mean_mi[method] = float(np.mean(pair_scores[pairs])) if pairs else float("nan")
+    return MethodMIReport(mean_mi=mean_mi, counts=counts)
+
+
+def method_map(dataset: CTRDataset, architecture: Architecture) -> np.ndarray:
+    """Figure 6b: [M, M] matrix of selected-method codes.
+
+    Codes follow METHOD_ORDER: 2=memorize, 1=factorize, 0=naïve, so larger
+    codes mean "more modelling effort" and correlate positively with MI
+    when the search behaves as the paper describes.  Diagonal is -1.
+    """
+    m = dataset.num_fields
+    codes = -np.ones((m, m), dtype=np.int64)
+    rank = {Method.MEMORIZE: 2, Method.FACTORIZE: 1, Method.NAIVE: 0}
+    for p, (i, j) in enumerate(dataset.schema.pairs()):
+        codes[i, j] = codes[j, i] = rank[architecture[p]]
+    return codes
+
+
+def mi_method_correlation(dataset: CTRDataset, architecture: Architecture,
+                          pair_scores: Optional[np.ndarray] = None) -> float:
+    """Spearman rank correlation between per-pair MI and method effort.
+
+    The paper's Figure 6 claim — the MI map and the method map are
+    positively correlated — reduced to one number.
+    """
+    if pair_scores is None:
+        pair_scores = pairwise_mutual_information(dataset)
+    rank = {Method.MEMORIZE: 2, Method.FACTORIZE: 1, Method.NAIVE: 0}
+    effort = np.array([rank[m] for m in architecture])
+    if np.all(effort == effort[0]):
+        return 0.0
+    rho, _ = stats.spearmanr(pair_scores, effort)
+    return float(rho)
+
+
+@dataclass
+class CaseStudy:
+    """Figure 6 bundle: both maps plus their correlation."""
+
+    mi_map: np.ndarray
+    method_codes: np.ndarray
+    correlation: float
+
+
+def case_study(dataset: CTRDataset, architecture: Architecture) -> CaseStudy:
+    """Everything needed to redraw Figure 6 for a searched architecture."""
+    scores = pairwise_mutual_information(dataset)
+    return CaseStudy(
+        mi_map=mi_heatmap(dataset, scores),
+        method_codes=method_map(dataset, architecture),
+        correlation=mi_method_correlation(dataset, architecture, scores),
+    )

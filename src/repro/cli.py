@@ -1,0 +1,243 @@
+"""Command-line interface for the OptInter reproduction.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro stats                       # Table II statistics
+    python -m repro table 5 --scale quick       # regenerate a paper table
+    python -m repro figure 6 --dataset avazu    # regenerate a paper figure
+    python -m repro train IPNN --dataset criteo # train one zoo model
+    python -m repro search --arch-out arch.json # search stage, persist result
+    python -m repro retrain --arch arch.json --checkpoint model.npz
+
+Every subcommand prints the same rows/series the paper reports; ``--out``
+persists the structured results as JSON via :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ALL_MODELS,
+    EXTENDED_MODELS,
+    EXPERIMENT_IDS,
+    generate_report,
+    all_dataset_names,
+    default_config,
+    prepare_dataset,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_model,
+    run_table2,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+)
+from .io import load_architecture, save_architecture, save_checkpoint, save_results
+
+TABLES = {
+    "2": run_table2,
+    "5": run_table5,
+    "6": run_table6,
+    "8": run_table8,
+    "9": run_table9,
+}
+FIGURES = {"4": run_figure4, "5": run_figure5, "6": run_figure6}
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="quick",
+                        choices=("quick", "paper"),
+                        help="experiment scale preset")
+
+
+def _add_dataset(parser: argparse.ArgumentParser,
+                 default: str = "criteo") -> None:
+    parser.add_argument("--dataset", default=default,
+                        choices=tuple(all_dataset_names()),
+                        help="which paper-shaped dataset to use")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OptInter (ICDE 2022) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table II)")
+    _add_scale(stats)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("number", choices=sorted(TABLES) + ["3", "4", "7"],
+                       help="paper table number")
+    _add_scale(table)
+    table.add_argument("--datasets", nargs="+", default=None,
+                       help="restrict to these datasets")
+    table.add_argument("--out", default=None, help="write results JSON here")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=sorted(FIGURES),
+                        help="paper figure number")
+    _add_scale(figure)
+    _add_dataset(figure)
+
+    train = sub.add_parser("train", help="train one model from the zoo")
+    train.add_argument("model", choices=ALL_MODELS + EXTENDED_MODELS)
+    _add_scale(train)
+    _add_dataset(train)
+    train.add_argument("--out", default=None, help="write metrics JSON here")
+
+    search = sub.add_parser("search", help="run the search stage only")
+    _add_scale(search)
+    _add_dataset(search)
+    search.add_argument("--arch-out", default=None,
+                        help="write the searched architecture JSON here")
+
+    report = sub.add_parser("report",
+                            help="regenerate every table & figure into one "
+                                 "markdown report")
+    _add_scale(report)
+    report.add_argument("--out", default=None,
+                        help="write the markdown report here")
+    report.add_argument("--experiments", nargs="+", default=None,
+                        choices=EXPERIMENT_IDS,
+                        help="restrict to these experiments")
+
+    retrain = sub.add_parser("retrain",
+                             help="re-train a persisted architecture")
+    retrain.add_argument("--arch", required=True,
+                         help="architecture JSON from `repro search`")
+    _add_scale(retrain)
+    _add_dataset(retrain)
+    retrain.add_argument("--checkpoint", default=None,
+                         help="write the trained model .npz here")
+
+    return parser
+
+
+def _cmd_stats(args) -> int:
+    print(run_table2(scale=args.scale).render())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .experiments import run_table3, run_table4
+
+    datasets = tuple(args.datasets) if args.datasets else None
+    if args.number == "3":
+        result = run_table3()
+    elif args.number == "4":
+        result = run_table4(scale=args.scale, datasets=datasets)
+    elif args.number == "7":
+        dataset = datasets[0] if datasets else "criteo"
+        result = run_table7(dataset=dataset, scale=args.scale)
+    else:
+        runner = TABLES[args.number]
+        result = (runner(scale=args.scale) if datasets is None
+                  else runner(datasets=datasets, scale=args.scale))
+    print(result.render())
+    if args.out:
+        payload = {"table": args.number, "scale": args.scale,
+                   "rendered": result.render()}
+        save_results(payload, args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    result = FIGURES[args.number](dataset=args.dataset, scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_train(args) -> int:
+    config = default_config(args.dataset, args.scale)
+    bundle = prepare_dataset(config)
+    row = run_model(args.model, bundle, config)
+    print(row.formatted())
+    if row.extra and "counts" in row.extra:
+        print(f"selection counts [m, f, n]: {row.extra['counts']}")
+    if args.out:
+        payload = {"model": row.model, "dataset": args.dataset,
+                   "auc": row.auc, "log_loss": row.log_loss,
+                   "params": row.params}
+        if row.extra and "counts" in row.extra:
+            payload["counts"] = row.extra["counts"]
+        save_results(payload, args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from .core import search_optinter
+
+    config = default_config(args.dataset, args.scale)
+    bundle = prepare_dataset(config)
+    result = search_optinter(bundle.train, bundle.val, config.search_config())
+    counts = result.architecture.counts()
+    print(f"searched architecture [memorize, factorize, naive] = {counts}")
+    if result.history.last and result.history.last.val_auc is not None:
+        print(f"search-stage val AUC = {result.history.last.val_auc:.4f}")
+    if args.arch_out:
+        save_architecture(result.architecture, args.arch_out)
+        print(f"architecture written to {args.arch_out}")
+    return 0
+
+
+def _cmd_retrain(args) -> int:
+    from .core import retrain
+    from .training import evaluate_model
+
+    config = default_config(args.dataset, args.scale)
+    bundle = prepare_dataset(config)
+    architecture = load_architecture(args.arch)
+    model, _ = retrain(architecture, bundle.train, bundle.val,
+                       config.retrain_config())
+    metrics = evaluate_model(model, bundle.test)
+    print(f"re-trained {architecture!r}")
+    print(f"test AUC = {metrics['auc']:.4f}, "
+          f"log loss = {metrics['log_loss']:.4f}, "
+          f"params = {model.num_parameters()}")
+    if args.checkpoint:
+        save_checkpoint(model, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    report = generate_report(scale=args.scale, experiments=args.experiments)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "report": _cmd_report,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+    "train": _cmd_train,
+    "search": _cmd_search,
+    "retrain": _cmd_retrain,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

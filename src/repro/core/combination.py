@@ -1,0 +1,108 @@
+"""The combination block: differentiable method selection (paper §II-C2).
+
+During the search stage each feature interaction's embedding is a weighted
+sum of its three candidate embeddings (Eq. 18), with weights drawn by the
+Gumbel-softmax relaxation (Eqs. 16-17) of the categorical architecture
+choice.  The architecture parameters α are ordinary trainable parameters,
+so Θ and α are optimised jointly by gradient descent (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import init
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+from .architecture import METHOD_ORDER, Architecture
+
+
+def sample_gumbel(shape: tuple, rng: np.random.Generator,
+                  eps: float = 1e-20) -> np.ndarray:
+    """Standard Gumbel(0, 1) noise: -log(-log(U)), U ~ Uniform(0,1)."""
+    u = rng.random(shape)
+    return -np.log(-np.log(u + eps) + eps)
+
+
+class CombinationBlock(Module):
+    """Holds α and produces per-pair method weights.
+
+    α is stored as unconstrained logits θ (the paper's ``log α`` term in
+    Eq. 16 plays the same role).  In training mode the weights are a fresh
+    Gumbel-softmax sample per forward pass; in evaluation mode they are the
+    noiseless softmax — and :meth:`derive_architecture` hard-decodes the
+    argmax for the re-train stage (Eq. 19).
+    """
+
+    def __init__(self, num_pairs: int, temperature: float = 1.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if temperature <= 0.0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.num_pairs = num_pairs
+        self.temperature = temperature
+        self._rng = rng or np.random.default_rng()
+        # Zero logits = uniform prior over {memorize, factorize, naive}.
+        self.alpha = Parameter(init.zeros((num_pairs, len(METHOD_ORDER))),
+                               name="alpha")
+
+    def set_temperature(self, temperature: float) -> None:
+        """Anneal the Gumbel-softmax temperature (lower = harder choices)."""
+        if temperature <= 0.0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.temperature = temperature
+
+    def method_weights(self, batch_size: Optional[int] = None) -> Tensor:
+        """Per-pair selection weights.
+
+        Differentiable w.r.t. α; rows sum to one.  In training mode fresh
+        Gumbel noise is drawn *per instance* when ``batch_size`` is given
+        (shape ``[batch, num_pairs, 3]``), which averages the α gradient
+        over ``batch_size`` independent relaxed samples per step; otherwise
+        one shared sample is drawn (shape ``[num_pairs, 3]``).
+        """
+        logits = self.alpha
+        if self.training:
+            shape = (self.alpha.shape if batch_size is None
+                     else (batch_size,) + self.alpha.shape)
+            noise = sample_gumbel(shape, self._rng)
+            logits = logits + Tensor(noise)
+        return (logits * (1.0 / self.temperature)).softmax(axis=-1)
+
+    def probabilities(self) -> np.ndarray:
+        """Noiseless selection probabilities (numpy, for inspection)."""
+        scaled = self.alpha.data / self.temperature
+        shifted = scaled - scaled.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def derive_architecture(self) -> Architecture:
+        """Hard argmax decode of α (paper Eq. 19)."""
+        return Architecture.from_alpha(self.alpha.data)
+
+    def combine(self, e_memorized: Tensor, e_factorized: Tensor) -> Tensor:
+        """Weighted sum over candidates (Eq. 18).
+
+        ``e_memorized`` and ``e_factorized`` must be zero-padded to a common
+        dimension ``[n, num_pairs, D]``; the naïve candidate is the zero
+        vector so it contributes nothing to the sum (but its weight still
+        dilutes the other two, which is what lets the search discover that
+        an interaction is best ignored).
+        """
+        if e_memorized.shape != e_factorized.shape:
+            raise ValueError(
+                f"candidate shapes differ: {e_memorized.shape} vs "
+                f"{e_factorized.shape}"
+            )
+        batch_size = e_memorized.shape[0] if self.training else None
+        weights = self.method_weights(batch_size)  # [n, P, 3] or [P, 3]
+        n_pairs = self.num_pairs
+        if weights.ndim == 3:
+            w_mem = weights[:, :, 0].reshape(batch_size, n_pairs, 1)
+            w_fac = weights[:, :, 1].reshape(batch_size, n_pairs, 1)
+        else:
+            w_mem = weights[:, 0].reshape(1, n_pairs, 1)
+            w_fac = weights[:, 1].reshape(1, n_pairs, 1)
+        return e_memorized * w_mem + e_factorized * w_fac

@@ -1,0 +1,122 @@
+"""Re-train stage (paper §II-C3, Algorithm 2) and the full two-stage run.
+
+After the search stage decides a method per interaction, the model is
+re-built and trained **from scratch** with the architecture frozen — the
+search-stage network weights are deliberately discarded so they carry no
+bias from the suboptimal mixtures explored during search (ablated in
+Table IX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import CTRDataset
+from ..nn.optim import Adam
+from ..training.history import History
+from ..training.trainer import Trainer
+from .architecture import Architecture
+from .optinter import OptInterModel
+from .search import SearchConfig, SearchResult, search_optinter
+
+
+@dataclass
+class RetrainConfig:
+    """Hyper-parameters for the re-train stage."""
+
+    embed_dim: int = 8
+    cross_embed_dim: int = 4
+    hidden_dims: Sequence[int] = (64, 64)
+    layer_norm: bool = True
+    factorization: str = "hadamard"
+    lr: float = 1e-3
+    l2_cross: float = 0.0
+    batch_size: int = 512
+    epochs: int = 10
+    patience: int = 3
+    seed: int = 1
+
+
+@dataclass
+class OptInterResult:
+    """Outcome of the full two-stage OptInter pipeline."""
+
+    model: OptInterModel
+    architecture: Architecture
+    search: Optional[SearchResult]
+    retrain_history: History
+
+    @property
+    def selection_counts(self):
+        """Table VI convention: [memorize, factorize, naive]."""
+        return self.architecture.counts()
+
+
+def build_fixed_model(architecture: Architecture, dataset: CTRDataset,
+                      config: RetrainConfig,
+                      rng: Optional[np.random.Generator] = None) -> OptInterModel:
+    """Instantiate a fresh fixed-architecture OptInter model for a dataset."""
+    if dataset.x_cross is None and architecture.counts()[0] > 0:
+        raise ValueError("architecture memorizes pairs but dataset lacks "
+                         "cross-product features")
+    return OptInterModel(
+        cardinalities=dataset.cardinalities,
+        cross_cardinalities=dataset.cross_cardinalities,
+        embed_dim=config.embed_dim,
+        cross_embed_dim=config.cross_embed_dim,
+        hidden_dims=config.hidden_dims,
+        layer_norm=config.layer_norm,
+        architecture=architecture,
+        factorization=config.factorization,
+        rng=rng or np.random.default_rng(config.seed),
+    )
+
+
+def retrain(architecture: Architecture, train: CTRDataset,
+            val: Optional[CTRDataset], config: RetrainConfig,
+            verbose: bool = False) -> Tuple[OptInterModel, History]:
+    """Algorithm 2: train a fresh model under the fixed architecture."""
+    rng = np.random.default_rng(config.seed)
+    model = build_fixed_model(architecture, train, config, rng=rng)
+    cross_params = ([model.cross_embedding.table.weight]
+                    if model.cross_embedding is not None else [])
+    cross_ids = {id(p) for p in cross_params}
+    groups = [{"params": [p for p in model.parameters()
+                          if id(p) not in cross_ids], "lr": config.lr}]
+    if cross_params:
+        groups.append({"params": cross_params, "lr": config.lr,
+                       "weight_decay": config.l2_cross})
+    optimizer = Adam(groups)
+    trainer = Trainer(model, optimizer, batch_size=config.batch_size,
+                      max_epochs=config.epochs, patience=config.patience,
+                      rng=rng, verbose=verbose)
+    history = trainer.fit(train, val)
+    return model, history
+
+
+def run_optinter(train: CTRDataset, val: Optional[CTRDataset],
+                 search_config: Optional[SearchConfig] = None,
+                 retrain_config: Optional[RetrainConfig] = None,
+                 verbose: bool = False) -> OptInterResult:
+    """The complete OptInter pipeline: search (Alg. 1) then re-train (Alg. 2)."""
+    search_config = search_config or SearchConfig()
+    retrain_config = retrain_config or RetrainConfig(
+        embed_dim=search_config.embed_dim,
+        cross_embed_dim=search_config.cross_embed_dim,
+        hidden_dims=tuple(search_config.hidden_dims),
+        layer_norm=search_config.layer_norm,
+        factorization=search_config.factorization,
+        lr=search_config.lr,
+        l2_cross=search_config.l2_cross,
+        batch_size=search_config.batch_size,
+        seed=search_config.seed + 1,
+    )
+    search_config.verbose = search_config.verbose or verbose
+    result = search_optinter(train, val, search_config)
+    model, history = retrain(result.architecture, train, val, retrain_config,
+                             verbose=verbose)
+    return OptInterResult(model=model, architecture=result.architecture,
+                          search=result, retrain_history=history)

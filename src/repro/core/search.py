@@ -1,0 +1,202 @@
+"""Search-stage algorithms (paper §II-C2, Algorithm 1; ablation §III-E).
+
+Three ways to obtain an architecture:
+
+* :func:`search_optinter` — the paper's algorithm: Θ and α updated
+  *simultaneously* on the same training batch by gradient descent, with the
+  Gumbel-softmax temperature annealed towards hard selections.
+* :func:`search_bilevel` — the DARTS-style ablation baseline: Θ steps on
+  training batches alternate with α steps on validation batches.  The paper
+  finds this converges worse for CTR (and needs ~2x memory).
+* :func:`random_architecture` — the Random baseline of Table VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import CTRDataset
+from ..nn.losses import binary_cross_entropy_with_logits
+from ..nn.optim import Adam
+from ..training.history import EpochRecord, History
+from ..training.trainer import evaluate_model
+from .architecture import Architecture
+from .optinter import OptInterModel
+
+
+@dataclass
+class SearchConfig:
+    """Hyper-parameters for the search stage (paper Table IV naming).
+
+    ``lr`` is the network learning rate (lr_o / lr_c), ``lr_arch`` the
+    architecture-parameter learning rate (lr_a), ``l2_cross`` the L2 penalty
+    on the cross-product embedding table (l2_c).
+    """
+
+    embed_dim: int = 8
+    cross_embed_dim: int = 4
+    hidden_dims: Sequence[int] = (64, 64)
+    layer_norm: bool = True
+    factorization: str = "hadamard"
+    lr: float = 2e-3
+    lr_arch: float = 1e-2
+    l2_cross: float = 1e-2
+    batch_size: int = 256
+    epochs: int = 3
+    temperature_start: float = 1.0
+    temperature_end: float = 0.3
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search stage."""
+
+    architecture: Architecture
+    alpha: np.ndarray
+    history: History
+    model: OptInterModel
+
+
+def _annealed_temperature(config: SearchConfig, epoch: int) -> float:
+    """Exponential decay from temperature_start to temperature_end."""
+    if config.epochs <= 1:
+        return config.temperature_end
+    ratio = config.temperature_end / config.temperature_start
+    return config.temperature_start * ratio ** (epoch / (config.epochs - 1))
+
+
+def _build_search_model(train: CTRDataset, config: SearchConfig,
+                        rng: np.random.Generator) -> OptInterModel:
+    if train.x_cross is None:
+        raise ValueError("search requires cross-product features on the dataset")
+    return OptInterModel(
+        cardinalities=train.cardinalities,
+        cross_cardinalities=train.cross_cardinalities,
+        embed_dim=config.embed_dim,
+        cross_embed_dim=config.cross_embed_dim,
+        hidden_dims=config.hidden_dims,
+        layer_norm=config.layer_norm,
+        temperature=config.temperature_start,
+        factorization=config.factorization,
+        rng=rng,
+    )
+
+
+def _parameter_groups(model: OptInterModel, config: SearchConfig):
+    """Adam groups mirroring Table IV: the cross-product embedding table gets
+    its own L2 penalty (l2_c); α gets its own learning rate (lr_a)."""
+    cross_params = ([model.cross_embedding.table.weight]
+                    if model.cross_embedding is not None else [])
+    cross_ids = {id(p) for p in cross_params}
+    alpha_ids = {id(p) for p in model.architecture_parameters()}
+    other = [p for p in model.parameters()
+             if id(p) not in cross_ids and id(p) not in alpha_ids]
+    groups = [{"params": other, "lr": config.lr}]
+    if cross_params:
+        groups.append({"params": cross_params, "lr": config.lr,
+                       "weight_decay": config.l2_cross})
+    if alpha_ids:
+        groups.append({"params": model.architecture_parameters(),
+                       "lr": config.lr_arch})
+    return groups
+
+
+def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
+                    config: SearchConfig) -> SearchResult:
+    """Algorithm 1: joint gradient descent on (Θ, α) over training batches."""
+    rng = np.random.default_rng(config.seed)
+    model = _build_search_model(train, config, rng)
+    optimizer = Adam(_parameter_groups(model, config))
+    history = History()
+    for epoch in range(config.epochs):
+        model.combination.set_temperature(_annealed_temperature(config, epoch))
+        model.train()
+        losses: List[float] = []
+        for batch in train.iter_batches(config.batch_size, shuffle=True, rng=rng):
+            optimizer.zero_grad()
+            loss = binary_cross_entropy_with_logits(model(batch), batch.y)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        record = EpochRecord(epoch=epoch, train_loss=float(np.mean(losses)))
+        if val is not None and len(val) > 0:
+            metrics = evaluate_model(model, val)
+            record.val_auc = metrics["auc"]
+            record.val_log_loss = metrics["log_loss"]
+        history.append(record)
+        if config.verbose:
+            print(f"[search] epoch {epoch}: {record.as_dict()}")
+    return SearchResult(
+        architecture=model.derive_architecture(),
+        alpha=model.combination.alpha.data.copy(),
+        history=history,
+        model=model,
+    )
+
+
+def search_bilevel(train: CTRDataset, val: CTRDataset,
+                   config: SearchConfig) -> SearchResult:
+    """DARTS-style bi-level ablation: Θ on train batches, α on val batches.
+
+    The two parameter families alternate instead of sharing one update;
+    the paper reports this as slower to converge and roughly twice as
+    memory-hungry (Table VIII).
+    """
+    if val is None or len(val) == 0:
+        raise ValueError("bi-level search needs a non-empty validation set")
+    rng = np.random.default_rng(config.seed)
+    model = _build_search_model(train, config, rng)
+    alpha_ids = {id(p) for p in model.architecture_parameters()}
+    theta_groups = [g for g in _parameter_groups(model, config)
+                    if not any(id(p) in alpha_ids for p in g["params"])]
+    theta_opt = Adam(theta_groups)
+    alpha_opt = Adam(model.architecture_parameters(), lr=config.lr_arch)
+    history = History()
+
+    def _val_batches():
+        while True:
+            yield from val.iter_batches(config.batch_size, shuffle=True, rng=rng)
+
+    val_stream = _val_batches()
+    for epoch in range(config.epochs):
+        model.combination.set_temperature(_annealed_temperature(config, epoch))
+        model.train()
+        losses: List[float] = []
+        for batch in train.iter_batches(config.batch_size, shuffle=True, rng=rng):
+            # Lower level: network weights on the training batch.
+            model.zero_grad()
+            loss = binary_cross_entropy_with_logits(model(batch), batch.y)
+            loss.backward()
+            theta_opt.step()
+            losses.append(loss.item())
+            # Upper level: architecture parameters on a validation batch.
+            val_batch = next(val_stream)
+            model.zero_grad()
+            val_loss = binary_cross_entropy_with_logits(model(val_batch),
+                                                        val_batch.y)
+            val_loss.backward()
+            alpha_opt.step()
+        record = EpochRecord(epoch=epoch, train_loss=float(np.mean(losses)))
+        metrics = evaluate_model(model, val)
+        record.val_auc = metrics["auc"]
+        record.val_log_loss = metrics["log_loss"]
+        history.append(record)
+        if config.verbose:
+            print(f"[bilevel] epoch {epoch}: {record.as_dict()}")
+    return SearchResult(
+        architecture=model.derive_architecture(),
+        alpha=model.combination.alpha.data.copy(),
+        history=history,
+        model=model,
+    )
+
+
+def random_architecture(num_pairs: int,
+                        rng: Optional[np.random.Generator] = None) -> Architecture:
+    """The Random baseline: one uniformly random method per interaction."""
+    return Architecture.random(num_pairs, rng=rng)

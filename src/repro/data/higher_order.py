@@ -1,0 +1,130 @@
+"""Higher-order cross-product transformation (paper §II-B1 extension).
+
+The paper restricts OptInter to second-order interactions but notes the
+framework "could easily be extended to higher-order".  This module provides
+the data side of that extension: :class:`TupleCrossTransform` generalises
+the pairwise cross-product transformation (Eq. 4) to arbitrary-order field
+tuples, with the same frequency-threshold / OOV semantics.
+
+Keys are encoded mixed-radix over the participating fields' cardinalities,
+so any value combination maps to a unique integer before vocabulary
+fitting.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .schema import Schema
+
+OOV_ID = 0
+
+
+def default_tuples(num_fields: int, order: int) -> List[Tuple[int, ...]]:
+    """All C(M, order) field tuples in lexicographic order."""
+    if not 2 <= order <= num_fields:
+        raise ValueError(
+            f"order must be in [2, {num_fields}], got {order}"
+        )
+    return list(combinations(range(num_fields), order))
+
+
+def _tuple_keys(x: np.ndarray, fields: Tuple[int, ...],
+                cards: Sequence[int]) -> np.ndarray:
+    """Mixed-radix encoding of the value tuple into one int64 key."""
+    keys = np.zeros(x.shape[0], dtype=np.int64)
+    for field in fields:
+        keys = keys * np.int64(cards[field]) + x[:, field].astype(np.int64)
+    return keys
+
+
+class TupleCrossTransform:
+    """Exact cross vocabulary over arbitrary-order field tuples.
+
+    Functionally identical to
+    :class:`~repro.data.cross.CrossProductTransform` but parameterised by
+    an explicit tuple list (default: every ``order``-tuple), so third- and
+    higher-order interactions get the same treatment as pairs.
+    """
+
+    def __init__(self, schema: Schema, order: int = 3,
+                 tuples: Optional[Sequence[Tuple[int, ...]]] = None,
+                 min_count: int = 1) -> None:
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        self.schema = schema
+        self.min_count = min_count
+        if tuples is None:
+            tuples = default_tuples(schema.num_fields, order)
+        self.tuples: List[Tuple[int, ...]] = [tuple(t) for t in tuples]
+        for t in self.tuples:
+            if len(set(t)) != len(t):
+                raise ValueError(f"tuple {t} repeats a field")
+            if sorted(t) != list(t):
+                raise ValueError(f"tuple {t} must be sorted ascending")
+            if not all(0 <= f < schema.num_fields for f in t):
+                raise ValueError(f"tuple {t} references an unknown field")
+        self._kept_keys: List[np.ndarray] = []
+        self._field_cards: Optional[List[int]] = None
+        self._fitted = False
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.tuples)
+
+    def fit(self, x: np.ndarray,
+            cardinalities: Optional[Sequence[int]] = None
+            ) -> "TupleCrossTransform":
+        """Build per-tuple vocabularies from the training id matrix."""
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.schema.num_fields:
+            raise ValueError(
+                f"expected [n, {self.schema.num_fields}] ids, got {x.shape}"
+            )
+        if cardinalities is None:
+            cardinalities = [int(x[:, c].max()) + 1 for c in range(x.shape[1])]
+        self._field_cards = list(cardinalities)
+        self._kept_keys = []
+        for fields in self.tuples:
+            keys = _tuple_keys(x, fields, self._field_cards)
+            unique, counts = np.unique(keys, return_counts=True)
+            self._kept_keys.append(unique[counts >= self.min_count])
+        self._fitted = True
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Map ids to tuple-cross ids, shape ``[n, num_tuples]``."""
+        if not self._fitted:
+            raise RuntimeError("transform called before fit")
+        x = np.asarray(x)
+        out = np.empty((x.shape[0], self.num_tuples), dtype=np.int64)
+        for t_idx, fields in enumerate(self.tuples):
+            kept = self._kept_keys[t_idx]
+            keys = _tuple_keys(x, fields, self._field_cards)
+            if kept.size == 0:
+                out[:, t_idx] = OOV_ID
+                continue
+            pos = np.searchsorted(kept, keys)
+            pos_clipped = np.minimum(pos, kept.size - 1)
+            found = kept[pos_clipped] == keys
+            out[:, t_idx] = np.where(found, pos_clipped + 1, OOV_ID)
+        return out
+
+    def fit_transform(self, x: np.ndarray,
+                      cardinalities: Optional[Sequence[int]] = None
+                      ) -> np.ndarray:
+        return self.fit(x, cardinalities).transform(x)
+
+    @property
+    def cardinalities(self) -> List[int]:
+        """Cross vocabulary size per tuple (incl. the OOV slot)."""
+        if not self._fitted:
+            raise RuntimeError("cardinalities requested before fit")
+        return [kept.size + 1 for kept in self._kept_keys]
+
+    @property
+    def total_cross_values(self) -> int:
+        return sum(self.cardinalities)

@@ -1,0 +1,80 @@
+"""Continuous-feature preprocessing: min-max normalisation and bucketing.
+
+The paper normalises Criteo's continuous features into [0, 1] with min-max
+scaling (Eq. 20) and notes that numerical features are "usually transformed
+into categorical form by bucketing" before embedding.  Both utilities live
+here: :class:`MinMaxNormalizer` reproduces Eq. 20 and
+:class:`QuantileBucketizer` converts a continuous column into categorical
+bucket ids so the uniform embedding pipeline applies to every field.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class MinMaxNormalizer:
+    """Min-max scaling to [0, 1] fitted on training data (paper Eq. 20)."""
+
+    def __init__(self) -> None:
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxNormalizer":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit normalizer on empty data")
+        self._min = float(values.min())
+        self._max = float(values.max())
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self._min is None or self._max is None:
+            raise RuntimeError("normalizer must be fitted before transform")
+        values = np.asarray(values, dtype=np.float64)
+        span = self._max - self._min
+        if span == 0.0:
+            return np.zeros_like(values)
+        # Out-of-range test values clip into [0, 1].
+        return np.clip((values - self._min) / span, 0.0, 1.0)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+class QuantileBucketizer:
+    """Discretise a continuous column into ``num_buckets`` quantile bins.
+
+    Bucket boundaries are the empirical quantiles of the training column, so
+    every bucket receives roughly equal mass even for skewed features.
+    Transform-time values map to the bucket whose boundaries contain them;
+    values outside the training range fall into the extreme buckets.
+    """
+
+    def __init__(self, num_buckets: int = 10) -> None:
+        if num_buckets < 2:
+            raise ValueError(f"need at least 2 buckets, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self._edges: Optional[np.ndarray] = None
+
+    def fit(self, values: np.ndarray) -> "QuantileBucketizer":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit bucketizer on empty data")
+        quantiles = np.linspace(0.0, 1.0, self.num_buckets + 1)[1:-1]
+        edges = np.quantile(values, quantiles)
+        # Duplicate edges (heavy ties) are fine: searchsorted just skips the
+        # degenerate buckets, leaving them empty.
+        self._edges = edges
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self._edges is None:
+            raise RuntimeError("bucketizer must be fitted before transform")
+        values = np.asarray(values, dtype=np.float64)
+        return np.searchsorted(self._edges, values, side="right").astype(np.int64)
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

@@ -1,0 +1,82 @@
+"""Temporal splitting (paper §III-A1, Private dataset protocol).
+
+The paper's Private dataset uses a *temporal* split — "the first seven
+days as training and validation set and the last day as testing set" —
+rather than the shuffled split used for the public datasets.  Temporal
+splits avoid leakage from future behaviour into training and are the
+right protocol whenever the log has a time axis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .dataset import CTRDataset
+
+
+def temporal_split(dataset: CTRDataset, timestamps: np.ndarray,
+                   boundaries: Sequence[float]) -> Tuple[CTRDataset, ...]:
+    """Split by time: one part per boundary interval.
+
+    ``boundaries`` are the right-open cut points; rows with
+    ``t < boundaries[0]`` form part 0, ``boundaries[0] <= t <
+    boundaries[1]`` part 1, …, and ``t >= boundaries[-1]`` the final part.
+    Row order inside each part is preserved (chronological if the input
+    is chronological).
+    """
+    timestamps = np.asarray(timestamps)
+    if timestamps.shape != (len(dataset),):
+        raise ValueError(
+            f"timestamps must have one entry per row "
+            f"({len(dataset)}), got shape {timestamps.shape}"
+        )
+    if not boundaries:
+        raise ValueError("at least one boundary is required")
+    bounds = list(boundaries)
+    if bounds != sorted(bounds):
+        raise ValueError("boundaries must be ascending")
+    parts = []
+    previous = -np.inf
+    for bound in list(bounds) + [np.inf]:
+        mask = (timestamps >= previous) & (timestamps < bound)
+        parts.append(dataset.subset(np.flatnonzero(mask)))
+        previous = bound
+    return tuple(parts)
+
+
+def last_period_split(dataset: CTRDataset, timestamps: np.ndarray,
+                      train_fraction_of_periods: float = 7 / 8,
+                      val_fraction_of_train: float = 0.1,
+                      ) -> Tuple[CTRDataset, CTRDataset, CTRDataset]:
+    """The paper's Private-dataset protocol, generalised.
+
+    The time axis is divided into equal periods ("days"); the first
+    ``train_fraction_of_periods`` of the span becomes train+validation
+    (validation carved from its *latest* rows, again temporally) and the
+    remainder becomes the test set.
+    """
+    if not 0.0 < train_fraction_of_periods < 1.0:
+        raise ValueError("train_fraction_of_periods must be in (0, 1)")
+    if not 0.0 <= val_fraction_of_train < 1.0:
+        raise ValueError("val_fraction_of_train must be in [0, 1)")
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if timestamps.shape != (len(dataset),):
+        raise ValueError("timestamps must have one entry per row")
+    low, high = timestamps.min(), timestamps.max()
+    if low == high:
+        raise ValueError("all timestamps identical; nothing to split on")
+    cut = low + (high - low) * train_fraction_of_periods
+    train_val, test = temporal_split(dataset, timestamps, [cut])
+    if len(train_val) == 0 or len(test) == 0:
+        raise ValueError("temporal cut produced an empty split")
+    tv_times = timestamps[timestamps < cut]
+    if val_fraction_of_train == 0.0:
+        empty = train_val.subset(np.array([], dtype=int))
+        return train_val, empty, test
+    val_cut = np.quantile(tv_times, 1.0 - val_fraction_of_train)
+    train, val = temporal_split(train_val, tv_times, [val_cut])
+    if len(train) == 0 or len(val) == 0:
+        raise ValueError("validation carve-out produced an empty split")
+    return train, val, test

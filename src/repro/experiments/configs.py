@@ -1,0 +1,126 @@
+"""Experiment configurations (paper Table IV, adapted to synthetic scale).
+
+Two preset scales are provided:
+
+* ``"quick"`` — small samples / few epochs, used by the automated benchmark
+  suite so every table and figure regenerates in seconds-to-minutes.
+* ``"paper"`` — the larger setting (more rows, more epochs) for users who
+  want tighter numbers; the qualitative shape is the same.
+
+Per-dataset hyper-parameters follow the paper's Table IV *structure*:
+embedding sizes s1/s2, the MLP layout, learning rates for the network
+(lr_o), cross table (l2_c regularisation) and architecture parameters
+(lr_a), all re-tuned for the synthetic substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.retrain import RetrainConfig
+from ..core.search import SearchConfig
+from ..data.synthetic import SyntheticConfig, avazu_like, criteo_like, ipinyou_like
+
+#: dataset-name -> factory producing a SyntheticConfig
+DATASET_FACTORIES: Dict[str, Callable[..., SyntheticConfig]] = {
+    "criteo": criteo_like,
+    "avazu": avazu_like,
+    "ipinyou": ipinyou_like,
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run one dataset through the harness."""
+
+    dataset: str = "criteo"
+    n_samples: int = 20_000
+    embed_dim: int = 8            # s1, original-feature embedding size
+    cross_embed_dim: int = 4      # s2, memorized embedding size
+    hidden_dims: Tuple[int, ...] = (64, 64)
+    layer_norm: bool = True
+    lr: float = 2e-3
+    lr_arch: float = 2e-2
+    l2_cross: float = 5e-2
+    batch_size: int = 256
+    epochs: int = 8               # baseline / retrain epochs
+    search_epochs: int = 2
+    patience: int = 3
+    temperature_start: float = 0.5
+    temperature_end: float = 0.5
+    seed: int = 0
+    split: Tuple[float, float, float] = (0.7, 0.1, 0.2)
+
+    def make_dataset_config(self) -> SyntheticConfig:
+        if self.dataset not in DATASET_FACTORIES:
+            raise KeyError(
+                f"unknown dataset {self.dataset!r}; "
+                f"choose from {sorted(DATASET_FACTORIES)}"
+            )
+        return DATASET_FACTORIES[self.dataset](n_samples=self.n_samples)
+
+    def search_config(self, **overrides) -> SearchConfig:
+        cfg = SearchConfig(
+            embed_dim=self.embed_dim,
+            cross_embed_dim=self.cross_embed_dim,
+            hidden_dims=self.hidden_dims,
+            layer_norm=self.layer_norm,
+            lr=self.lr,
+            lr_arch=self.lr_arch,
+            l2_cross=self.l2_cross,
+            batch_size=self.batch_size,
+            epochs=self.search_epochs,
+            temperature_start=self.temperature_start,
+            temperature_end=self.temperature_end,
+            seed=self.seed,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    def retrain_config(self, **overrides) -> RetrainConfig:
+        cfg = RetrainConfig(
+            embed_dim=self.embed_dim,
+            cross_embed_dim=self.cross_embed_dim,
+            hidden_dims=self.hidden_dims,
+            layer_norm=self.layer_norm,
+            lr=self.lr,
+            l2_cross=self.l2_cross,
+            batch_size=self.batch_size,
+            epochs=self.epochs,
+            patience=self.patience,
+            seed=self.seed + 1,
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+
+def default_config(dataset: str, scale: str = "quick") -> ExperimentConfig:
+    """Preset configuration per dataset and scale."""
+    if scale not in ("quick", "paper"):
+        raise ValueError(f"scale must be 'quick' or 'paper', got {scale!r}")
+    base = ExperimentConfig(dataset=dataset)
+    per_dataset = {
+        # s1/s2 ratios follow Table IV: Criteo 20/10, Avazu 40/4, iPinYou 20/2.
+        "criteo": dict(embed_dim=8, cross_embed_dim=4),
+        "avazu": dict(embed_dim=10, cross_embed_dim=2),
+        "ipinyou": dict(embed_dim=8, cross_embed_dim=2, lr=1e-3),
+    }
+    if dataset not in per_dataset:
+        raise KeyError(f"unknown dataset {dataset!r}")
+    for key, value in per_dataset[dataset].items():
+        setattr(base, key, value)
+    if scale == "quick":
+        base.n_samples = 8_000
+        base.epochs = 8
+        base.search_epochs = 2
+        base.hidden_dims = (32, 32)
+    else:
+        base.n_samples = 20_000
+        base.epochs = 10
+        base.search_epochs = 3
+    return base
+
+
+def all_dataset_names() -> Sequence[str]:
+    return tuple(sorted(DATASET_FACTORIES))

@@ -1,0 +1,148 @@
+"""Regenerate every figure of the paper's evaluation section.
+
+Figures are returned as data series (the harness is headless); each result
+object renders the series as text so the benchmark suite can print the same
+curves the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.interpret import (
+    CaseStudy,
+    MethodMIReport,
+    case_study,
+    mi_by_method,
+    mi_method_correlation,
+)
+from ..analysis.mutual_information import pairwise_mutual_information
+from ..core.architecture import Architecture
+from ..core.retrain import retrain
+from ..core.search import search_optinter
+from ..training.metrics import format_param_count
+from ..training.trainer import evaluate_model
+from .configs import ExperimentConfig, default_config
+from .runner import DatasetBundle, prepare_dataset
+from .tables import render_rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — efficiency-effectiveness trade-off
+# ----------------------------------------------------------------------
+@dataclass
+class TradeoffPoint:
+    model: str
+    cross_embed_dim: int
+    params: int
+    auc: float
+
+
+@dataclass
+class Figure4Result:
+    dataset: str
+    points: List[TradeoffPoint]
+
+    def series(self, model: str) -> List[TradeoffPoint]:
+        return sorted((p for p in self.points if p.model == model),
+                      key=lambda p: p.params)
+
+    def render(self) -> str:
+        headers = ["model", "s2", "params", "AUC"]
+        body = [[p.model, p.cross_embed_dim, format_param_count(p.params),
+                 f"{p.auc:.4f}"] for p in self.points]
+        return (f"== {self.dataset}: AUC vs params trade-off ==\n"
+                + render_rows(headers, body))
+
+
+def run_figure4(dataset: str = "criteo", scale: str = "quick",
+                cross_dims: Sequence[int] = (2, 4, 8)) -> Figure4Result:
+    """Figure 4: OptInter vs OptInter-M across memorized embedding sizes.
+
+    The architecture is searched once at the default size; both the searched
+    architecture and the all-memorize architecture are then re-trained at
+    each memorized embedding size ``s2``, tracing the (params, AUC) curves.
+    """
+    config = default_config(dataset, scale)
+    bundle = prepare_dataset(config)
+    search = search_optinter(bundle.train, bundle.val, config.search_config())
+    all_mem = Architecture.all_memorize(bundle.train.num_pairs)
+    points: List[TradeoffPoint] = []
+    for s2 in cross_dims:
+        for label, arch in (("OptInter", search.architecture),
+                            ("OptInter-M", all_mem)):
+            retrain_config = config.retrain_config(cross_embed_dim=s2)
+            model, _ = retrain(arch, bundle.train, bundle.val, retrain_config)
+            metrics = evaluate_model(model, bundle.test)
+            points.append(TradeoffPoint(model=label, cross_embed_dim=s2,
+                                        params=model.num_parameters(),
+                                        auc=metrics["auc"]))
+    return Figure4Result(dataset=dataset, points=points)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — mean mutual information per selected method
+# ----------------------------------------------------------------------
+@dataclass
+class Figure5Result:
+    dataset: str
+    report: MethodMIReport
+    architecture: Architecture
+
+    def render(self) -> str:
+        headers = ["method", "#interactions", "mean MI"]
+        body = [[m, c, f"{mi:.5f}"] for m, c, mi in self.report.as_rows()]
+        return (f"== {self.dataset}: mean MI by selected method ==\n"
+                + render_rows(headers, body))
+
+
+def run_figure5(dataset: str = "criteo", scale: str = "quick",
+                bundle: Optional[DatasetBundle] = None,
+                architecture: Optional[Architecture] = None) -> Figure5Result:
+    """Figure 5: group interactions by selected method, average their MI."""
+    config = default_config(dataset, scale)
+    if bundle is None:
+        bundle = prepare_dataset(config)
+    if architecture is None:
+        search = search_optinter(bundle.train, bundle.val,
+                                 config.search_config())
+        architecture = search.architecture
+    report = mi_by_method(bundle.full, architecture)
+    return Figure5Result(dataset=dataset, report=report,
+                         architecture=architecture)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — case study: MI heat map vs method map
+# ----------------------------------------------------------------------
+@dataclass
+class Figure6Result:
+    dataset: str
+    study: CaseStudy
+
+    def render(self) -> str:
+        m = self.study.mi_map.shape[0]
+        lines = [f"== {self.dataset}: MI map vs method map "
+                 f"(Spearman rho = {self.study.correlation:.3f}) =="]
+        lines.append("method codes (2=memorize, 1=factorize, 0=naive):")
+        for row in self.study.method_codes:
+            lines.append(" ".join(f"{c:2d}" for c in row))
+        return "\n".join(lines)
+
+
+def run_figure6(dataset: str = "avazu", scale: str = "quick",
+                bundle: Optional[DatasetBundle] = None,
+                architecture: Optional[Architecture] = None) -> Figure6Result:
+    """Figure 6: the per-pair MI heat map against the selected-method map."""
+    config = default_config(dataset, scale)
+    if bundle is None:
+        bundle = prepare_dataset(config)
+    if architecture is None:
+        search = search_optinter(bundle.train, bundle.val,
+                                 config.search_config())
+        architecture = search.architecture
+    return Figure6Result(dataset=dataset,
+                         study=case_study(bundle.full, architecture))

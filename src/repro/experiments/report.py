@@ -1,0 +1,109 @@
+"""One-shot reproduction report: every table and figure in one document.
+
+:func:`generate_report` runs the full harness (all tables, all figures) at
+a chosen scale and assembles a markdown document mirroring the paper's
+evaluation section — the programmatic counterpart of EXPERIMENTS.md.
+Intended usage: ``python -m repro report --out report.md`` after any
+change to the core, to see every shape at once.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .figures import run_figure4, run_figure5, run_figure6
+from .tables import (
+    run_table2,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+    run_table9,
+)
+
+
+def _run_table3():
+    from .taxonomy import run_table3
+
+    return run_table3()
+
+
+def _run_table4(scale):
+    from .taxonomy import run_table4
+
+    return run_table4(scale=scale)
+
+
+@dataclass
+class ReportSection:
+    """One experiment's rendered block."""
+
+    title: str
+    paper_reference: str
+    body: str
+
+    def as_markdown(self) -> str:
+        return (f"## {self.title}\n\n*Paper reference: "
+                f"{self.paper_reference}*\n\n```\n{self.body}\n```\n")
+
+
+#: experiment id -> (title, paper reference, runner factory)
+_SECTIONS = (
+    ("table2", "Dataset statistics", "Table II",
+     lambda scale, datasets: run_table2(datasets=datasets, scale=scale)),
+    ("table3", "Model taxonomy", "Table III, §II-D",
+     lambda scale, datasets: _run_table3()),
+    ("table4", "Hyper-parameter setup", "Table IV, §III-A4",
+     lambda scale, datasets: _run_table4(scale)),
+    ("table5", "Overall performance comparison", "Table V, §III-B",
+     lambda scale, datasets: run_table5(datasets=datasets, scale=scale)),
+    ("table6", "Method selection per model", "Table VI, §III-B",
+     lambda scale, datasets: run_table6(datasets=datasets, scale=scale)),
+    ("table7", "Equal-parameter comparison", "Table VII, §III-C",
+     lambda scale, datasets: run_table7(scale=scale)),
+    ("table8", "Search-algorithm ablation", "Table VIII, §III-E",
+     lambda scale, datasets: run_table8(datasets=datasets, scale=scale)),
+    ("table9", "Re-train ablation", "Table IX, §III-F",
+     lambda scale, datasets: run_table9(scale=scale)),
+    ("figure4", "Efficiency-effectiveness trade-off", "Figure 4, §III-D",
+     lambda scale, datasets: run_figure4(scale=scale)),
+    ("figure5", "Mean MI by selected method", "Figure 5, §III-G1",
+     lambda scale, datasets: run_figure5(scale=scale)),
+    ("figure6", "Case study: MI map vs method map", "Figure 6, §III-G2",
+     lambda scale, datasets: run_figure6(scale=scale)),
+)
+
+EXPERIMENT_IDS = tuple(entry[0] for entry in _SECTIONS)
+
+
+def generate_report(scale: str = "quick",
+                    datasets: Optional[Sequence[str]] = None,
+                    experiments: Optional[Sequence[str]] = None) -> str:
+    """Run the selected experiments and return one markdown document.
+
+    ``experiments`` defaults to all of them; pass a subset of
+    :data:`EXPERIMENT_IDS` to regenerate only what you changed.
+    """
+    wanted = set(experiments) if experiments is not None else set(EXPERIMENT_IDS)
+    unknown = wanted - set(EXPERIMENT_IDS)
+    if unknown:
+        raise ValueError(f"unknown experiments: {sorted(unknown)}; "
+                         f"choose from {EXPERIMENT_IDS}")
+    sections: List[ReportSection] = []
+    for exp_id, title, reference, runner in _SECTIONS:
+        if exp_id not in wanted:
+            continue
+        result = runner(scale, tuple(datasets) if datasets else None)
+        sections.append(ReportSection(title=title, paper_reference=reference,
+                                      body=result.render()))
+    out = io.StringIO()
+    out.write("# OptInter reproduction report\n\n")
+    out.write(f"Scale: `{scale}`.  Absolute numbers are synthetic-substrate "
+              "results; compare shapes against the paper (see "
+              "EXPERIMENTS.md).\n\n")
+    for section in sections:
+        out.write(section.as_markdown())
+        out.write("\n")
+    return out.getvalue()

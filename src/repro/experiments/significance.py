@@ -1,0 +1,60 @@
+"""Paper-protocol significance runs (§III-A5) at the harness level.
+
+The paper's headline numbers come with a 10-seed two-tailed paired t-test
+against the best baseline (p < 0.005).  :func:`run_significance` applies
+that protocol to any two registry models on one dataset: the dataset is
+generated once, the split is fixed, and only the training seed varies —
+the pairing the paper's test assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..training.significance import Comparison, compare_models
+from .configs import ExperimentConfig, default_config
+from .runner import DatasetBundle, prepare_dataset, run_model
+
+
+@dataclass
+class SignificanceResult:
+    """Outcome of a paper-protocol model comparison."""
+
+    dataset: str
+    comparison: Comparison
+
+    def render(self) -> str:
+        return (f"== {self.dataset}: significance test "
+                f"(paper §III-A5) ==\n" + self.comparison.render())
+
+
+def run_significance(challenger: str, baseline: str,
+                     dataset: str = "criteo", scale: str = "quick",
+                     seeds: Sequence[int] = tuple(range(5)),
+                     config: ExperimentConfig | None = None,
+                     bundle: DatasetBundle | None = None
+                     ) -> SignificanceResult:
+    """Multi-seed comparison of two registry models on a fixed dataset.
+
+    ``seeds`` replaces the experiment config's training seed run by run;
+    data generation and the split stay fixed so the per-seed metric pairs
+    are matched, as the paired t-test requires.
+    """
+    base_config = config or default_config(dataset, scale)
+    shared_bundle = bundle or prepare_dataset(base_config)
+
+    def trainer_for(model_name: str):
+        def train(seed: int):
+            run_config = replace(base_config, seed=seed)
+            row = run_model(model_name, shared_bundle, run_config)
+            return {"auc": row.auc, "log_loss": row.log_loss}
+
+        return train
+
+    comparison = compare_models(
+        challenger, trainer_for(challenger),
+        baseline, trainer_for(baseline),
+        seeds=seeds,
+    )
+    return SignificanceResult(dataset=dataset, comparison=comparison)

@@ -1,0 +1,324 @@
+"""Regenerate every table of the paper's evaluation section.
+
+Each ``run_table*`` function reproduces the corresponding table's rows on
+the synthetic substrate and returns a structured result that also knows how
+to render itself as text.  Absolute numbers differ from the paper (different
+data, different scale); the *shape* — orderings, mixtures, who wins — is the
+reproduction target (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.architecture import Architecture
+from ..core.retrain import retrain
+from ..core.search import random_architecture, search_bilevel, search_optinter
+from ..data.synthetic import dataset_statistics, make_dataset
+from ..training.metrics import format_param_count
+from ..training.trainer import evaluate_model
+from .configs import ExperimentConfig, all_dataset_names, default_config
+from .runner import (
+    ALL_MODELS,
+    DatasetBundle,
+    ResultRow,
+    prepare_dataset,
+    run_fixed_architecture,
+    run_model,
+    run_zoo,
+)
+
+
+def render_rows(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Simple fixed-width table renderer for harness output."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table II — dataset statistics
+# ----------------------------------------------------------------------
+@dataclass
+class Table2Result:
+    stats: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        headers = ["dataset", "#samples", "#fields", "#pairs",
+                   "#orig value", "#cross value", "pos ratio"]
+        rows = [
+            [name, s["n_samples"], s["n_fields"], s["n_pairs"],
+             s["n_original_values"], s.get("n_cross_values", "-"),
+             f"{s['positive_ratio']:.4f}"]
+            for name, s in self.stats.items()
+        ]
+        return render_rows(headers, rows)
+
+
+def run_table2(datasets: Optional[Sequence[str]] = None,
+               scale: str = "quick") -> Table2Result:
+    """Table II: per-dataset statistics of the synthetic substitutes."""
+    datasets = datasets or all_dataset_names()
+    stats = {}
+    for name in datasets:
+        config = default_config(name, scale)
+        dataset, _ = make_dataset(config.make_dataset_config())
+        stats[name] = dataset_statistics(dataset)
+    return Table2Result(stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Table V — overall performance comparison
+# ----------------------------------------------------------------------
+@dataclass
+class Table5Result:
+    rows: Dict[str, List[ResultRow]]  # dataset -> model rows
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, rows in self.rows.items():
+            headers = ["model", "AUC", "log loss", "params"]
+            body = [[r.model, f"{r.auc:.4f}", f"{r.log_loss:.4f}",
+                     format_param_count(r.params)] for r in rows]
+            blocks.append(f"== {dataset} ==\n" + render_rows(headers, body))
+        return "\n\n".join(blocks)
+
+    def best(self, dataset: str) -> ResultRow:
+        return max(self.rows[dataset], key=lambda r: r.auc)
+
+    def row(self, dataset: str, model: str) -> ResultRow:
+        for r in self.rows[dataset]:
+            if r.model == model:
+                return r
+        raise KeyError(f"no row for {model!r} on {dataset!r}")
+
+
+def run_table5(datasets: Optional[Sequence[str]] = None, scale: str = "quick",
+               models: Sequence[str] = ALL_MODELS) -> Table5Result:
+    """Table V: every model on every dataset (AUC / log loss / params)."""
+    datasets = datasets or all_dataset_names()
+    rows: Dict[str, List[ResultRow]] = {}
+    for name in datasets:
+        config = default_config(name, scale)
+        bundle = prepare_dataset(config)
+        rows[name] = run_zoo(bundle, config, models)
+    return Table5Result(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Table VI — method selection per model
+# ----------------------------------------------------------------------
+@dataclass
+class Table6Result:
+    counts: Dict[str, Dict[str, List[int]]]  # dataset -> model -> [m, f, n]
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, models in self.counts.items():
+            headers = ["method", "[memorize, factorize, naive]"]
+            body = [[m, str(c)] for m, c in models.items()]
+            blocks.append(f"== {dataset} ==\n" + render_rows(headers, body))
+        return "\n\n".join(blocks)
+
+
+def run_table6(datasets: Optional[Sequence[str]] = None,
+               scale: str = "quick") -> Table6Result:
+    """Table VI: how many interactions each method handles, per model."""
+    datasets = datasets or all_dataset_names()
+    counts: Dict[str, Dict[str, List[int]]] = {}
+    for name in datasets:
+        config = default_config(name, scale)
+        bundle = prepare_dataset(config)
+        num_pairs = bundle.train.num_pairs
+        per_model: Dict[str, List[int]] = {
+            "Naive": [0, 0, num_pairs],
+            "OptInter-M": [num_pairs, 0, 0],
+            "OptInter-F": [0, num_pairs, 0],
+        }
+        autofis_row = run_model("AutoFIS", bundle, config)
+        per_model["AutoFIS"] = autofis_row.extra["counts"]
+        optinter_row = run_model("OptInter", bundle, config)
+        per_model["OptInter"] = optinter_row.extra["counts"]
+        counts[name] = per_model
+    return Table6Result(counts=counts)
+
+
+# ----------------------------------------------------------------------
+# Table VII — equal-parameter comparison
+# ----------------------------------------------------------------------
+def embed_dim_for_params(target_params: int, cardinalities: Sequence[int],
+                         hidden_dims: Sequence[int],
+                         max_dim: int = 256) -> int:
+    """Smallest embedding size whose FNN-style model reaches target params."""
+    total_vocab = int(sum(cardinalities))
+    num_fields = len(cardinalities)
+    best = 1
+    for dim in range(1, max_dim + 1):
+        params = total_vocab * dim
+        prev = num_fields * dim
+        for width in hidden_dims:
+            params += prev * width + width
+            prev = width
+        params += prev + 1
+        best = dim
+        if params >= target_params:
+            break
+    return best
+
+
+@dataclass
+class Table7Result:
+    rows: List[ResultRow]
+    enlarged_dim: int
+    dataset: str
+
+    def render(self) -> str:
+        headers = ["model", "AUC", "log loss", "embed dim", "params"]
+        body = []
+        for r in self.rows:
+            dim = (r.extra or {}).get("embed_dim", "-")
+            body.append([r.model, f"{r.auc:.4f}", f"{r.log_loss:.4f}",
+                         dim, format_param_count(r.params)])
+        return (f"== {self.dataset}: equal-parameter comparison "
+                f"(baselines enlarged to dim {self.enlarged_dim}) ==\n"
+                + render_rows(headers, body))
+
+
+def run_table7(dataset: str = "criteo", scale: str = "quick",
+               baselines: Sequence[str] = ("FM", "FNN", "IPNN", "DeepFM")
+               ) -> Table7Result:
+    """Table VII: naïve/factorized baselines blown up to OptInter's budget.
+
+    OptInter runs at its normal size; the baselines' embedding size is then
+    enlarged until their parameter count matches OptInter's, testing the
+    paper's claim that extra capacity spent on bigger embeddings is less
+    effective than spent on selective memorization.
+    """
+    config = default_config(dataset, scale)
+    bundle = prepare_dataset(config)
+    optinter_row = run_model("OptInter", bundle, config)
+    optinter_row.extra = dict(optinter_row.extra or {},
+                              embed_dim=config.embed_dim)
+    enlarged = embed_dim_for_params(optinter_row.params,
+                                    bundle.train.cardinalities,
+                                    config.hidden_dims)
+    rows = []
+    big_config = replace(config, embed_dim=enlarged)
+    for name in baselines:
+        row = run_model(name, bundle, big_config)
+        row.extra = dict(row.extra or {}, embed_dim=enlarged)
+        rows.append(row)
+    rows.append(optinter_row)
+    return Table7Result(rows=rows, enlarged_dim=enlarged, dataset=dataset)
+
+
+# ----------------------------------------------------------------------
+# Table VIII — search algorithm ablation
+# ----------------------------------------------------------------------
+@dataclass
+class Table8Result:
+    rows: Dict[str, List[ResultRow]]  # dataset -> [random, bilevel, optinter]
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, rows in self.rows.items():
+            headers = ["search", "AUC", "log loss", "arch [m,f,n]", "params"]
+            body = [[r.model, f"{r.auc:.4f}", f"{r.log_loss:.4f}",
+                     str((r.extra or {}).get("counts", "-")),
+                     format_param_count(r.params)] for r in rows]
+            blocks.append(f"== {dataset} ==\n" + render_rows(headers, body))
+        return "\n\n".join(blocks)
+
+
+def run_table8(datasets: Optional[Sequence[str]] = None, scale: str = "quick",
+               random_repeats: int = 3) -> Table8Result:
+    """Table VIII: Random vs Bi-level vs OptInter search."""
+    datasets = datasets or all_dataset_names()
+    out: Dict[str, List[ResultRow]] = {}
+    for name in datasets:
+        config = default_config(name, scale)
+        bundle = prepare_dataset(config)
+        rows: List[ResultRow] = []
+
+        # Random: mean over independently sampled architectures.
+        rng = np.random.default_rng(config.seed + 100)
+        random_rows = [
+            run_fixed_architecture(
+                random_architecture(bundle.train.num_pairs, rng),
+                bundle, config, label="Random")
+            for _ in range(random_repeats)
+        ]
+        rows.append(ResultRow(
+            model="Random",
+            auc=float(np.mean([r.auc for r in random_rows])),
+            log_loss=float(np.mean([r.log_loss for r in random_rows])),
+            params=int(np.mean([r.params for r in random_rows])),
+            extra={"counts": "-"},
+        ))
+
+        bilevel = search_bilevel(bundle.train, bundle.val,
+                                 config.search_config())
+        rows.append(run_fixed_architecture(bilevel.architecture, bundle,
+                                           config, label="Bi-level"))
+
+        joint = search_optinter(bundle.train, bundle.val,
+                                config.search_config())
+        rows.append(run_fixed_architecture(joint.architecture, bundle,
+                                           config, label="OptInter"))
+        out[name] = rows
+    return Table8Result(rows=out)
+
+
+# ----------------------------------------------------------------------
+# Table IX — re-train ablation
+# ----------------------------------------------------------------------
+@dataclass
+class Table9Result:
+    rows: Dict[str, Dict[str, Dict[str, float]]]  # dataset -> {w., w.o.} -> metrics
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, variants in self.rows.items():
+            headers = ["variant", "AUC", "log loss"]
+            body = [[v, f"{m['auc']:.4f}", f"{m['log_loss']:.4f}"]
+                    for v, m in variants.items()]
+            blocks.append(f"== {dataset} ==\n" + render_rows(headers, body))
+        return "\n\n".join(blocks)
+
+
+def run_table9(datasets: Sequence[str] = ("criteo", "avazu"),
+               scale: str = "quick") -> Table9Result:
+    """Table IX: re-train ablation.
+
+    "Without re-train" keeps the search-stage network weights Θ but hardens
+    the architecture to the Eq. 19 argmax (one-hot selection weights) —
+    i.e. the deployed architecture without the from-scratch re-training of
+    Algorithm 2.  The paper's point is that Θ trained under soft mixtures
+    is suboptimal for the hard architecture; re-training recovers the gap.
+    """
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in datasets:
+        config = default_config(name, scale)
+        bundle = prepare_dataset(config)
+        search = search_optinter(bundle.train, bundle.val,
+                                 config.search_config())
+        # Harden alpha to a one-hot selection, keep search-stage weights.
+        block = search.model.combination
+        saved_alpha = block.alpha.data.copy()
+        hard = np.full_like(saved_alpha, -60.0)
+        hard[np.arange(hard.shape[0]), saved_alpha.argmax(axis=1)] = 60.0
+        block.alpha.data = hard
+        without = evaluate_model(search.model, bundle.test)
+        block.alpha.data = saved_alpha
+        model, _ = retrain(search.architecture, bundle.train, bundle.val,
+                           config.retrain_config())
+        with_retrain = evaluate_model(model, bundle.test)
+        out[name] = {"with_retrain": with_retrain, "without_retrain": without}
+    return Table9Result(rows=out)

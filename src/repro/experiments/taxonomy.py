@@ -1,0 +1,131 @@
+"""Tables III and IV: the model taxonomy and the hyper-parameter setup.
+
+Table III of the paper is the *model discussion* — every model classified
+by the feature-interaction methods it can use, its factorization function
+and its classifier depth.  Table IV is the hyper-parameter setup.  Both
+are rendered here from live registries so the documentation can never
+drift from the code, and :func:`verify_taxonomy` checks the structural
+claims (e.g. "AutoFIS never memorizes") against instantiated models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .configs import all_dataset_names, default_config
+from .tables import render_rows
+
+
+@dataclass(frozen=True)
+class ModelTaxonomyRow:
+    """One row of the paper's Table III."""
+
+    model: str
+    category: str           # naive / memorized / factorized / hybrid
+    methods: str            # e.g. "{n}", "{f}", "{n,m,f}"
+    function: str           # factorization function, "-" if n/a
+    classifier: str         # Shallow / Deep / S&D
+
+
+#: Table III, extended with this repository's additional baselines.
+TAXONOMY: List[ModelTaxonomyRow] = [
+    ModelTaxonomyRow("LR", "naive", "{n}", "-", "Shallow"),
+    ModelTaxonomyRow("FNN", "naive", "{n}", "-", "Deep"),
+    ModelTaxonomyRow("Poly2", "memorized", "{m}", "-", "Shallow"),
+    ModelTaxonomyRow("WideDeep", "memorized", "{m}", "-", "S&D"),
+    ModelTaxonomyRow("FM", "factorized", "{f}", "<e_i, e_j>", "Shallow"),
+    ModelTaxonomyRow("FFM", "factorized", "{f}", "<e_i^(j), e_j^(i)>",
+                     "Shallow"),
+    ModelTaxonomyRow("FwFM", "factorized", "{f}", "<e_i, e_j> w_ij",
+                     "Shallow"),
+    ModelTaxonomyRow("FmFM", "factorized", "{f}", "e_i W_ij e_j^T",
+                     "Shallow"),
+    ModelTaxonomyRow("IPNN", "factorized", "{f}", "<e_i, e_j>", "Deep"),
+    ModelTaxonomyRow("OPNN", "factorized", "{f}", "outer(e_i, e_j)", "Deep"),
+    ModelTaxonomyRow("DeepFM", "factorized", "{f}", "<e_i, e_j>", "Deep"),
+    ModelTaxonomyRow("PIN", "factorized", "{f}", "net(e_i, e_j)", "Deep"),
+    ModelTaxonomyRow("DCN", "factorized", "{f}", "cross layers", "Deep"),
+    ModelTaxonomyRow("AutoFIS", "hybrid", "{n,f}", "flexible", "Deep"),
+    ModelTaxonomyRow("OptInter", "hybrid", "{n,m,f}", "flexible", "Deep"),
+]
+
+
+@dataclass
+class Table3Result:
+    rows: List[ModelTaxonomyRow]
+
+    def render(self) -> str:
+        headers = ["model", "category", "methods", "function", "classifier"]
+        body = [[r.model, r.category, r.methods, r.function, r.classifier]
+                for r in self.rows]
+        return render_rows(headers, body)
+
+    def by_category(self) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {}
+        for row in self.rows:
+            out.setdefault(row.category, []).append(row.model)
+        return out
+
+
+def run_table3() -> Table3Result:
+    """Table III: the model taxonomy (static registry, checked by tests)."""
+    return Table3Result(rows=list(TAXONOMY))
+
+
+def verify_taxonomy(bundle, config) -> Dict[str, bool]:
+    """Check the taxonomy's structural claims on live models.
+
+    Returns a mapping from claim name to whether it held; used by the
+    tests so Table III cannot drift from the implementations.
+    """
+    from ..models import AutoFIS
+    from ..core import OptInterModel
+
+    checks: Dict[str, bool] = {}
+    autofis = AutoFIS(bundle.train.cardinalities, embed_dim=2,
+                      rng=np.random.default_rng(0))
+    checks["autofis_never_memorizes"] = autofis.selection_counts()[0] == 0
+    optinter = OptInterModel(bundle.train.cardinalities,
+                             bundle.train.cross_cardinalities,
+                             embed_dim=2, cross_embed_dim=2,
+                             rng=np.random.default_rng(0))
+    alpha = optinter.architecture_parameters()
+    checks["optinter_searches_three_methods"] = (
+        len(alpha) == 1 and alpha[0].shape[1] == 3)
+    return checks
+
+
+@dataclass
+class Table4Result:
+    """Per-dataset hyper-parameter setup (the paper's Table IV analogue)."""
+
+    settings: Dict[str, Dict[str, object]]
+
+    def render(self) -> str:
+        headers = ["param"] + sorted(self.settings)
+        params = sorted({key for cfg in self.settings.values() for key in cfg})
+        body = []
+        for param in params:
+            body.append([param] + [str(self.settings[d].get(param, "-"))
+                                   for d in sorted(self.settings)])
+        return render_rows(headers, body)
+
+
+_TABLE4_FIELDS = ("n_samples", "embed_dim", "cross_embed_dim", "hidden_dims",
+                  "lr", "lr_arch", "l2_cross", "batch_size", "epochs",
+                  "search_epochs", "temperature_start", "temperature_end")
+
+
+def run_table4(scale: str = "paper",
+               datasets: Optional[Sequence[str]] = None) -> Table4Result:
+    """Table IV: the live hyper-parameter setup per dataset."""
+    datasets = datasets or all_dataset_names()
+    settings = {}
+    for name in datasets:
+        config = default_config(name, scale)
+        settings[name] = {field: getattr(config, field)
+                          for field in _TABLE4_FIELDS}
+    return Table4Result(settings=settings)

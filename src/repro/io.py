@@ -1,0 +1,92 @@
+"""Persistence: model checkpoints, architectures and experiment results.
+
+Checkpoints store a module's ``state_dict`` in numpy's ``.npz`` container
+(one array per dotted parameter name).  Architectures serialise to JSON via
+their own codec; experiment results to JSON with numpy-aware encoding —
+enough to save a searched architecture during the search stage and reload
+it for an independent re-train run, the workflow Algorithm 1/2 implies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from .core.architecture import Architecture
+from .nn.module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(model: Module, path: PathLike) -> None:
+    """Write all parameters of ``model`` to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to checkpoint")
+    np.savez(path, **state)
+
+
+def load_checkpoint(model: Module, path: PathLike) -> Module:
+    """Load an ``.npz`` checkpoint into ``model`` (strict key/shape match).
+
+    The model must already have the right architecture; this restores
+    values only, mirroring ``Module.load_state_dict`` semantics.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model
+
+
+def save_architecture(architecture: Architecture, path: PathLike) -> None:
+    """Write an architecture to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(architecture.to_json())
+
+
+def load_architecture(path: PathLike) -> Architecture:
+    """Read an architecture previously written by :func:`save_architecture`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no architecture file at {path}")
+    return Architecture.from_json(path.read_text())
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder accepting numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, Architecture):
+            return [m.value for m in obj]
+        return super().default(obj)
+
+
+def save_results(results: Dict[str, Any], path: PathLike) -> None:
+    """Write an experiment-result dictionary as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True,
+                               cls=_NumpyEncoder))
+
+
+def load_results(path: PathLike) -> Dict[str, Any]:
+    """Read a result dictionary written by :func:`save_results`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no results file at {path}")
+    return json.loads(path.read_text())

@@ -1,0 +1,47 @@
+"""``repro.models`` — the baseline CTR model zoo (paper Table III).
+
+Naïve: :class:`LogisticRegression`, :class:`FNN`.
+Memorized: :class:`Poly2`, :class:`WideDeep`.
+Factorized: :class:`FactorizationMachine`, :class:`FwFM`, :class:`FmFM`,
+:class:`IPNN`, :class:`OPNN`, :class:`DeepFM`, :class:`PIN`.
+Hybrid: :class:`AutoFIS` (and OptInter itself, in :mod:`repro.core`).
+"""
+
+from .base import (
+    BagEmbedding,
+    CrossEmbedding,
+    CTRModel,
+    FieldEmbedding,
+    flatten_embeddings,
+    pair_index_arrays,
+)
+from .shallow import FactorizationMachine, FmFM, FwFM, LogisticRegression, Poly2
+from .deep import FNN, IPNN, OPNN, DeepFM, PIN, WideDeep
+from .autofis import AutoFIS, AutoFISResult, train_autofis
+from .extended import DCN, FFM, CrossNetwork
+
+__all__ = [
+    "CTRModel",
+    "FieldEmbedding",
+    "CrossEmbedding",
+    "BagEmbedding",
+    "flatten_embeddings",
+    "pair_index_arrays",
+    "LogisticRegression",
+    "Poly2",
+    "FactorizationMachine",
+    "FwFM",
+    "FmFM",
+    "FNN",
+    "IPNN",
+    "OPNN",
+    "DeepFM",
+    "PIN",
+    "WideDeep",
+    "AutoFIS",
+    "AutoFISResult",
+    "train_autofis",
+    "FFM",
+    "DCN",
+    "CrossNetwork",
+]

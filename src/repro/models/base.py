@@ -1,0 +1,156 @@
+"""Shared building blocks for the CTR model zoo.
+
+Every model in Table III of the paper consumes the same multi-field id
+representation, so the embedding machinery is factored out here:
+
+* :class:`FieldEmbedding` — one flat table covering all original fields,
+  addressed by per-field offsets (equivalent to the paper's ``E^o``).
+* :class:`CrossEmbedding` — the same for cross-product transformed features
+  (the paper's ``E^m``), optionally restricted to a subset of pairs so
+  OptInter only pays for the interactions it actually memorizes.
+* :class:`CTRModel` — the common interface (logits from a :class:`Batch`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import Batch, CTRDataset
+from ..nn.layers import Embedding
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+class FieldEmbedding(Module):
+    """Embedding table for all original fields, with per-field offsets.
+
+    A batch of ids ``x`` (shape ``[n, M]``, ids local to each field) is
+    shifted by cumulative offsets and gathered from one flat table, which is
+    both faster and exactly equivalent to M separate tables.
+    """
+
+    def __init__(self, cardinalities: Sequence[int], dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.cardinalities = list(cardinalities)
+        self.dim = dim
+        self.offsets = np.concatenate([[0], np.cumsum(self.cardinalities)[:-1]])
+        self.table = Embedding(int(sum(self.cardinalities)), dim, rng=rng)
+
+    @property
+    def num_fields(self) -> int:
+        return len(self.cardinalities)
+
+    def forward(self, x: np.ndarray) -> Tensor:
+        """Embed ids ``[n, M]`` into vectors ``[n, M, dim]``."""
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.num_fields:
+            raise ValueError(
+                f"expected [n, {self.num_fields}] ids, got shape {x.shape}"
+            )
+        return self.table(x + self.offsets[None, :])
+
+
+class CrossEmbedding(Module):
+    """Embedding table for cross-product features over selected pairs."""
+
+    def __init__(self, cross_cardinalities: Sequence[int], dim: int,
+                 pair_subset: Optional[Sequence[int]] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.all_cardinalities = list(cross_cardinalities)
+        self.pair_subset = (list(range(len(self.all_cardinalities)))
+                            if pair_subset is None else sorted(pair_subset))
+        self.dim = dim
+        kept = [self.all_cardinalities[p] for p in self.pair_subset]
+        self.offsets = np.concatenate([[0], np.cumsum(kept)[:-1]]) if kept else np.zeros(0, dtype=np.int64)
+        # Degenerate but valid: a model may memorize nothing.
+        self.table = Embedding(max(int(sum(kept)), 1), dim, rng=rng)
+        self._column_index = np.asarray(self.pair_subset, dtype=np.int64)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pair_subset)
+
+    def forward(self, x_cross: np.ndarray) -> Tensor:
+        """Embed cross ids ``[n, P_all]`` into ``[n, P_kept, dim]``."""
+        if self.num_pairs == 0:
+            raise RuntimeError("CrossEmbedding over zero pairs cannot embed")
+        x_cross = np.asarray(x_cross)
+        selected = x_cross[:, self._column_index]
+        return self.table(selected + self.offsets[None, :])
+
+
+class BagEmbedding(Module):
+    """Mean-pooled embedding for a multivalent field (paper §II-B2).
+
+    Consumes the padded ``(ids [n, L], lengths [n])`` representation from
+    :class:`repro.data.multivalent.BagEncoder`; the padding row (id 0) is
+    pinned to zero so ``sum / length`` equals the mean over actual values.
+    """
+
+    def __init__(self, vocab_size: int, dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.dim = dim
+        self.table = Embedding(vocab_size, dim, rng=rng, padding_idx=0)
+
+    def forward(self, ids: np.ndarray, lengths: np.ndarray) -> Tensor:
+        """Pool ``[n, L]`` bags into ``[n, dim]`` mean embeddings."""
+        ids = np.asarray(ids)
+        lengths = np.asarray(lengths, dtype=np.float64)
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be 2-D, got shape {ids.shape}")
+        if lengths.shape != (ids.shape[0],):
+            raise ValueError("lengths must have one entry per row")
+        if (lengths < 1).any():
+            raise ValueError("every bag must have length >= 1")
+        # Keep padding rows pinned at zero: the gradient may move them, so
+        # freeze by construction instead (cheap and exact).
+        self.table.weight.data[0] = 0.0
+        summed = self.table(ids).sum(axis=1)  # [n, dim]
+        inverse = Tensor((1.0 / lengths)[:, None])
+        return summed * inverse
+
+
+class CTRModel(Module):
+    """Interface every model in the zoo implements."""
+
+    #: whether :meth:`forward` requires ``batch.x_cross``
+    needs_cross: bool = False
+
+    def forward(self, batch: Batch) -> Tensor:
+        """Return raw logits of shape ``[batch]``."""
+        raise NotImplementedError
+
+    def _check_batch(self, batch: Batch) -> None:
+        if self.needs_cross and batch.x_cross is None:
+            raise ValueError(
+                f"{type(self).__name__} requires cross-product features; "
+                "build the dataset with with_cross=True"
+            )
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Click probabilities for one batch (no graph recorded)."""
+        from ..nn.tensor import no_grad
+
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            probs = self(batch).sigmoid().numpy().ravel()
+        self.train(was_training)
+        return probs
+
+
+def pair_index_arrays(num_fields: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index arrays (idx_i, idx_j) enumerating all pairs i < j."""
+    idx_i, idx_j = np.triu_indices(num_fields, k=1)
+    return idx_i.astype(np.int64), idx_j.astype(np.int64)
+
+
+def flatten_embeddings(emb: Tensor) -> Tensor:
+    """Reshape ``[n, M, d]`` field embeddings to ``[n, M*d]``."""
+    n, m, d = emb.shape
+    return emb.reshape(n, m * d)

@@ -1,0 +1,79 @@
+"""``repro.nn`` — a from-scratch neural network substrate on numpy.
+
+Replaces PyTorch in the original OptInter implementation: reverse-mode
+autodiff (:mod:`repro.nn.tensor`), modules and layers, Xavier initialisation,
+Adam / SGD / GRDA optimizers and a stable binary cross-entropy loss.
+"""
+
+from .tensor import Tensor, concatenate, embedding_lookup, no_grad, stack, where
+from .module import Module, Parameter
+from .layers import (
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    PReLU,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from .losses import binary_cross_entropy, binary_cross_entropy_with_logits
+from .optim import (
+    Adagrad,
+    Adam,
+    FTRLProximal,
+    GRDA,
+    Optimizer,
+    RMSprop,
+    SGD,
+    SparseAdam,
+)
+from .schedulers import (
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    StepLR,
+    WarmupLR,
+)
+from . import functional
+from . import init
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "embedding_lookup",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "BatchNorm1d",
+    "PReLU",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Sequential",
+    "MLP",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "RMSprop",
+    "SparseAdam",
+    "FTRLProximal",
+    "GRDA",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+    "functional",
+    "init",
+]

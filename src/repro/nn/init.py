@@ -1,0 +1,51 @@
+"""Weight initialisation schemes.
+
+The paper (Section III-A4) uses Xavier (Glorot) initialisation for all
+weights; embeddings follow the same uniform-bound convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, U[-sqrt(6/(fan_in+fan_out)), +...].
+
+    For a 2-D weight ``[fan_in, fan_out]`` the bounds follow Glorot & Bengio
+    (2010); for higher-rank tensors the first axis is fan-in and the product
+    of the remaining axes is fan-out.
+    """
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = shape[0]
+        fan_out = int(np.prod(shape[1:]))
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal initialisation, N(0, 2/(fan_in+fan_out))."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = shape[0]
+        fan_out = int(np.prod(shape[1:]))
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, bound: float = 0.05) -> np.ndarray:
+    """Plain uniform initialisation in [-bound, bound]."""
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (used for biases and LayerNorm beta)."""
+    return np.zeros(shape)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    """All-one initialisation (used for LayerNorm gamma)."""
+    return np.ones(shape)

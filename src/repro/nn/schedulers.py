@@ -1,0 +1,112 @@
+"""Learning-rate schedulers operating on optimizer parameter groups.
+
+Each scheduler snapshots the optimizer's initial learning rates and
+rewrites every group's ``lr`` on :meth:`step` (conventionally called once
+per epoch).  Schedulers compose with any optimizer in :mod:`repro.nn.optim`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: tracks the epoch counter and the initial rates."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lrs: List[float] = [group["lr"]
+                                      for group in optimizer.param_groups]
+        self.epoch = 0
+
+    def get_lr(self, base_lr: float) -> float:
+        """Learning rate for the current epoch given the initial rate."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and rewrite every group's learning rate."""
+        self.epoch += 1
+        for group, base_lr in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = self.get_lr(base_lr)
+
+    @property
+    def current_lrs(self) -> List[float]:
+        return [group["lr"] for group in self.optimizer.param_groups]
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, base_lr: float) -> float:
+        return base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self, base_lr: float) -> float:
+        return base_lr * self.gamma**self.epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs.
+
+    Past ``t_max`` the rate stays at ``eta_min``.
+    """
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0) -> None:
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        if eta_min < 0:
+            raise ValueError(f"eta_min must be >= 0, got {eta_min}")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, base_lr: float) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return (self.eta_min
+                + (base_lr - self.eta_min)
+                * 0.5 * (1.0 + math.cos(math.pi * progress)))
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup to the base rate over ``warmup_epochs``, then constant.
+
+    CTR embedding tables benefit from a gentle start: large early updates
+    on rare ids are hard to undo.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        # Start at the first warmup fraction rather than the full rate.
+        for group, base_lr in zip(optimizer.param_groups, self.base_lrs):
+            group["lr"] = base_lr / (warmup_epochs + 1)
+
+    def get_lr(self, base_lr: float) -> float:
+        fraction = min(self.epoch + 1, self.warmup_epochs + 1) / (
+            self.warmup_epochs + 1)
+        return base_lr * fraction

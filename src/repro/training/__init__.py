@@ -1,0 +1,31 @@
+"""``repro.training`` — trainer, metrics and history utilities."""
+
+from .history import EpochRecord, History
+from .metrics import auc_score, evaluate_predictions, format_param_count, log_loss
+from .trainer import Trainer, evaluate_model, predict_dataset
+from .significance import (
+    Comparison,
+    MultiSeedResult,
+    SeedRun,
+    compare_models,
+    paired_t_test,
+    run_seeds,
+)
+
+__all__ = [
+    "EpochRecord",
+    "History",
+    "auc_score",
+    "log_loss",
+    "evaluate_predictions",
+    "format_param_count",
+    "Trainer",
+    "evaluate_model",
+    "predict_dataset",
+    "SeedRun",
+    "MultiSeedResult",
+    "Comparison",
+    "run_seeds",
+    "paired_t_test",
+    "compare_models",
+]

@@ -1,0 +1,59 @@
+"""Training history: per-epoch metric records and best-epoch tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """Metrics observed at the end of one epoch."""
+
+    epoch: int
+    train_loss: float
+    val_auc: Optional[float] = None
+    val_log_loss: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"epoch": self.epoch, "train_loss": self.train_loss}
+        if self.val_auc is not None:
+            out["val_auc"] = self.val_auc
+        if self.val_log_loss is not None:
+            out["val_log_loss"] = self.val_log_loss
+        return out
+
+
+@dataclass
+class History:
+    """Append-only list of :class:`EpochRecord` with best-epoch lookup."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def last(self) -> Optional[EpochRecord]:
+        return self.records[-1] if self.records else None
+
+    def best_epoch(self, metric: str = "val_auc") -> Optional[EpochRecord]:
+        """Record with the highest ``metric`` (lowest for losses)."""
+        scored = [r for r in self.records if r.as_dict().get(metric) is not None]
+        if not scored:
+            return None
+        minimize = "loss" in metric
+        key = lambda r: r.as_dict()[metric]
+        return min(scored, key=key) if minimize else max(scored, key=key)
+
+    def train_losses(self) -> List[float]:
+        return [r.train_loss for r in self.records]
+
+    def val_aucs(self) -> List[float]:
+        return [r.val_auc for r in self.records if r.val_auc is not None]

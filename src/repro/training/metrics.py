@@ -1,0 +1,59 @@
+"""Evaluation metrics: AUC, log loss and model size (paper §III-A2).
+
+The paper reports AUC (area under the ROC curve) and log loss, and measures
+model size as the raw parameter count.  AUC uses the rank-statistic
+(Mann-Whitney) formulation with average ranks so ties are handled exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy import stats
+
+from ..nn.losses import binary_cross_entropy
+
+
+def auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Equivalent to the probability that a random positive is ranked above a
+    random negative, with ties counted half.  Raises if only one class is
+    present (AUC is undefined then).
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score must have the same shape")
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC is undefined with a single class present")
+    ranks = stats.rankdata(y_score)
+    rank_sum_pos = ranks[y_true == 1].sum()
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def log_loss(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Binary cross-entropy from predicted probabilities."""
+    return binary_cross_entropy(np.asarray(y_prob), np.asarray(y_true))
+
+
+def evaluate_predictions(y_true: np.ndarray, y_prob: np.ndarray) -> Dict[str, float]:
+    """Both paper metrics in one call."""
+    return {
+        "auc": auc_score(y_true, y_prob),
+        "log_loss": log_loss(y_true, y_prob),
+    }
+
+
+def format_param_count(count: int) -> str:
+    """Human formatting matching the paper's tables (e.g. ``13M``, ``0.5M``)."""
+    if count >= 1_000_000:
+        value = count / 1_000_000
+        return f"{value:.1f}M" if value < 10 else f"{value:.0f}M"
+    if count >= 1_000:
+        return f"{count / 1_000:.1f}K"
+    return str(count)

@@ -1,0 +1,169 @@
+"""Multi-seed evaluation and significance testing (paper §III-A5).
+
+The paper repeats each experiment ten times and compares OptInter against
+the best baseline with a two-tailed pairwise t-test, declaring
+significance at p < 0.005 (and noting that 0.1 % AUC counts as a material
+improvement in CTR prediction).  This module provides the same protocol:
+
+* :func:`run_seeds` — train one model factory across several seeds and
+  collect per-seed test metrics;
+* :func:`paired_t_test` — two-tailed paired t-test over per-seed metric
+  pairs;
+* :func:`compare_models` — the full recipe: seeds, means, p-value, verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..data.dataset import CTRDataset
+
+#: the paper's significance threshold.
+PAPER_ALPHA = 0.005
+
+#: the community convention the paper cites: 0.1% AUC is significant.
+MATERIAL_AUC_DELTA = 0.001
+
+
+@dataclass
+class SeedRun:
+    """Metrics of one model trained with one seed."""
+
+    seed: int
+    auc: float
+    log_loss: float
+
+
+@dataclass
+class MultiSeedResult:
+    """Per-seed metrics plus summary statistics for one model."""
+
+    name: str
+    runs: List[SeedRun]
+
+    @property
+    def aucs(self) -> np.ndarray:
+        return np.array([r.auc for r in self.runs])
+
+    @property
+    def log_losses(self) -> np.ndarray:
+        return np.array([r.log_loss for r in self.runs])
+
+    @property
+    def mean_auc(self) -> float:
+        return float(self.aucs.mean())
+
+    @property
+    def std_auc(self) -> float:
+        return float(self.aucs.std(ddof=1)) if len(self.runs) > 1 else 0.0
+
+    @property
+    def mean_log_loss(self) -> float:
+        return float(self.log_losses.mean())
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "mean_auc": self.mean_auc,
+            "std_auc": self.std_auc,
+            "mean_log_loss": self.mean_log_loss,
+            "n_seeds": len(self.runs),
+        }
+
+
+def run_seeds(
+    name: str,
+    train_fn: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> MultiSeedResult:
+    """Run ``train_fn(seed) -> {'auc': ..., 'log_loss': ...}`` per seed."""
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    runs = []
+    for seed in seeds:
+        metrics = train_fn(seed)
+        runs.append(SeedRun(seed=seed, auc=metrics["auc"],
+                            log_loss=metrics["log_loss"]))
+    return MultiSeedResult(name=name, runs=runs)
+
+
+def paired_t_test(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-tailed paired t-test p-value between matched metric samples.
+
+    ``a`` and ``b`` must be matched by seed (same length, same order); this
+    is the test the paper applies between OptInter and the best baseline.
+    Identical samples return p = 1.0.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("paired test requires equally many runs per model")
+    if a.size < 2:
+        raise ValueError("paired test requires at least two seeds")
+    if np.allclose(a, b):
+        return 1.0
+    _, p_value = stats.ttest_rel(a, b)
+    return float(p_value)
+
+
+@dataclass
+class Comparison:
+    """Outcome of a paper-style model comparison."""
+
+    challenger: MultiSeedResult
+    baseline: MultiSeedResult
+    p_value_auc: float
+    p_value_log_loss: float
+    alpha: float = PAPER_ALPHA
+
+    @property
+    def auc_gain(self) -> float:
+        return self.challenger.mean_auc - self.baseline.mean_auc
+
+    @property
+    def significant(self) -> bool:
+        """Paper criterion: better mean AUC with p below the threshold."""
+        return self.auc_gain > 0 and self.p_value_auc < self.alpha
+
+    @property
+    def material(self) -> bool:
+        """Community criterion: gain of at least 0.1 % AUC."""
+        return self.auc_gain >= MATERIAL_AUC_DELTA
+
+    def render(self) -> str:
+        lines = [
+            f"{self.challenger.name}: AUC {self.challenger.mean_auc:.4f} "
+            f"± {self.challenger.std_auc:.4f} "
+            f"({len(self.challenger.runs)} seeds)",
+            f"{self.baseline.name}: AUC {self.baseline.mean_auc:.4f} "
+            f"± {self.baseline.std_auc:.4f}",
+            f"gain {self.auc_gain:+.4f}, p = {self.p_value_auc:.4g} "
+            f"(threshold {self.alpha})",
+            f"significant: {self.significant}, material (>=0.1%): "
+            f"{self.material}",
+        ]
+        return "\n".join(lines)
+
+
+def compare_models(
+    challenger_name: str,
+    challenger_fn: Callable[[int], Dict[str, float]],
+    baseline_name: str,
+    baseline_fn: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int] = tuple(range(10)),
+    alpha: float = PAPER_ALPHA,
+) -> Comparison:
+    """The paper's full protocol: n-seed runs of both models + paired test."""
+    challenger = run_seeds(challenger_name, challenger_fn, seeds)
+    baseline = run_seeds(baseline_name, baseline_fn, seeds)
+    return Comparison(
+        challenger=challenger,
+        baseline=baseline,
+        p_value_auc=paired_t_test(challenger.aucs, baseline.aucs),
+        p_value_log_loss=paired_t_test(challenger.log_losses,
+                                       baseline.log_losses),
+        alpha=alpha,
+    )

@@ -1,0 +1,153 @@
+"""Mini-batch training loop with validation-based early stopping.
+
+Implements the optimisation protocol of the paper's Algorithms 1 and 2:
+mini-batch gradient descent on the cross-entropy loss (Eq. 13), with all
+registered parameters (including, for OptInter's search stage, the
+architecture parameters α) updated simultaneously by the supplied
+optimizer.  Early stopping restores the parameters of the best validation
+epoch, matching common CTR practice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import Batch, CTRDataset
+from ..nn.losses import binary_cross_entropy_with_logits
+from ..nn.module import Module
+from ..nn.optim import Optimizer
+from .history import EpochRecord, History
+from .metrics import evaluate_predictions
+
+
+def predict_dataset(model: Module, dataset: CTRDataset,
+                    batch_size: int = 4096) -> np.ndarray:
+    """Predicted click probabilities for a whole dataset (eval mode)."""
+    from ..nn.tensor import no_grad
+
+    was_training = model.training
+    model.eval()
+    chunks = []
+    with no_grad():
+        for batch in dataset.iter_batches(batch_size):
+            logits = model(batch)
+            chunks.append(logits.sigmoid().numpy().ravel())
+    model.train(was_training)
+    return np.concatenate(chunks) if chunks else np.empty(0)
+
+
+def evaluate_model(model: Module, dataset: CTRDataset,
+                   batch_size: int = 4096) -> Dict[str, float]:
+    """AUC and log loss of ``model`` on ``dataset``."""
+    probs = predict_dataset(model, dataset, batch_size=batch_size)
+    return evaluate_predictions(dataset.y, probs)
+
+
+class Trainer:
+    """Orchestrates epochs, early stopping and best-weight restoration."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        batch_size: int = 512,
+        max_epochs: int = 20,
+        patience: int = 3,
+        rng: Optional[np.random.Generator] = None,
+        on_step: Optional[Callable[[Module, Batch, float], None]] = None,
+        grad_clip_norm: Optional[float] = None,
+        lr_decay: Optional[float] = None,
+        verbose: bool = False,
+    ) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if grad_clip_norm is not None and grad_clip_norm <= 0:
+            raise ValueError("grad_clip_norm must be positive")
+        if lr_decay is not None and not 0 < lr_decay <= 1:
+            raise ValueError("lr_decay must be in (0, 1]")
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.rng = rng or np.random.default_rng()
+        self.on_step = on_step
+        self.grad_clip_norm = grad_clip_norm
+        self.lr_decay = lr_decay
+        self.verbose = verbose
+
+    def _clip_gradients(self) -> None:
+        """Scale all gradients so their global L2 norm is at most the cap."""
+        total = 0.0
+        grads = [p.grad for p in self.model.parameters() if p.grad is not None]
+        for grad in grads:
+            total += float((grad * grad).sum())
+        norm = np.sqrt(total)
+        if norm > self.grad_clip_norm and norm > 0:
+            scale = self.grad_clip_norm / norm
+            for param in self.model.parameters():
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+
+    def _decay_learning_rates(self) -> None:
+        for group in self.optimizer.param_groups:
+            group["lr"] = group["lr"] * self.lr_decay
+
+    def train_epoch(self, train: CTRDataset) -> float:
+        """One pass over the training data; returns the mean batch loss."""
+        self.model.train()
+        losses = []
+        for batch in train.iter_batches(self.batch_size, shuffle=True, rng=self.rng):
+            self.optimizer.zero_grad()
+            logits = self.model(batch)
+            loss = binary_cross_entropy_with_logits(logits, batch.y)
+            value = loss.item()
+            if not np.isfinite(value):
+                raise RuntimeError(
+                    f"non-finite training loss ({value}); lower the "
+                    "learning rate or inspect the input data"
+                )
+            loss.backward()
+            if self.grad_clip_norm is not None:
+                self._clip_gradients()
+            self.optimizer.step()
+            losses.append(value)
+            if self.on_step is not None:
+                self.on_step(self.model, batch, value)
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def fit(self, train: CTRDataset, val: Optional[CTRDataset] = None) -> History:
+        """Train until convergence or ``max_epochs``.
+
+        With a validation set, stops after ``patience`` epochs without AUC
+        improvement and restores the best epoch's weights.
+        """
+        history = History()
+        best_auc = -np.inf
+        best_state = None
+        stale = 0
+        for epoch in range(self.max_epochs):
+            train_loss = self.train_epoch(train)
+            if self.lr_decay is not None:
+                self._decay_learning_rates()
+            record = EpochRecord(epoch=epoch, train_loss=train_loss)
+            if val is not None and len(val) > 0:
+                metrics = evaluate_model(self.model, val)
+                record.val_auc = metrics["auc"]
+                record.val_log_loss = metrics["log_loss"]
+                if record.val_auc > best_auc:
+                    best_auc = record.val_auc
+                    best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+            history.append(record)
+            if self.verbose:
+                print(f"epoch {epoch}: {record.as_dict()}")
+            if val is not None and stale >= self.patience:
+                break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history

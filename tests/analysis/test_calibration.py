@@ -1,0 +1,125 @@
+"""Calibration metrics: Brier, reliability bins, ECE, CTR bias."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    brier_score,
+    expected_calibration_error,
+    predicted_ctr_bias,
+    reliability_bins,
+)
+
+
+def _well_calibrated(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    probs = rng.random(n)
+    y = (rng.random(n) < probs).astype(float)
+    return y, probs
+
+
+class TestBrier:
+    def test_perfect_prediction_zero(self):
+        y = np.array([1.0, 0.0, 1.0])
+        assert brier_score(y, y) == 0.0
+
+    def test_worst_prediction_one(self):
+        y = np.array([1.0, 0.0])
+        assert brier_score(y, 1 - y) == 1.0
+
+    def test_constant_half(self):
+        y = np.array([1.0, 0.0, 1.0, 0.0])
+        assert brier_score(y, np.full(4, 0.5)) == 0.25
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([1.0]), np.array([1.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            brier_score(np.ones(3), np.ones(2))
+
+
+class TestReliabilityBins:
+    def test_bin_count_and_coverage(self):
+        y, probs = _well_calibrated()
+        bins = reliability_bins(y, probs, num_bins=10)
+        assert len(bins) == 10
+        assert sum(b.count for b in bins) == len(y)
+
+    def test_well_calibrated_bins_have_small_gap(self):
+        y, probs = _well_calibrated()
+        bins = reliability_bins(y, probs, num_bins=10)
+        for b in bins:
+            assert b.gap < 0.03
+
+    def test_probability_one_lands_in_last_bin(self):
+        bins = reliability_bins(np.array([1.0]), np.array([1.0]),
+                                num_bins=5)
+        assert bins[-1].count == 1
+
+    def test_empty_bin_gap_zero(self):
+        bins = reliability_bins(np.array([1.0]), np.array([0.95]),
+                                num_bins=10)
+        assert bins[0].count == 0
+        assert bins[0].gap == 0.0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            reliability_bins(np.array([1.0]), np.array([0.5]), num_bins=0)
+
+
+class TestECE:
+    def test_well_calibrated_near_zero(self):
+        y, probs = _well_calibrated()
+        assert expected_calibration_error(y, probs) < 0.01
+
+    def test_overconfident_has_large_ece(self):
+        rng = np.random.default_rng(0)
+        y = (rng.random(5000) < 0.5).astype(float)
+        # Predicts near-certainty while the truth is a coin flip.
+        probs = np.where(rng.random(5000) < 0.5, 0.99, 0.01)
+        assert expected_calibration_error(y, probs) > 0.3
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_by_one(self, seed):
+        rng = np.random.default_rng(seed)
+        y = (rng.random(200) < 0.4).astype(float)
+        probs = rng.random(200)
+        ece = expected_calibration_error(y, probs)
+        assert 0.0 <= ece <= 1.0
+
+
+class TestCTRBias:
+    def test_unbiased_is_one(self):
+        y, probs = _well_calibrated()
+        assert abs(predicted_ctr_bias(y, probs) - 1.0) < 0.02
+
+    def test_overprediction_above_one(self):
+        y = np.array([0.0, 0.0, 1.0, 0.0])
+        probs = np.full(4, 0.9)
+        assert predicted_ctr_bias(y, probs) > 1.0
+
+    def test_no_positives_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_ctr_bias(np.zeros(5), np.full(5, 0.1))
+
+
+class TestOnModels:
+    def test_calibration_of_trained_model(self, tiny_splits, rng):
+        from repro.models import LogisticRegression
+        from repro.nn import Adam
+        from repro.training import Trainer, predict_dataset
+
+        train, val, test = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        Trainer(model, Adam(model.parameters(), lr=5e-2), batch_size=256,
+                max_epochs=6, rng=rng).fit(train, val)
+        probs = predict_dataset(model, test)
+        ece = expected_calibration_error(test.y, probs)
+        bias = predicted_ctr_bias(test.y, probs)
+        assert ece < 0.2
+        assert 0.5 < bias < 2.0

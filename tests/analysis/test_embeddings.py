@@ -1,0 +1,115 @@
+"""Embedding diagnostics: norms, frequencies, drift."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cross_embedding_report,
+    drift_from_initialization,
+    embedding_norms,
+    field_embedding_report,
+    norm_frequency_report,
+    value_frequencies,
+)
+
+
+class TestBasics:
+    def test_embedding_norms(self):
+        table = np.array([[3.0, 4.0], [0.0, 0.0]])
+        np.testing.assert_allclose(embedding_norms(table), [5.0, 0.0])
+
+    def test_norms_require_2d(self):
+        with pytest.raises(ValueError):
+            embedding_norms(np.zeros(4))
+
+    def test_value_frequencies(self):
+        freqs = value_frequencies(np.array([0, 1, 1, 3]), vocab_size=5)
+        np.testing.assert_allclose(freqs, [1, 2, 0, 1, 0])
+
+    def test_frequencies_range_check(self):
+        with pytest.raises(ValueError):
+            value_frequencies(np.array([5]), vocab_size=5)
+
+    def test_drift(self):
+        a = np.zeros((2, 2))
+        b = np.array([[3.0, 4.0], [0.0, 0.0]])
+        np.testing.assert_allclose(drift_from_initialization(b, a), [5.0, 0.0])
+
+    def test_drift_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            drift_from_initialization(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestNormFrequencyReport:
+    def test_positive_correlation_detected(self, rng):
+        # Construct a table whose norms literally are the frequencies.
+        freqs = rng.integers(0, 50, size=30)
+        ids = np.repeat(np.arange(30), freqs)
+        table = np.zeros((30, 2))
+        table[:, 0] = freqs
+        report = norm_frequency_report(table, ids)
+        assert report.correlation > 0.9
+
+    def test_constant_table_zero_correlation(self, rng):
+        table = np.ones((10, 3))
+        ids = rng.integers(0, 10, size=100)
+        assert norm_frequency_report(table, ids).correlation == 0.0
+
+    def test_invalid_quantile(self, rng):
+        with pytest.raises(ValueError):
+            norm_frequency_report(np.ones((4, 2)), np.zeros(3, dtype=int),
+                                  frequent_quantile=1.0)
+
+
+class TestOnTrainedModels:
+    def test_trained_embeddings_track_frequency(self, tiny_splits):
+        """After training, frequent values drift more than unseen ones."""
+        from repro.models import FNN
+        from repro.nn import Adam
+        from repro.training import Trainer
+
+        train, val, _ = tiny_splits
+        model = FNN(train.cardinalities, embed_dim=4, hidden_dims=(16,),
+                    rng=np.random.default_rng(0))
+        initial = model.embedding.table.weight.data.copy()
+        Trainer(model, Adam(model.parameters(), lr=1e-2), batch_size=256,
+                max_epochs=5, rng=np.random.default_rng(1)).fit(train, val)
+        drift = drift_from_initialization(model.embedding.table.weight.data,
+                                          initial)
+        shifted = train.x + model.embedding.offsets[None, :]
+        freqs = value_frequencies(shifted, vocab_size=drift.shape[0])
+        seen = freqs > 0
+        if (~seen).any():
+            assert drift[seen].mean() > drift[~seen].mean()
+
+    def test_field_report_runs(self, tiny_splits):
+        from repro.models import FNN
+
+        train, *_ = tiny_splits
+        model = FNN(train.cardinalities, embed_dim=4, hidden_dims=(8,),
+                    rng=np.random.default_rng(0))
+        report = field_embedding_report(model.embedding, train)
+        assert -1.0 <= report.correlation <= 1.0
+        assert "rho" in report.render()
+
+    def test_cross_report_requires_cross(self, tiny_splits):
+        from repro.models import CrossEmbedding
+        from repro.data import CTRDataset
+
+        train, *_ = tiny_splits
+        emb = CrossEmbedding(train.cross_cardinalities, dim=2,
+                             rng=np.random.default_rng(0))
+        no_cross = CTRDataset(schema=train.schema, x=train.x, y=train.y,
+                              cardinalities=train.cardinalities)
+        with pytest.raises(ValueError):
+            cross_embedding_report(emb, no_cross)
+
+    def test_cross_report_on_subset(self, tiny_splits):
+        from repro.models import CrossEmbedding
+
+        train, *_ = tiny_splits
+        emb = CrossEmbedding(train.cross_cardinalities, dim=2,
+                             pair_subset=[0, 3],
+                             rng=np.random.default_rng(0))
+        report = cross_embedding_report(emb, train)
+        assert report.n_frequent + report.n_rare == emb.table.num_embeddings

@@ -1,0 +1,102 @@
+"""Interpretability: Fig. 5 groupings, Fig. 6 maps and correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    case_study,
+    method_map,
+    mi_by_method,
+    mi_method_correlation,
+)
+from repro.core import Architecture, Method
+
+
+class TestMIByMethod:
+    def test_groups_cover_all_pairs(self, tiny_dataset, rng):
+        arch = Architecture.random(tiny_dataset.num_pairs, rng)
+        report = mi_by_method(tiny_dataset, arch)
+        assert sum(report.counts.values()) == tiny_dataset.num_pairs
+
+    def test_empty_group_is_nan(self, tiny_dataset):
+        arch = Architecture.all_memorize(tiny_dataset.num_pairs)
+        report = mi_by_method(tiny_dataset, arch)
+        assert np.isnan(report.mean_mi[Method.NAIVE])
+        assert not np.isnan(report.mean_mi[Method.MEMORIZE])
+
+    def test_oracle_architecture_orders_mi(self, tiny_dataset, tiny_truth):
+        """Assign memorize to planted pairs -> highest group MI (Fig. 5)."""
+        from repro.data import PairRole
+
+        methods = []
+        for p in range(tiny_dataset.num_pairs):
+            role = tiny_truth.pair_roles[p]
+            methods.append(Method.MEMORIZE if role is PairRole.MEMORIZABLE
+                           else Method.FACTORIZE
+                           if role is PairRole.FACTORIZABLE
+                           else Method.NAIVE)
+        arch = Architecture(methods=tuple(methods))
+        report = mi_by_method(tiny_dataset, arch)
+        assert report.mean_mi[Method.MEMORIZE] > report.mean_mi[Method.NAIVE]
+
+    def test_pair_count_mismatch_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            mi_by_method(tiny_dataset, Architecture.all_naive(3))
+
+    def test_as_rows_format(self, tiny_dataset, rng):
+        arch = Architecture.random(tiny_dataset.num_pairs, rng)
+        rows = mi_by_method(tiny_dataset, arch).as_rows()
+        assert [r[0] for r in rows] == ["memorize", "factorize", "naive"]
+
+
+class TestMethodMap:
+    def test_symmetric_with_negative_diagonal(self, tiny_dataset, rng):
+        arch = Architecture.random(tiny_dataset.num_pairs, rng)
+        codes = method_map(tiny_dataset, arch)
+        np.testing.assert_array_equal(codes, codes.T)
+        np.testing.assert_array_equal(np.diag(codes),
+                                      -np.ones(tiny_dataset.num_fields))
+
+    def test_codes_match_architecture(self, tiny_dataset):
+        arch = Architecture.all_memorize(tiny_dataset.num_pairs)
+        codes = method_map(tiny_dataset, arch)
+        off_diag = codes[~np.eye(tiny_dataset.num_fields, dtype=bool)]
+        assert (off_diag == 2).all()
+
+
+class TestCorrelation:
+    def test_uniform_architecture_zero(self, tiny_dataset):
+        arch = Architecture.all_memorize(tiny_dataset.num_pairs)
+        assert mi_method_correlation(tiny_dataset, arch) == 0.0
+
+    def test_oracle_positive(self, tiny_dataset, tiny_truth):
+        from repro.data import PairRole
+
+        methods = []
+        for p in range(tiny_dataset.num_pairs):
+            role = tiny_truth.pair_roles[p]
+            methods.append(Method.MEMORIZE if role is not PairRole.NOISE
+                           else Method.NAIVE)
+        arch = Architecture(methods=tuple(methods))
+        assert mi_method_correlation(tiny_dataset, arch) > 0.0
+
+    def test_anti_oracle_negative(self, tiny_dataset, tiny_truth):
+        from repro.data import PairRole
+
+        methods = []
+        for p in range(tiny_dataset.num_pairs):
+            role = tiny_truth.pair_roles[p]
+            methods.append(Method.NAIVE if role is not PairRole.NOISE
+                           else Method.MEMORIZE)
+        arch = Architecture(methods=tuple(methods))
+        assert mi_method_correlation(tiny_dataset, arch) < 0.0
+
+
+class TestCaseStudy:
+    def test_bundle_contents(self, tiny_dataset, rng):
+        arch = Architecture.random(tiny_dataset.num_pairs, rng)
+        study = case_study(tiny_dataset, arch)
+        m = tiny_dataset.num_fields
+        assert study.mi_map.shape == (m, m)
+        assert study.method_codes.shape == (m, m)
+        assert -1.0 <= study.correlation <= 1.0

@@ -1,0 +1,129 @@
+"""Mutual information estimation (Eq. 21) and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    conditional_entropy,
+    fieldwise_mutual_information,
+    label_entropy,
+    mi_heatmap,
+    mutual_information,
+    pairwise_mutual_information,
+)
+
+
+class TestLabelEntropy:
+    def test_uniform_is_log2(self):
+        y = np.array([0, 1, 0, 1], dtype=float)
+        np.testing.assert_allclose(label_entropy(y), np.log(2))
+
+    def test_degenerate_is_zero(self):
+        assert label_entropy(np.zeros(10)) == 0.0
+        assert label_entropy(np.ones(10)) == 0.0
+
+    def test_symmetry(self, rng):
+        y = (rng.random(500) > 0.3).astype(float)
+        np.testing.assert_allclose(label_entropy(y), label_entropy(1 - y))
+
+
+class TestConditionalEntropy:
+    def test_perfect_predictor_zero(self):
+        values = np.array([0, 0, 1, 1])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        np.testing.assert_allclose(conditional_entropy(values, y), 0.0,
+                                   atol=1e-12)
+
+    def test_independent_value_keeps_entropy(self, rng):
+        y = (rng.random(20_000) > 0.5).astype(float)
+        values = np.zeros(20_000, dtype=int)  # constant -> no information
+        np.testing.assert_allclose(conditional_entropy(values, y),
+                                   label_entropy(y), rtol=1e-10)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            conditional_entropy(np.zeros(3), np.zeros(4))
+
+
+class TestMutualInformation:
+    def test_perfect_predictor_equals_label_entropy(self):
+        values = np.array([0, 0, 1, 1, 2, 2])
+        y = np.array([0, 0, 1, 1, 0, 0], dtype=float)
+        np.testing.assert_allclose(mutual_information(values, y),
+                                   label_entropy(y), atol=1e-12)
+
+    def test_independent_near_zero_adjusted(self, rng):
+        y = (rng.random(5000) > 0.5).astype(float)
+        values = rng.integers(0, 50, size=5000)
+        assert mutual_information(values, y, adjusted=True) < 0.005
+
+    def test_adjusted_below_unadjusted(self, rng):
+        y = (rng.random(500) > 0.5).astype(float)
+        values = rng.integers(0, 100, size=500)
+        raw = mutual_information(values, y, adjusted=False)
+        adj = mutual_information(values, y, adjusted=True)
+        assert adj <= raw
+
+    def test_never_negative(self, rng):
+        for _ in range(5):
+            y = (rng.random(100) > 0.5).astype(float)
+            values = rng.integers(0, 40, size=100)
+            assert mutual_information(values, y, adjusted=True) >= 0.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_by_label_entropy(self, seed):
+        rng = np.random.default_rng(seed)
+        y = (rng.random(300) > 0.4).astype(float)
+        values = rng.integers(0, 10, size=300)
+        assert (mutual_information(values, y)
+                <= label_entropy(y) + 1e-12)
+
+    def test_relabeling_invariance(self, rng):
+        """MI depends on the partition, not the value names."""
+        y = (rng.random(400) > 0.5).astype(float)
+        values = rng.integers(0, 8, size=400)
+        perm = rng.permutation(8)
+        np.testing.assert_allclose(mutual_information(values, y),
+                                   mutual_information(perm[values], y),
+                                   rtol=1e-10)
+
+
+class TestPairwiseMI:
+    def test_shapes(self, tiny_dataset):
+        scores = pairwise_mutual_information(tiny_dataset)
+        assert scores.shape == (tiny_dataset.num_pairs,)
+        assert (scores >= 0).all()
+
+    def test_planted_pair_ranks_high(self, tiny_dataset, tiny_truth):
+        from repro.data import PairRole
+
+        scores = pairwise_mutual_information(tiny_dataset)
+        planted = tiny_truth.pairs_with_role(PairRole.MEMORIZABLE)[0]
+        rank = (scores > scores[planted]).sum()
+        assert rank < tiny_dataset.num_pairs // 3
+
+    def test_without_cross_ids(self, tiny_dataset):
+        direct = pairwise_mutual_information(tiny_dataset,
+                                             use_cross_ids=False)
+        assert direct.shape == (tiny_dataset.num_pairs,)
+
+    def test_fieldwise_shape(self, tiny_dataset):
+        scores = fieldwise_mutual_information(tiny_dataset)
+        assert scores.shape == (tiny_dataset.num_fields,)
+
+
+class TestHeatmap:
+    def test_symmetric_zero_diagonal(self, tiny_dataset):
+        heat = mi_heatmap(tiny_dataset)
+        np.testing.assert_array_equal(heat, heat.T)
+        np.testing.assert_array_equal(np.diag(heat),
+                                      np.zeros(tiny_dataset.num_fields))
+
+    def test_matches_pair_scores(self, tiny_dataset):
+        scores = pairwise_mutual_information(tiny_dataset)
+        heat = mi_heatmap(tiny_dataset, scores)
+        for p, (i, j) in enumerate(tiny_dataset.schema.pairs()):
+            assert heat[i, j] == scores[p]

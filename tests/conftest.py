@@ -1,0 +1,51 @@
+"""Shared fixtures: tiny synthetic datasets that keep the suite fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, make_dataset
+from repro.data.synthetic import PairRole
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SyntheticConfig:
+    """A 5-field dataset small enough for sub-second training."""
+    return SyntheticConfig(
+        cardinalities=[8, 10, 6, 12, 9],
+        n_samples=1500,
+        positive_ratio=0.3,
+        n_memorizable=1,
+        n_factorizable=1,
+        min_count=1,
+        cross_min_count=1,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_data(tiny_config):
+    """(dataset, ground_truth) for the tiny config, with cross features."""
+    return make_dataset(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_data):
+    return tiny_data[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_truth(tiny_data):
+    return tiny_data[1]
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    """(train, val, test) split of the tiny dataset."""
+    return tiny_dataset.split((0.7, 0.1, 0.2), rng=np.random.default_rng(3))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,113 @@
+"""Combination block: Gumbel-softmax weights, Eq. 18 mixing, decode."""
+
+import numpy as np
+import pytest
+
+from repro.core import CombinationBlock, Method, sample_gumbel
+from repro.nn import Tensor
+
+
+class TestSampleGumbel:
+    def test_shape(self, rng):
+        assert sample_gumbel((4, 3), rng).shape == (4, 3)
+
+    def test_location(self, rng):
+        # Gumbel(0,1) mean is the Euler-Mascheroni constant ~0.577.
+        noise = sample_gumbel((200_000,), rng)
+        assert abs(noise.mean() - 0.5772) < 0.02
+
+
+class TestMethodWeights:
+    def test_rows_sum_to_one_training(self, rng):
+        block = CombinationBlock(6, rng=rng)
+        block.train()
+        w = block.method_weights().numpy()
+        np.testing.assert_allclose(w.sum(axis=-1), 1.0, rtol=1e-9)
+
+    def test_per_instance_noise_shape(self, rng):
+        block = CombinationBlock(6, rng=rng)
+        block.train()
+        w = block.method_weights(batch_size=5).numpy()
+        assert w.shape == (5, 6, 3)
+        np.testing.assert_allclose(w.sum(axis=-1), 1.0, rtol=1e-9)
+
+    def test_eval_mode_deterministic(self, rng):
+        block = CombinationBlock(4, rng=rng)
+        block.eval()
+        a = block.method_weights().numpy()
+        b = block.method_weights().numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_training_mode_stochastic(self, rng):
+        block = CombinationBlock(4, rng=rng)
+        block.train()
+        a = block.method_weights().numpy()
+        b = block.method_weights().numpy()
+        assert not np.allclose(a, b)
+
+    def test_low_temperature_sharpens(self, rng):
+        block = CombinationBlock(4, rng=rng)
+        block.eval()
+        block.alpha.data = np.tile([2.0, 0.0, -2.0], (4, 1))
+        block.set_temperature(1.0)
+        soft = block.probabilities()
+        block.set_temperature(0.1)
+        sharp = block.probabilities()
+        assert sharp[:, 0].min() > soft[:, 0].max()
+
+    def test_invalid_temperature(self, rng):
+        block = CombinationBlock(4, rng=rng)
+        with pytest.raises(ValueError):
+            block.set_temperature(0.0)
+        with pytest.raises(ValueError):
+            CombinationBlock(4, temperature=-1.0, rng=rng)
+
+    def test_probabilities_rows_sum_to_one(self, rng):
+        block = CombinationBlock(7, rng=rng)
+        np.testing.assert_allclose(block.probabilities().sum(axis=-1), 1.0,
+                                   rtol=1e-12)
+
+
+class TestCombine:
+    def test_weighted_sum_semantics(self, rng):
+        block = CombinationBlock(2, rng=rng)
+        block.eval()
+        # Force pair 0 -> memorize, pair 1 -> factorize (near-one-hot).
+        block.alpha.data = np.array([[50.0, 0.0, 0.0], [0.0, 50.0, 0.0]])
+        block.set_temperature(1.0)
+        e_mem = Tensor(np.ones((3, 2, 4)))
+        e_fac = Tensor(np.full((3, 2, 4), 2.0))
+        out = block.combine(e_mem, e_fac).numpy()
+        np.testing.assert_allclose(out[:, 0], 1.0, atol=1e-8)
+        np.testing.assert_allclose(out[:, 1], 2.0, atol=1e-8)
+
+    def test_naive_dilutes_both(self, rng):
+        block = CombinationBlock(1, rng=rng)
+        block.eval()
+        block.alpha.data = np.array([[0.0, 0.0, 50.0]])  # naive wins
+        out = block.combine(Tensor(np.ones((2, 1, 3))),
+                            Tensor(np.ones((2, 1, 3)))).numpy()
+        np.testing.assert_allclose(out, 0.0, atol=1e-8)
+
+    def test_shape_mismatch_rejected(self, rng):
+        block = CombinationBlock(2, rng=rng)
+        with pytest.raises(ValueError):
+            block.combine(Tensor(np.ones((2, 2, 3))),
+                          Tensor(np.ones((2, 2, 4))))
+
+    def test_alpha_receives_gradient(self, rng):
+        block = CombinationBlock(3, rng=rng)
+        block.train()
+        e_mem = Tensor(np.random.default_rng(0).normal(size=(4, 3, 2)))
+        e_fac = Tensor(np.random.default_rng(1).normal(size=(4, 3, 2)))
+        block.combine(e_mem, e_fac).sum().backward()
+        assert block.alpha.grad is not None
+        assert np.abs(block.alpha.grad).sum() > 0
+
+
+class TestDerive:
+    def test_derive_architecture_argmax(self, rng):
+        block = CombinationBlock(3, rng=rng)
+        block.alpha.data = np.array([[5.0, 0, 0], [0, 5.0, 0], [0, 0, 5.0]])
+        arch = block.derive_architecture()
+        assert list(arch) == [Method.MEMORIZE, Method.FACTORIZE, Method.NAIVE]

@@ -1,0 +1,111 @@
+"""Model-discussion checks (paper Table III): models as OptInter instances.
+
+The paper's §II-D argues that mainstream CTR models are instances of the
+OptInter framework.  These tests pin the structural equivalences down:
+the all-naïve OptInter is FNN, the all-memorize one is the deep memorized
+method, parameter accounting is exact, and the architecture fully
+determines the classifier's input width.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Architecture, Method, OptInterModel, optinter_naive
+from repro.data import Batch
+from repro.models import FNN
+
+
+def _model(dataset, arch, **kwargs):
+    defaults = dict(embed_dim=4, cross_embed_dim=2, hidden_dims=(8,),
+                    rng=np.random.default_rng(0))
+    defaults.update(kwargs)
+    return OptInterModel(dataset.cardinalities, dataset.cross_cardinalities,
+                         architecture=arch, **defaults)
+
+
+class TestNaiveEqualsFNN:
+    def test_same_parameter_count(self, tiny_dataset):
+        naive = optinter_naive(tiny_dataset.cardinalities,
+                               tiny_dataset.cross_cardinalities,
+                               embed_dim=4, cross_embed_dim=2,
+                               hidden_dims=(8,),
+                               rng=np.random.default_rng(0))
+        fnn = FNN(tiny_dataset.cardinalities, embed_dim=4, hidden_dims=(8,),
+                  rng=np.random.default_rng(0))
+        assert naive.num_parameters() == fnn.num_parameters()
+
+    def test_identical_outputs_with_shared_weights(self, tiny_dataset):
+        """All-naïve OptInter computes exactly FNN's function."""
+        naive = optinter_naive(tiny_dataset.cardinalities,
+                               tiny_dataset.cross_cardinalities,
+                               embed_dim=4, cross_embed_dim=2,
+                               hidden_dims=(8,),
+                               rng=np.random.default_rng(0))
+        fnn = FNN(tiny_dataset.cardinalities, embed_dim=4, hidden_dims=(8,),
+                  rng=np.random.default_rng(1))
+        # Copy OptInter's weights into FNN (same structure, same names
+        # modulo the embedding attribute name).
+        naive_state = naive.state_dict()
+        fnn_state = fnn.state_dict()
+        mapping = dict(zip(sorted(fnn_state), sorted(naive_state)))
+        fnn.load_state_dict({fnn_key: naive_state[naive_key]
+                             for fnn_key, naive_key in mapping.items()})
+        batch = tiny_dataset.full_batch()
+        np.testing.assert_allclose(naive(batch).numpy(), fnn(batch).numpy())
+
+
+class TestParameterAccounting:
+    def test_classifier_width_tracks_architecture(self, tiny_dataset):
+        """MLP input dim = M*s1 + #mem*s2 + #fac*s1 exactly."""
+        m = tiny_dataset.num_fields
+        P = tiny_dataset.num_pairs
+        s1, s2 = 4, 2
+        for n_mem, n_fac in [(0, 0), (3, 0), (0, 3), (2, 5)]:
+            methods = ([Method.MEMORIZE] * n_mem + [Method.FACTORIZE] * n_fac
+                       + [Method.NAIVE] * (P - n_mem - n_fac))
+            arch = Architecture(methods=tuple(methods))
+            model = _model(tiny_dataset, arch, embed_dim=s1,
+                           cross_embed_dim=s2)
+            expected = m * s1 + n_mem * s2 + n_fac * s1
+            assert model.mlp.input_dim == expected, (n_mem, n_fac)
+
+    def test_memorized_table_rows_exact(self, tiny_dataset):
+        """The cross table holds exactly the memorized pairs' vocabularies."""
+        P = tiny_dataset.num_pairs
+        mem_pairs = [0, 2, P - 1]
+        methods = [Method.MEMORIZE if p in mem_pairs else Method.NAIVE
+                   for p in range(P)]
+        model = _model(tiny_dataset, Architecture(methods=tuple(methods)))
+        expected_rows = sum(tiny_dataset.cross_cardinalities[p]
+                            for p in mem_pairs)
+        assert model.cross_embedding.table.num_embeddings == expected_rows
+
+    def test_num_parameters_is_sum_of_parts(self, tiny_dataset, rng):
+        arch = Architecture.random(tiny_dataset.num_pairs, rng)
+        model = _model(tiny_dataset, arch)
+        total = sum(p.size for p in model.parameters())
+        assert model.num_parameters() == total
+
+
+class TestSearchFixedConsistency:
+    def test_hardened_search_model_matches_fixed_dims(self, tiny_dataset):
+        """Search-mode padding covers every candidate width."""
+        search = _model(tiny_dataset, None)
+        assert search._pad_dim == max(search.embed_dim,
+                                      search.cross_embed_dim,
+                                      search._fac_dim)
+
+    def test_search_model_uses_full_cross_table(self, tiny_dataset):
+        search = _model(tiny_dataset, None)
+        assert (search.cross_embedding.table.num_embeddings
+                == sum(tiny_dataset.cross_cardinalities))
+
+    def test_fixed_models_from_same_alpha_agree(self, tiny_dataset):
+        """Architecture.from_alpha and CombinationBlock decode identically."""
+        search = _model(tiny_dataset, None)
+        rng = np.random.default_rng(3)
+        search.combination.alpha.data = rng.normal(
+            size=search.combination.alpha.shape)
+        from_block = search.derive_architecture()
+        from_alpha = Architecture.from_alpha(search.combination.alpha.data)
+        assert from_block == from_alpha

@@ -1,0 +1,193 @@
+"""OptInterModel: search vs fixed mode, parameter accounting, instances."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Architecture,
+    Method,
+    OptInterModel,
+    optinter_f,
+    optinter_m,
+    optinter_naive,
+)
+from repro.data import Batch
+from repro.nn import binary_cross_entropy_with_logits
+
+
+def _batch(dataset, n=8):
+    return Batch(x=dataset.x[:n], x_cross=dataset.x_cross[:n],
+                 y=dataset.y[:n])
+
+
+def _model(dataset, architecture=None, rng=None, **kwargs):
+    defaults = dict(embed_dim=4, cross_embed_dim=2, hidden_dims=(8,))
+    defaults.update(kwargs)
+    return OptInterModel(dataset.cardinalities, dataset.cross_cardinalities,
+                         architecture=architecture,
+                         rng=rng or np.random.default_rng(0), **defaults)
+
+
+class TestSearchMode:
+    def test_forward_shape(self, tiny_dataset):
+        model = _model(tiny_dataset)
+        assert model.is_search_mode
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_alpha_gets_gradient(self, tiny_dataset):
+        model = _model(tiny_dataset)
+        batch = _batch(tiny_dataset)
+        binary_cross_entropy_with_logits(model(batch), batch.y).backward()
+        (alpha,) = model.architecture_parameters()
+        assert alpha.grad is not None
+        assert np.abs(alpha.grad).sum() > 0
+
+    def test_network_parameters_exclude_alpha(self, tiny_dataset):
+        model = _model(tiny_dataset)
+        alpha_ids = {id(p) for p in model.architecture_parameters()}
+        network_ids = {id(p) for p in model.network_parameters()}
+        assert alpha_ids.isdisjoint(network_ids)
+        assert len(alpha_ids) + len(network_ids) == len(model.parameters())
+
+    def test_derive_architecture(self, tiny_dataset):
+        model = _model(tiny_dataset)
+        arch = model.derive_architecture()
+        assert arch.num_pairs == tiny_dataset.num_pairs
+
+    def test_requires_cross_features(self, tiny_dataset):
+        model = _model(tiny_dataset)
+        with pytest.raises(ValueError):
+            model(Batch(x=tiny_dataset.x[:4], x_cross=None,
+                        y=tiny_dataset.y[:4]))
+
+
+class TestFixedMode:
+    def test_all_memorize_equals_paper_optinter_m(self, tiny_dataset):
+        model = optinter_m(tiny_dataset.cardinalities,
+                           tiny_dataset.cross_cardinalities,
+                           embed_dim=4, cross_embed_dim=2, hidden_dims=(8,),
+                           rng=np.random.default_rng(0))
+        assert model.architecture.counts() == [tiny_dataset.num_pairs, 0, 0]
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_all_factorize(self, tiny_dataset):
+        model = optinter_f(tiny_dataset.cardinalities,
+                           tiny_dataset.cross_cardinalities,
+                           embed_dim=4, cross_embed_dim=2, hidden_dims=(8,),
+                           rng=np.random.default_rng(0))
+        assert model.architecture.counts() == [0, tiny_dataset.num_pairs, 0]
+        assert model.cross_embedding is None
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_all_naive_has_no_interaction_params(self, tiny_dataset):
+        model = optinter_naive(tiny_dataset.cardinalities,
+                               tiny_dataset.cross_cardinalities,
+                               embed_dim=4, cross_embed_dim=2,
+                               hidden_dims=(8,),
+                               rng=np.random.default_rng(0))
+        assert model.cross_embedding is None
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_mixed_architecture_params_between_extremes(self, tiny_dataset):
+        num_pairs = tiny_dataset.num_pairs
+        mixed = Architecture.from_assignment(
+            ["memorize"] * (num_pairs // 3)
+            + ["factorize"] * (num_pairs // 3)
+            + ["naive"] * (num_pairs - 2 * (num_pairs // 3)))
+        mem = _model(tiny_dataset, Architecture.all_memorize(num_pairs))
+        mid = _model(tiny_dataset, mixed)
+        naive = _model(tiny_dataset, Architecture.all_naive(num_pairs))
+        assert naive.num_parameters() < mid.num_parameters() < mem.num_parameters()
+
+    def test_memorized_tables_only_for_memorized_pairs(self, tiny_dataset):
+        num_pairs = tiny_dataset.num_pairs
+        one_mem = Architecture.from_assignment(
+            ["memorize"] + ["naive"] * (num_pairs - 1))
+        model = _model(tiny_dataset, one_mem)
+        expected_rows = tiny_dataset.cross_cardinalities[0]
+        assert model.cross_embedding.table.num_embeddings == expected_rows
+
+    def test_derive_rejected_in_fixed_mode(self, tiny_dataset):
+        model = _model(tiny_dataset,
+                       Architecture.all_naive(tiny_dataset.num_pairs))
+        with pytest.raises(RuntimeError):
+            model.derive_architecture()
+
+    def test_architecture_pair_count_validated(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            _model(tiny_dataset, Architecture.all_naive(3))
+
+    def test_gradients_flow_in_fixed_mode(self, tiny_dataset, rng):
+        arch = Architecture.random(tiny_dataset.num_pairs, rng)
+        model = _model(tiny_dataset, arch)
+        batch = _batch(tiny_dataset)
+        binary_cross_entropy_with_logits(model(batch), batch.y).backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"{name} got no gradient"
+
+
+class TestFactorizationOptions:
+    def test_inner_product_factorization(self, tiny_dataset):
+        model = _model(tiny_dataset,
+                       Architecture.all_factorize(tiny_dataset.num_pairs),
+                       factorization="inner")
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_inner_smaller_classifier_than_hadamard(self, tiny_dataset):
+        arch = Architecture.all_factorize(tiny_dataset.num_pairs)
+        inner = _model(tiny_dataset, arch, factorization="inner")
+        hadamard = _model(tiny_dataset, arch, factorization="hadamard")
+        assert inner.num_parameters() < hadamard.num_parameters()
+
+    def test_add_factorization(self, tiny_dataset):
+        model = _model(tiny_dataset,
+                       Architecture.all_factorize(tiny_dataset.num_pairs),
+                       factorization="add")
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_generalized_starts_as_hadamard(self, tiny_dataset):
+        arch = Architecture.all_factorize(tiny_dataset.num_pairs)
+        had = _model(tiny_dataset, arch, factorization="hadamard",
+                     rng=np.random.default_rng(9))
+        gen = _model(tiny_dataset, arch, factorization="generalized",
+                     rng=np.random.default_rng(9))
+        # The generalized kernel initialises to ones, but the extra
+        # Parameter shifts the RNG stream for the MLP, so compare the
+        # factorized embeddings directly instead of the logits.
+        emb = gen.embedding(tiny_dataset.x[:5])
+        e_gen = gen._factorized_embeddings(emb, gen._fac_pairs)
+        gen.factorization = "hadamard"
+        e_had = gen._factorized_embeddings(emb, gen._fac_pairs)
+        gen.factorization = "generalized"
+        np.testing.assert_allclose(e_gen.numpy(), e_had.numpy())
+
+    def test_generalized_kernel_gets_gradient(self, tiny_dataset):
+        model = _model(tiny_dataset,
+                       Architecture.all_factorize(tiny_dataset.num_pairs),
+                       factorization="generalized")
+        batch = _batch(tiny_dataset)
+        binary_cross_entropy_with_logits(model(batch), batch.y).backward()
+        assert model.generalized_kernel.grad is not None
+        assert np.abs(model.generalized_kernel.grad).sum() > 0
+
+    def test_generalized_kernel_absent_without_fac_pairs(self, tiny_dataset):
+        model = _model(tiny_dataset,
+                       Architecture.all_memorize(tiny_dataset.num_pairs),
+                       factorization="generalized")
+        assert model.generalized_kernel is None
+
+    def test_search_mode_supports_all_factorizations(self, tiny_dataset):
+        from repro.core.optinter import FACTORIZATIONS
+
+        for fac in FACTORIZATIONS:
+            model = _model(tiny_dataset, factorization=fac)
+            assert model(_batch(tiny_dataset)).shape == (8,), fac
+
+    def test_unknown_factorization_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            _model(tiny_dataset, factorization="outer")
+
+    def test_cross_cardinality_count_validated(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            OptInterModel(tiny_dataset.cardinalities, [10, 10],
+                          embed_dim=4, cross_embed_dim=2)

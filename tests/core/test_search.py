@@ -1,0 +1,105 @@
+"""Search algorithms: joint (Alg. 1), bi-level, random."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Architecture,
+    SearchConfig,
+    random_architecture,
+    search_bilevel,
+    search_optinter,
+)
+
+
+def _config(**overrides):
+    base = dict(embed_dim=4, cross_embed_dim=2, hidden_dims=(8,),
+                epochs=2, batch_size=128, lr=5e-3, lr_arch=2e-2,
+                seed=0)
+    base.update(overrides)
+    return SearchConfig(**base)
+
+
+class TestJointSearch:
+    def test_returns_valid_architecture(self, tiny_splits):
+        train, val, _ = tiny_splits
+        result = search_optinter(train, val, _config())
+        assert result.architecture.num_pairs == train.num_pairs
+        assert result.alpha.shape == (train.num_pairs, 3)
+        assert len(result.history) == 2
+
+    def test_alpha_moves_from_init(self, tiny_splits):
+        train, val, _ = tiny_splits
+        result = search_optinter(train, val, _config())
+        assert np.abs(result.alpha).sum() > 0  # init was all zeros
+
+    def test_history_records_validation(self, tiny_splits):
+        train, val, _ = tiny_splits
+        result = search_optinter(train, val, _config())
+        assert result.history.last.val_auc is not None
+
+    def test_works_without_validation(self, tiny_splits):
+        train, _, _ = tiny_splits
+        result = search_optinter(train, None, _config(epochs=1))
+        assert result.history.last.val_auc is None
+
+    def test_deterministic_given_seed(self, tiny_splits):
+        train, val, _ = tiny_splits
+        a = search_optinter(train, val, _config())
+        b = search_optinter(train, val, _config())
+        np.testing.assert_array_equal(a.alpha, b.alpha)
+
+    def test_requires_cross_features(self, tiny_splits):
+        train, val, _ = tiny_splits
+        stripped = train.subset(np.arange(len(train)))
+        stripped.x_cross = None
+        with pytest.raises(ValueError):
+            search_optinter(stripped, val, _config())
+
+    def test_temperature_annealing_applied(self, tiny_splits):
+        train, val, _ = tiny_splits
+        config = _config(epochs=2, temperature_start=2.0, temperature_end=0.5)
+        result = search_optinter(train, val, config)
+        # After the final epoch the block sits at the end temperature.
+        assert result.model.combination.temperature == pytest.approx(0.5)
+
+    def test_finds_planted_memorizable_pair(self, tiny_splits, tiny_truth):
+        """The search must not assign 'naive' to the planted strong pair."""
+        from repro.core import Method
+        from repro.data import PairRole
+
+        train, val, _ = tiny_splits
+        result = search_optinter(train, val, _config(epochs=3))
+        planted = tiny_truth.pairs_with_role(PairRole.MEMORIZABLE)[0]
+        assert result.architecture[planted] is not Method.NAIVE
+
+
+class TestBilevelSearch:
+    def test_returns_valid_architecture(self, tiny_splits):
+        train, val, _ = tiny_splits
+        result = search_bilevel(train, val, _config())
+        assert result.architecture.num_pairs == train.num_pairs
+
+    def test_requires_validation_set(self, tiny_splits):
+        train, _, _ = tiny_splits
+        with pytest.raises(ValueError):
+            search_bilevel(train, None, _config())
+
+    def test_alpha_differs_from_joint(self, tiny_splits):
+        train, val, _ = tiny_splits
+        joint = search_optinter(train, val, _config())
+        bilevel = search_bilevel(train, val, _config())
+        assert not np.allclose(joint.alpha, bilevel.alpha)
+
+
+class TestRandomArchitecture:
+    def test_valid(self, rng):
+        arch = random_architecture(30, rng)
+        assert isinstance(arch, Architecture)
+        assert arch.num_pairs == 30
+
+    def test_varies_across_draws(self):
+        rng = np.random.default_rng(0)
+        a = random_architecture(40, rng)
+        b = random_architecture(40, rng)
+        assert list(a) != list(b)

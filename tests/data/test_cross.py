@@ -1,0 +1,116 @@
+"""Cross-product transformation (Eq. 4): exact and hashed variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CrossProductTransform, HashedCrossTransform, make_schema
+
+
+def _schema(m=3):
+    return make_schema([4] * m)
+
+
+class TestCrossProductTransform:
+    def test_shapes(self, rng):
+        schema = _schema(4)
+        x = rng.integers(0, 4, size=(50, 4))
+        cross = CrossProductTransform(schema)
+        out = cross.fit_transform(x)
+        assert out.shape == (50, schema.num_pairs)
+
+    def test_same_pair_same_id(self):
+        schema = _schema(2)
+        x = np.array([[1, 2], [1, 2], [0, 3]])
+        out = CrossProductTransform(schema).fit_transform(x)
+        assert out[0, 0] == out[1, 0]
+        assert out[0, 0] != out[2, 0]
+
+    def test_distinct_pairs_distinct_ids(self):
+        schema = _schema(2)
+        x = np.array([[i, j] for i in range(4) for j in range(4)])
+        out = CrossProductTransform(schema).fit_transform(x)
+        assert len(np.unique(out[:, 0])) == 16
+
+    def test_min_count_folds_to_oov(self):
+        schema = _schema(2)
+        x = np.array([[1, 1]] * 5 + [[2, 2]])
+        cross = CrossProductTransform(schema, min_count=2)
+        out = cross.fit_transform(x)
+        assert out[0, 0] != 0
+        assert out[5, 0] == 0
+
+    def test_unseen_at_transform_is_oov(self):
+        schema = _schema(2)
+        cross = CrossProductTransform(schema).fit(np.array([[0, 0]]))
+        out = cross.transform(np.array([[3, 3]]))
+        assert out[0, 0] == 0
+
+    def test_cardinalities_include_oov(self):
+        schema = _schema(2)
+        cross = CrossProductTransform(schema).fit(np.array([[0, 0], [1, 1]]))
+        assert cross.cardinalities == [3]
+        assert cross.total_cross_values == 3
+
+    def test_ids_dense_in_range(self, rng):
+        schema = _schema(3)
+        x = rng.integers(0, 4, size=(200, 3))
+        cross = CrossProductTransform(schema)
+        out = cross.fit_transform(x)
+        for p, card in enumerate(cross.cardinalities):
+            assert out[:, p].max() < card
+            assert out[:, p].min() >= 0
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            CrossProductTransform(_schema()).transform(np.zeros((1, 3)))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            CrossProductTransform(_schema(3)).fit(np.zeros((5, 2), dtype=int))
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            CrossProductTransform(_schema(), min_count=0)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_under_seeds(self, seed):
+        rng = np.random.default_rng(seed)
+        schema = _schema(3)
+        x = rng.integers(0, 4, size=(30, 3))
+        a = CrossProductTransform(schema).fit_transform(x)
+        b = CrossProductTransform(schema).fit_transform(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHashedCrossTransform:
+    def test_shapes_and_range(self, rng):
+        schema = _schema(3)
+        x = rng.integers(0, 4, size=(40, 3))
+        hashed = HashedCrossTransform(schema, num_buckets=16)
+        out = hashed.fit_transform(x)
+        assert out.shape == (40, 3)
+        assert out.min() >= 1
+        assert out.max() <= 16
+
+    def test_same_input_same_bucket(self, rng):
+        schema = _schema(2)
+        hashed = HashedCrossTransform(schema, num_buckets=8)
+        x = np.array([[1, 2], [1, 2]])
+        out = hashed.fit_transform(x)
+        assert out[0, 0] == out[1, 0]
+
+    def test_cardinalities_constant(self):
+        schema = _schema(3)
+        hashed = HashedCrossTransform(schema, num_buckets=32)
+        assert hashed.cardinalities == [33, 33, 33]
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            HashedCrossTransform(_schema(), num_buckets=1)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            HashedCrossTransform(_schema()).transform(np.zeros((1, 3)))

@@ -1,0 +1,134 @@
+"""CTRDataset: validation, splitting, batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch, CTRDataset, make_schema
+
+
+def _dataset(n=100, m=3, with_cross=True, rng=None):
+    rng = rng or np.random.default_rng(0)
+    schema = make_schema([5] * m)
+    x = rng.integers(0, 5, size=(n, m))
+    y = (rng.random(n) > 0.7).astype(float)
+    x_cross = rng.integers(0, 9, size=(n, schema.num_pairs)) if with_cross else None
+    return CTRDataset(
+        schema=schema, x=x, y=y, cardinalities=[5] * m,
+        x_cross=x_cross,
+        cross_cardinalities=[9] * schema.num_pairs if with_cross else None,
+    )
+
+
+class TestValidation:
+    def test_row_count_mismatch(self):
+        schema = make_schema([2, 2])
+        with pytest.raises(ValueError):
+            CTRDataset(schema=schema, x=np.zeros((3, 2), dtype=int),
+                       y=np.zeros(4), cardinalities=[2, 2])
+
+    def test_field_count_mismatch(self):
+        schema = make_schema([2, 2])
+        with pytest.raises(ValueError):
+            CTRDataset(schema=schema, x=np.zeros((3, 3), dtype=int),
+                       y=np.zeros(3), cardinalities=[2, 2, 2])
+
+    def test_cross_without_cardinalities(self):
+        schema = make_schema([2, 2])
+        with pytest.raises(ValueError):
+            CTRDataset(schema=schema, x=np.zeros((3, 2), dtype=int),
+                       y=np.zeros(3), cardinalities=[2, 2],
+                       x_cross=np.zeros((3, 1), dtype=int))
+
+    def test_cross_shape_mismatch(self):
+        schema = make_schema([2, 2])
+        with pytest.raises(ValueError):
+            CTRDataset(schema=schema, x=np.zeros((3, 2), dtype=int),
+                       y=np.zeros(3), cardinalities=[2, 2],
+                       x_cross=np.zeros((3, 2), dtype=int),
+                       cross_cardinalities=[4, 4])
+
+
+class TestSplit:
+    def test_partition_sizes(self):
+        ds = _dataset(100)
+        train, val, test = ds.split((0.7, 0.1, 0.2),
+                                    rng=np.random.default_rng(1))
+        assert len(train) == 70
+        assert len(val) == 10
+        assert len(test) == 20
+
+    def test_partition_is_disjoint_and_complete(self):
+        ds = _dataset(60)
+        # Tag rows by a unique id hidden in x_cross to track membership.
+        ds.x_cross[:, 0] = np.arange(60)
+        parts = ds.split((0.5, 0.25, 0.25), rng=np.random.default_rng(2))
+        seen = np.concatenate([p.x_cross[:, 0] for p in parts])
+        assert sorted(seen.tolist()) == list(range(60))
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            _dataset().split((0.5, 0.1))
+
+    def test_no_shuffle_keeps_order(self):
+        ds = _dataset(10)
+        ds.x_cross[:, 0] = np.arange(10)
+        train, test = ds.split((0.5, 0.5), shuffle=False)
+        np.testing.assert_array_equal(train.x_cross[:, 0], np.arange(5))
+
+    def test_subsets_share_metadata(self):
+        ds = _dataset(20)
+        train, _ = ds.split((0.5, 0.5), rng=np.random.default_rng(0))
+        assert train.cardinalities == ds.cardinalities
+        assert train.cross_cardinalities == ds.cross_cardinalities
+
+
+class TestBatching:
+    def test_batch_sizes(self):
+        ds = _dataset(25)
+        batches = list(ds.iter_batches(10))
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_drop_last(self):
+        ds = _dataset(25)
+        batches = list(ds.iter_batches(10, drop_last=True))
+        assert [len(b) for b in batches] == [10, 10]
+
+    def test_covers_all_rows_when_shuffled(self):
+        ds = _dataset(30)
+        ds.x_cross[:, 0] = np.arange(30)
+        batches = list(ds.iter_batches(7, shuffle=True,
+                                       rng=np.random.default_rng(0)))
+        seen = np.concatenate([b.x_cross[:, 0] for b in batches])
+        assert sorted(seen.tolist()) == list(range(30))
+
+    def test_batch_has_cross_features(self):
+        ds = _dataset(10)
+        batch = next(ds.iter_batches(4))
+        assert isinstance(batch, Batch)
+        assert batch.x_cross is not None
+
+    def test_no_cross_dataset_yields_none(self):
+        ds = _dataset(10, with_cross=False)
+        batch = next(ds.iter_batches(4))
+        assert batch.x_cross is None
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(_dataset().iter_batches(0))
+
+    def test_full_batch(self):
+        ds = _dataset(12)
+        batch = ds.full_batch()
+        assert len(batch) == 12
+
+
+class TestProperties:
+    def test_positive_ratio(self):
+        ds = _dataset(1000)
+        assert 0.2 < ds.positive_ratio < 0.4
+
+    def test_len_and_counts(self):
+        ds = _dataset(50, m=4)
+        assert len(ds) == 50
+        assert ds.num_fields == 4
+        assert ds.num_pairs == 6

@@ -1,0 +1,97 @@
+"""Cross-cutting data-pipeline invariants (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CrossProductTransform,
+    SyntheticConfig,
+    make_dataset,
+    make_schema,
+)
+
+
+config_strategy = st.builds(
+    SyntheticConfig,
+    cardinalities=st.lists(st.integers(3, 15), min_size=3, max_size=5),
+    n_samples=st.integers(200, 600),
+    positive_ratio=st.floats(0.05, 0.6),
+    n_memorizable=st.integers(0, 1),
+    n_factorizable=st.integers(0, 1),
+    min_count=st.integers(1, 2),
+    cross_min_count=st.integers(1, 2),
+    seed=st.integers(0, 1000),
+)
+
+
+class TestGeneratorInvariants:
+    @given(config=config_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_dataset_well_formed(self, config):
+        dataset, truth = make_dataset(config)
+        # Shapes.
+        assert dataset.x.shape == (config.n_samples, config.num_fields)
+        assert dataset.x_cross.shape == (config.n_samples, dataset.num_pairs)
+        # Ids within bounds.
+        for col, card in enumerate(dataset.cardinalities):
+            assert 0 <= dataset.x[:, col].min()
+            assert dataset.x[:, col].max() < card
+        # Labels binary, ratio near the target.
+        assert set(np.unique(dataset.y)).issubset({0.0, 1.0})
+        assert abs(dataset.positive_ratio - config.positive_ratio) < 0.15
+        # Ground truth covers every pair exactly once.
+        assert len(truth.pair_roles) == dataset.num_pairs
+
+    @given(config=config_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_split_then_batch_roundtrip(self, config):
+        dataset, _ = make_dataset(config)
+        train, test = dataset.split((0.6, 0.4),
+                                    rng=np.random.default_rng(config.seed))
+        rows = sum(len(b) for b in train.iter_batches(64))
+        assert rows == len(train)
+        assert len(train) + len(test) == len(dataset)
+
+    @given(config=config_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_cross_ids_consistent_with_value_pairs(self, config):
+        """Equal cross ids (non-OOV) imply equal original value pairs."""
+        dataset, _ = make_dataset(config)
+        i, j = dataset.schema.pairs()[0]
+        ids = dataset.x_cross[:, 0]
+        for target in np.unique(ids):
+            if target == 0:
+                continue
+            rows = np.flatnonzero(ids == target)
+            pairs = {(dataset.x[r, i], dataset.x[r, j]) for r in rows}
+            assert len(pairs) == 1
+
+
+class TestCrossTransformInvariants:
+    @given(seed=st.integers(0, 500), min_count=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_train_ids_cover_test_ids(self, seed, min_count):
+        """Transforming unseen data never invents new ids."""
+        rng = np.random.default_rng(seed)
+        schema = make_schema([6, 6, 6])
+        train = rng.integers(0, 6, size=(120, 3))
+        test = rng.integers(0, 6, size=(60, 3))
+        transform = CrossProductTransform(schema, min_count=min_count)
+        transform.fit(train)
+        train_ids = transform.transform(train)
+        test_ids = transform.transform(test)
+        for p in range(3):
+            assert set(np.unique(test_ids[:, p])) <= (
+                set(np.unique(train_ids[:, p])) | {0})
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_higher_min_count_never_increases_vocab(self, seed):
+        rng = np.random.default_rng(seed)
+        schema = make_schema([8, 8])
+        x = rng.integers(0, 8, size=(100, 2))
+        loose = CrossProductTransform(schema, min_count=1).fit(x)
+        strict = CrossProductTransform(schema, min_count=3).fit(x)
+        assert strict.total_cross_values <= loose.total_cross_values

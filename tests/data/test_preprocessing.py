@@ -1,0 +1,83 @@
+"""Min-max normalisation (Eq. 20) and quantile bucketing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import MinMaxNormalizer, QuantileBucketizer
+
+
+class TestMinMaxNormalizer:
+    def test_maps_to_unit_interval(self, rng):
+        values = rng.normal(10, 5, size=100)
+        out = MinMaxNormalizer().fit_transform(values)
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_preserves_order(self, rng):
+        values = rng.normal(size=50)
+        out = MinMaxNormalizer().fit_transform(values)
+        np.testing.assert_array_equal(np.argsort(out), np.argsort(values))
+
+    def test_clips_out_of_range_at_transform(self):
+        norm = MinMaxNormalizer().fit(np.array([0.0, 10.0]))
+        out = norm.transform(np.array([-5.0, 15.0]))
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    def test_constant_column(self):
+        out = MinMaxNormalizer().fit_transform(np.full(5, 3.0))
+        np.testing.assert_array_equal(out, np.zeros(5))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MinMaxNormalizer().transform(np.ones(3))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer().fit(np.array([]))
+
+
+class TestQuantileBucketizer:
+    def test_bucket_range(self, rng):
+        values = rng.normal(size=500)
+        out = QuantileBucketizer(num_buckets=8).fit_transform(values)
+        assert out.min() >= 0
+        assert out.max() <= 7
+
+    def test_roughly_equal_mass(self, rng):
+        values = rng.normal(size=4000)
+        out = QuantileBucketizer(num_buckets=4).fit_transform(values)
+        counts = np.bincount(out, minlength=4)
+        assert counts.min() > 800
+
+    def test_monotone(self, rng):
+        values = np.sort(rng.normal(size=100))
+        out = QuantileBucketizer(num_buckets=5).fit_transform(values)
+        assert (np.diff(out) >= 0).all()
+
+    def test_extreme_values_fall_in_edge_buckets(self):
+        buck = QuantileBucketizer(num_buckets=4).fit(np.arange(100.0))
+        assert buck.transform(np.array([-1e9]))[0] == 0
+        assert buck.transform(np.array([1e9]))[0] == 3
+
+    def test_heavy_ties(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        out = QuantileBucketizer(num_buckets=4).fit_transform(values)
+        assert out.min() >= 0 and out.max() <= 3
+
+    def test_too_few_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileBucketizer(num_buckets=1)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            QuantileBucketizer().transform(np.ones(3))
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=5,
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_ids_within_bucket_count(self, values):
+        buck = QuantileBucketizer(num_buckets=6)
+        out = buck.fit_transform(np.array(values))
+        assert ((out >= 0) & (out < 6)).all()

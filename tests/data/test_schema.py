@@ -1,0 +1,77 @@
+"""Schema: field specs, pair enumeration, pair indexing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import FieldSpec, Schema, make_schema
+
+
+class TestFieldSpec:
+    def test_valid(self):
+        spec = FieldSpec(name="site", cardinality=10)
+        assert spec.kind == "categorical"
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            FieldSpec(name="x", cardinality=2, kind="ordinal")
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(ValueError):
+            FieldSpec(name="x", cardinality=0)
+
+
+class TestSchema:
+    def test_basic_properties(self):
+        schema = make_schema([3, 4, 5], positive_ratio=0.2)
+        assert schema.num_fields == 3
+        assert schema.num_pairs == 3
+        assert schema.cardinalities == [3, 4, 5]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(fields=(FieldSpec("a", 2), FieldSpec("a", 3)))
+
+    def test_invalid_positive_ratio(self):
+        with pytest.raises(ValueError):
+            make_schema([2, 2], positive_ratio=0.0)
+
+    def test_pairs_ordering(self):
+        schema = make_schema([2, 2, 2, 2])
+        assert schema.pairs() == [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+    def test_pair_names(self):
+        schema = make_schema([2, 2], field_names=["u", "v"])
+        assert schema.pair_names() == ["uxv"]
+
+    def test_continuous_fields_marked(self):
+        schema = make_schema([2, 2, 2], continuous_fields=(1,))
+        assert schema.fields[1].kind == "continuous"
+        assert schema.fields[0].kind == "categorical"
+
+    def test_field_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_schema([2, 2], field_names=["only_one"])
+
+
+class TestPairIndex:
+    def test_matches_enumeration(self):
+        schema = make_schema([2] * 6)
+        for expected, (i, j) in enumerate(schema.pairs()):
+            assert schema.pair_index(i, j) == expected
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=10, deadline=None)
+    def test_bijection_property(self, m):
+        schema = make_schema([2] * m)
+        indices = [schema.pair_index(i, j) for i, j in schema.pairs()]
+        assert indices == list(range(schema.num_pairs))
+
+    def test_invalid_pairs_rejected(self):
+        schema = make_schema([2, 2, 2])
+        with pytest.raises(ValueError):
+            schema.pair_index(1, 1)
+        with pytest.raises(ValueError):
+            schema.pair_index(2, 1)
+        with pytest.raises(ValueError):
+            schema.pair_index(0, 3)

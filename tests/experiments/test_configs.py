@@ -1,0 +1,56 @@
+"""Experiment configuration presets."""
+
+import pytest
+
+from repro.experiments import all_dataset_names, default_config
+
+
+class TestDefaultConfig:
+    @pytest.mark.parametrize("dataset", ["criteo", "avazu", "ipinyou"])
+    @pytest.mark.parametrize("scale", ["quick", "paper"])
+    def test_presets_exist(self, dataset, scale):
+        config = default_config(dataset, scale)
+        assert config.dataset == dataset
+        assert config.n_samples > 0
+
+    def test_quick_smaller_than_paper(self):
+        quick = default_config("criteo", "quick")
+        paper = default_config("criteo", "paper")
+        assert quick.n_samples < paper.n_samples
+        assert quick.epochs <= paper.epochs
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            default_config("movielens")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            default_config("criteo", "huge")
+
+    def test_all_dataset_names(self):
+        assert set(all_dataset_names()) == {"criteo", "avazu", "ipinyou"}
+
+    def test_search_config_mirrors_experiment(self):
+        config = default_config("avazu", "quick")
+        sc = config.search_config()
+        assert sc.embed_dim == config.embed_dim
+        assert sc.cross_embed_dim == config.cross_embed_dim
+        assert sc.epochs == config.search_epochs
+
+    def test_search_config_overrides(self):
+        config = default_config("criteo", "quick")
+        sc = config.search_config(epochs=9, lr=123.0)
+        assert sc.epochs == 9
+        assert sc.lr == 123.0
+
+    def test_retrain_config_overrides(self):
+        config = default_config("criteo", "quick")
+        rc = config.retrain_config(cross_embed_dim=13)
+        assert rc.cross_embed_dim == 13
+        assert rc.embed_dim == config.embed_dim
+
+    def test_make_dataset_config_dispatch(self):
+        config = default_config("ipinyou", "quick")
+        ds_config = config.make_dataset_config()
+        assert ds_config.name == "ipinyou_like"
+        assert ds_config.n_samples == config.n_samples

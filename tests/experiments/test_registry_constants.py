@@ -1,0 +1,48 @@
+"""Registry constants: group membership mirrors the paper's Table V rows."""
+
+from repro.experiments import (
+    ALL_MODELS,
+    EXTENDED_MODELS,
+    FACTORIZED_MODELS,
+    HYBRID_MODELS,
+    MEMORIZED_MODELS,
+    NAIVE_MODELS,
+    ResultRow,
+)
+
+
+class TestGroups:
+    def test_groups_are_disjoint(self):
+        groups = [set(NAIVE_MODELS), set(FACTORIZED_MODELS),
+                  set(MEMORIZED_MODELS), set(HYBRID_MODELS)]
+        for i, a in enumerate(groups):
+            for b in groups[i + 1:]:
+                assert a.isdisjoint(b)
+
+    def test_all_models_is_union_of_groups(self):
+        union = (set(NAIVE_MODELS) | set(FACTORIZED_MODELS)
+                 | set(MEMORIZED_MODELS) | set(HYBRID_MODELS))
+        assert set(ALL_MODELS) == union
+
+    def test_paper_rows_present(self):
+        for name in ("LR", "FNN", "FM", "IPNN", "DeepFM", "PIN", "Poly2",
+                     "AutoFIS", "OptInter", "OptInter-M", "OptInter-F"):
+            assert name in ALL_MODELS, name
+
+    def test_extended_models_not_in_default_table5(self):
+        assert set(EXTENDED_MODELS).isdisjoint(set(ALL_MODELS))
+
+    def test_hybrid_group_matches_paper(self):
+        assert set(HYBRID_MODELS) == {"AutoFIS", "OptInter"}
+
+
+class TestResultRow:
+    def test_formatted_contains_metrics(self):
+        row = ResultRow(model="X", auc=0.81234, log_loss=0.4, params=1_500_000)
+        text = row.formatted()
+        assert "0.8123" in text
+        assert "1.5M" in text
+
+    def test_extra_defaults_to_none(self):
+        row = ResultRow(model="X", auc=0.5, log_loss=0.7, params=10)
+        assert row.extra is None

@@ -1,0 +1,74 @@
+"""Report generator: section selection, rendering, CLI integration."""
+
+import pytest
+
+import repro.experiments.report as report_mod
+import repro.experiments.tables as tables_mod
+import repro.experiments.figures as figures_mod
+from repro.experiments import EXPERIMENT_IDS, ExperimentConfig, generate_report
+
+
+@pytest.fixture(autouse=True)
+def micro_configs(monkeypatch):
+    def micro(dataset, scale="quick"):
+        return ExperimentConfig(dataset=dataset, n_samples=1200,
+                                embed_dim=3, cross_embed_dim=2,
+                                hidden_dims=(8,), epochs=1, search_epochs=1,
+                                batch_size=256, seed=0)
+
+    monkeypatch.setattr(tables_mod, "default_config", micro)
+    monkeypatch.setattr(figures_mod, "default_config", micro)
+
+
+class TestGenerateReport:
+    def test_single_experiment(self):
+        report = generate_report(experiments=["table2"])
+        assert "# OptInter reproduction report" in report
+        assert "Table II" in report
+        assert "pos ratio" in report
+
+    def test_subset_skips_others(self):
+        report = generate_report(experiments=["table2"])
+        assert "Table V" not in report
+        assert "Figure 4" not in report
+
+    def test_multiple_experiments_ordered(self):
+        report = generate_report(experiments=["figure5", "table2"],
+                                 datasets=("criteo",))
+        # Sections come in canonical order regardless of request order.
+        assert report.index("Table II") < report.index("Figure 5")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(experiments=["table1"])
+
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENT_IDS) == {
+            "table2", "table3", "table4", "table5", "table6", "table7",
+            "table8", "table9", "figure4", "figure5", "figure6",
+        }
+
+
+class TestReportCLI:
+    def test_report_to_stdout(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+        from repro.cli import main
+
+        def micro(dataset, scale="quick"):
+            return ExperimentConfig(dataset=dataset, n_samples=1200,
+                                    embed_dim=3, cross_embed_dim=2,
+                                    hidden_dims=(8,), epochs=1,
+                                    search_epochs=1, batch_size=256, seed=0)
+
+        monkeypatch.setattr(cli_mod, "default_config", micro)
+        assert main(["report", "--experiments", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "report.md"
+        assert main(["report", "--experiments", "table2",
+                     "--out", str(out_path)]) == 0
+        assert "Table II" in out_path.read_text()

@@ -1,0 +1,79 @@
+"""Runner: model registry dispatch and result rows (tiny configs)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import Architecture
+from repro.experiments import (
+    ALL_MODELS,
+    ExperimentConfig,
+    prepare_dataset,
+    run_fixed_architecture,
+    run_model,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    """One very small bundle + config shared by every runner test."""
+    config = ExperimentConfig(dataset="criteo", n_samples=1500,
+                              embed_dim=3, cross_embed_dim=2,
+                              hidden_dims=(8,), epochs=1, search_epochs=1,
+                              batch_size=256, seed=0)
+    return prepare_dataset(config), config
+
+
+class TestPrepareDataset:
+    def test_bundle_structure(self, tiny_setup):
+        bundle, config = tiny_setup
+        assert bundle.name == "criteo"
+        total = len(bundle.train) + len(bundle.val) + len(bundle.test)
+        assert total == len(bundle.full)
+        assert bundle.truth is not None
+
+
+class TestRunModel:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_every_registry_model_runs(self, tiny_setup, name):
+        bundle, config = tiny_setup
+        row = run_model(name, bundle, config)
+        assert row.model == name
+        assert 0.0 <= row.auc <= 1.0
+        assert row.log_loss > 0.0
+        assert row.params > 0
+
+    def test_unknown_model_rejected(self, tiny_setup):
+        bundle, config = tiny_setup
+        with pytest.raises(KeyError):
+            run_model("BERT", bundle, config)
+
+    def test_optinter_row_carries_architecture(self, tiny_setup):
+        bundle, config = tiny_setup
+        row = run_model("OptInter", bundle, config)
+        assert sum(row.extra["counts"]) == bundle.train.num_pairs
+
+    def test_formatted_row(self, tiny_setup):
+        bundle, config = tiny_setup
+        row = run_model("LR", bundle, config)
+        text = row.formatted()
+        assert "LR" in text and "AUC" in text
+
+
+class TestRunFixedArchitecture:
+    def test_labels_and_counts(self, tiny_setup, rng):
+        bundle, config = tiny_setup
+        arch = Architecture.random(bundle.train.num_pairs, rng)
+        row = run_fixed_architecture(arch, bundle, config, label="probe")
+        assert row.model == "probe"
+        assert row.extra["counts"] == arch.counts()
+
+    def test_param_count_tracks_memorization(self, tiny_setup):
+        bundle, config = tiny_setup
+        P = bundle.train.num_pairs
+        lean = run_fixed_architecture(Architecture.all_naive(P), bundle,
+                                      config)
+        heavy = run_fixed_architecture(Architecture.all_memorize(P), bundle,
+                                       config)
+        assert lean.params < heavy.params

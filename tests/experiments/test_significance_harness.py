@@ -1,0 +1,52 @@
+"""Paper-protocol significance runs at the harness level."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    prepare_dataset,
+    run_significance,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_setup():
+    config = ExperimentConfig(dataset="criteo", n_samples=1500,
+                              embed_dim=3, cross_embed_dim=2,
+                              hidden_dims=(8,), epochs=2, search_epochs=1,
+                              batch_size=256, seed=0)
+    return config, prepare_dataset(config)
+
+
+class TestRunSignificance:
+    def test_memorizer_vs_lr(self, micro_setup):
+        config, bundle = micro_setup
+        result = run_significance("OptInter-M", "LR", dataset="criteo",
+                                  seeds=(0, 1, 2), config=config,
+                                  bundle=bundle)
+        assert len(result.comparison.challenger.runs) == 3
+        assert len(result.comparison.baseline.runs) == 3
+        assert 0.0 <= result.comparison.p_value_auc <= 1.0
+
+    def test_render_contains_both_models(self, micro_setup):
+        config, bundle = micro_setup
+        result = run_significance("Poly2", "LR", dataset="criteo",
+                                  seeds=(0, 1), config=config, bundle=bundle)
+        text = result.render()
+        assert "Poly2" in text and "LR" in text and "p =" in text
+
+    def test_same_model_not_significant(self, micro_setup):
+        """Identical model + identical seeds => identical runs => p = 1."""
+        config, bundle = micro_setup
+        result = run_significance("LR", "LR", dataset="criteo",
+                                  seeds=(0, 1), config=config, bundle=bundle)
+        assert result.comparison.p_value_auc == 1.0
+        assert not result.comparison.significant
+
+    def test_seeds_vary_training(self, micro_setup):
+        config, bundle = micro_setup
+        result = run_significance("FNN", "LR", dataset="criteo",
+                                  seeds=(0, 1, 2), config=config,
+                                  bundle=bundle)
+        aucs = result.comparison.challenger.aucs
+        assert len(set(aucs.tolist())) > 1  # different seeds, different runs

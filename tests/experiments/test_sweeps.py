@@ -1,0 +1,97 @@
+"""Grid search: expansion, ranking, single-training-per-trial."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    expand_grid,
+    grid_search,
+    prepare_dataset,
+    train_registry_model,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_setup():
+    config = ExperimentConfig(dataset="criteo", n_samples=1500,
+                              embed_dim=3, cross_embed_dim=2,
+                              hidden_dims=(8,), epochs=1, search_epochs=1,
+                              batch_size=256, seed=0)
+    return config, prepare_dataset(config)
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        combos = expand_grid({"lr": [0.1, 0.2], "embed_dim": [2, 4]})
+        assert len(combos) == 4
+        assert {"lr": 0.1, "embed_dim": 2} in combos
+
+    def test_single_param(self):
+        combos = expand_grid({"lr": [0.1]})
+        assert combos == [{"lr": 0.1}]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid({})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid({"learning_rate_typo": [0.1]})
+
+    def test_stable_ordering(self):
+        a = expand_grid({"lr": [1, 2], "seed": [3, 4]})
+        b = expand_grid({"seed": [3, 4], "lr": [1, 2]})
+        assert a == b
+
+
+class TestTrainRegistryModel:
+    @pytest.mark.parametrize("name", ["LR", "OptInter-M", "OptInter"])
+    def test_returns_trained_model(self, micro_setup, name):
+        config, bundle = micro_setup
+        model = train_registry_model(name, bundle, config)
+        assert model.num_parameters() > 0
+        probs = model.predict_proba(bundle.test.full_batch())
+        assert probs.shape == (len(bundle.test),)
+
+
+class TestGridSearch:
+    def test_trials_sorted_by_val_auc(self, micro_setup):
+        config, bundle = micro_setup
+        result = grid_search("LR", bundle, config,
+                             {"lr": [1e-4, 5e-2], "seed": [0]})
+        assert len(result.trials) == 2
+        aucs = [t.val_auc for t in result.trials]
+        assert aucs == sorted(aucs, reverse=True)
+        assert result.best.val_auc == aucs[0]
+
+    def test_params_recorded_per_trial(self, micro_setup):
+        config, bundle = micro_setup
+        result = grid_search("LR", bundle, config, {"lr": [1e-2, 1e-3]})
+        lrs = {t.params["lr"] for t in result.trials}
+        assert lrs == {1e-2, 1e-3}
+
+    def test_render(self, micro_setup):
+        config, bundle = micro_setup
+        result = grid_search("LR", bundle, config, {"lr": [1e-2]})
+        text = result.render()
+        assert "grid search for LR" in text
+        assert "val AUC" in text
+
+    def test_requires_validation_split(self, micro_setup):
+        from repro.experiments import DatasetBundle
+
+        config, bundle = micro_setup
+        empty_val = DatasetBundle(
+            name=bundle.name, full=bundle.full, train=bundle.train,
+            val=bundle.val.subset(np.array([], dtype=int)),
+            test=bundle.test, truth=bundle.truth)
+        with pytest.raises(ValueError):
+            grid_search("LR", empty_val, config, {"lr": [1e-2]})
+
+    def test_larger_embedding_changes_param_count(self, micro_setup):
+        config, bundle = micro_setup
+        result = grid_search("FNN", bundle, config, {"embed_dim": [2, 6]})
+        by_dim = {t.params["embed_dim"]: t.n_parameters
+                  for t in result.trials}
+        assert by_dim[6] > by_dim[2]

@@ -1,0 +1,92 @@
+"""Smoke tests of the table/figure harness on very small settings.
+
+The benchmark suite runs the real ``quick``-scale experiments; these tests
+only verify the plumbing (structure, rendering, dispatch) at minimal cost.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.experiments.tables as tables_mod
+import repro.experiments.figures as figures_mod
+from repro.experiments import (
+    ExperimentConfig,
+    embed_dim_for_params,
+    render_rows,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_table2,
+    run_table9,
+)
+
+
+@pytest.fixture(autouse=True)
+def micro_configs(monkeypatch):
+    """Shrink default_config so harness smoke tests stay fast."""
+
+    def micro(dataset, scale="quick"):
+        return ExperimentConfig(dataset=dataset, n_samples=1200,
+                                embed_dim=3, cross_embed_dim=2,
+                                hidden_dims=(8,), epochs=1, search_epochs=1,
+                                batch_size=256, seed=0)
+
+    monkeypatch.setattr(tables_mod, "default_config", micro)
+    monkeypatch.setattr(figures_mod, "default_config", micro)
+
+
+class TestRenderRows:
+    def test_renders_alignment(self):
+        text = render_rows(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_empty_rows(self):
+        text = render_rows(["x"], [])
+        assert "x" in text
+
+
+class TestEmbedDimForParams:
+    def test_monotone_in_target(self):
+        cards = [50, 50, 50]
+        small = embed_dim_for_params(1_000, cards, (16,))
+        large = embed_dim_for_params(100_000, cards, (16,))
+        assert small <= large
+
+    def test_minimum_is_one(self):
+        assert embed_dim_for_params(1, [10], (4,)) == 1
+
+
+class TestTableHarness:
+    def test_table2_structure(self):
+        result = run_table2(datasets=("ipinyou",))
+        assert "ipinyou" in result.stats
+        assert "pos ratio" in result.render()
+
+    def test_table9_structure(self):
+        result = run_table9(datasets=("criteo",))
+        variants = result.rows["criteo"]
+        assert set(variants) == {"with_retrain", "without_retrain"}
+        assert "AUC" in result.render()
+
+
+class TestFigureHarness:
+    def test_figure4_series(self):
+        result = run_figure4("criteo", cross_dims=(2,))
+        assert {p.model for p in result.points} == {"OptInter", "OptInter-M"}
+        assert all(p.params > 0 for p in result.points)
+        assert "trade-off" in result.render()
+
+    def test_figure5_report(self):
+        result = run_figure5("criteo")
+        counts = result.report.counts
+        assert sum(counts.values()) > 0
+        assert "mean MI" in result.render()
+
+    def test_figure6_maps(self):
+        result = run_figure6("criteo")
+        assert result.study.method_codes.shape[0] == result.study.mi_map.shape[0]
+        assert "Spearman" in result.render()

@@ -1,0 +1,69 @@
+"""Tables III/IV: taxonomy registry and live hyper-parameter rendering."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_MODELS,
+    EXTENDED_MODELS,
+    TAXONOMY,
+    ExperimentConfig,
+    prepare_dataset,
+    run_table3,
+    run_table4,
+    verify_taxonomy,
+)
+
+
+class TestTable3:
+    def test_every_registry_model_classified(self):
+        classified = {row.model for row in TAXONOMY}
+        trainable = set(ALL_MODELS + EXTENDED_MODELS)
+        # OptInter-M / OptInter-F are OptInter instances, not separate rows.
+        trainable -= {"OptInter-M", "OptInter-F"}
+        assert trainable <= classified
+
+    def test_categories_match_paper(self):
+        by_category = run_table3().by_category()
+        assert set(by_category) == {"naive", "memorized", "factorized",
+                                    "hybrid"}
+        assert "OptInter" in by_category["hybrid"]
+        assert "AutoFIS" in by_category["hybrid"]
+        assert "LR" in by_category["naive"]
+        assert "Poly2" in by_category["memorized"]
+
+    def test_only_optinter_spans_all_methods(self):
+        full = [row.model for row in TAXONOMY if row.methods == "{n,m,f}"]
+        assert full == ["OptInter"]
+
+    def test_render(self):
+        text = run_table3().render()
+        assert "OptInter" in text and "classifier" in text
+
+    def test_structural_claims_hold_on_live_models(self):
+        config = ExperimentConfig(dataset="criteo", n_samples=1200,
+                                  embed_dim=2, cross_embed_dim=2,
+                                  hidden_dims=(8,), epochs=1,
+                                  search_epochs=1, batch_size=256, seed=0)
+        bundle = prepare_dataset(config)
+        checks = verify_taxonomy(bundle, config)
+        assert all(checks.values()), checks
+
+
+class TestTable4:
+    def test_covers_all_datasets(self):
+        result = run_table4()
+        assert set(result.settings) == {"criteo", "avazu", "ipinyou"}
+
+    def test_includes_architecture_lr(self):
+        result = run_table4()
+        assert "lr_arch" in result.settings["criteo"]
+
+    def test_render_aligns_datasets(self):
+        text = run_table4().render()
+        assert "criteo" in text and "embed_dim" in text
+
+    def test_scales_differ(self):
+        quick = run_table4(scale="quick")
+        paper = run_table4(scale="paper")
+        assert (quick.settings["criteo"]["n_samples"]
+                < paper.settings["criteo"]["n_samples"])

@@ -1,0 +1,84 @@
+"""Shared embedding blocks: FieldEmbedding, CrossEmbedding, pair indices."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    CrossEmbedding,
+    FieldEmbedding,
+    flatten_embeddings,
+    pair_index_arrays,
+)
+from repro.nn import Tensor
+
+
+class TestFieldEmbedding:
+    def test_shape(self, rng):
+        emb = FieldEmbedding([5, 7, 3], dim=4, rng=rng)
+        out = emb(rng.integers(0, 3, size=(6, 3)))
+        assert out.shape == (6, 3, 4)
+
+    def test_fields_use_disjoint_rows(self, rng):
+        emb = FieldEmbedding([2, 2], dim=3, rng=rng)
+        # Same local id in different fields must give different vectors.
+        out = emb(np.array([[1, 1]]))
+        assert not np.allclose(out.numpy()[0, 0], out.numpy()[0, 1])
+
+    def test_offsets_cumulative(self, rng):
+        emb = FieldEmbedding([5, 7, 3], dim=2, rng=rng)
+        np.testing.assert_array_equal(emb.offsets, [0, 5, 12])
+
+    def test_total_table_rows(self, rng):
+        emb = FieldEmbedding([5, 7, 3], dim=2, rng=rng)
+        assert emb.table.num_embeddings == 15
+
+    def test_wrong_width_rejected(self, rng):
+        emb = FieldEmbedding([5, 7], dim=2, rng=rng)
+        with pytest.raises(ValueError):
+            emb(np.zeros((3, 3), dtype=int))
+
+    def test_gradients_sparse_per_field(self, rng):
+        emb = FieldEmbedding([3, 3], dim=2, rng=rng)
+        out = emb(np.array([[0, 2]])).sum()
+        out.backward()
+        grad = emb.table.weight.grad
+        touched = np.flatnonzero(np.abs(grad).sum(axis=1))
+        np.testing.assert_array_equal(touched, [0, 5])  # id 0 and offset 3+2
+
+
+class TestCrossEmbedding:
+    def test_full_pairs(self, rng):
+        emb = CrossEmbedding([4, 6, 5], dim=3, rng=rng)
+        out = emb(np.array([[1, 5, 0], [3, 0, 4]]))
+        assert out.shape == (2, 3, 3)
+
+    def test_pair_subset_selects_columns(self, rng):
+        emb = CrossEmbedding([4, 6, 5], dim=2, pair_subset=[2], rng=rng)
+        x_cross = np.array([[1, 5, 3]])
+        out = emb(x_cross)
+        assert out.shape == (1, 1, 2)
+        np.testing.assert_allclose(out.numpy()[0, 0],
+                                   emb.table.weight.data[3])
+
+    def test_subset_table_smaller(self, rng):
+        full = CrossEmbedding([10, 20, 30], dim=2, rng=rng)
+        subset = CrossEmbedding([10, 20, 30], dim=2, pair_subset=[0], rng=rng)
+        assert subset.table.num_embeddings < full.table.num_embeddings
+
+    def test_empty_subset_cannot_embed(self, rng):
+        emb = CrossEmbedding([4, 4], dim=2, pair_subset=[], rng=rng)
+        with pytest.raises(RuntimeError):
+            emb(np.zeros((1, 2), dtype=int))
+
+
+class TestHelpers:
+    def test_pair_index_arrays(self):
+        idx_i, idx_j = pair_index_arrays(4)
+        assert len(idx_i) == 6
+        assert (idx_i < idx_j).all()
+
+    def test_flatten_embeddings(self, rng):
+        t = Tensor(rng.normal(size=(2, 3, 4)))
+        flat = flatten_embeddings(t)
+        assert flat.shape == (2, 12)
+        np.testing.assert_array_equal(flat.numpy()[0, :4], t.numpy()[0, 0])

@@ -1,0 +1,97 @@
+"""Deep models: shapes, gradient flow, parameter accounting, learnability."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch
+from repro.models import DeepFM, FNN, IPNN, OPNN, PIN, WideDeep
+from repro.nn import Adam, binary_cross_entropy_with_logits
+from repro.training import Trainer, evaluate_model
+
+DEEP_KW = dict(embed_dim=4, hidden_dims=(16, 16))
+
+
+def _batch(dataset, n=8):
+    return Batch(x=dataset.x[:n], x_cross=dataset.x_cross[:n],
+                 y=dataset.y[:n])
+
+
+class TestForward:
+    @pytest.mark.parametrize("cls", [FNN, IPNN, OPNN, DeepFM, PIN])
+    def test_logit_shape(self, cls, tiny_dataset, rng):
+        model = cls(tiny_dataset.cardinalities, rng=rng, **DEEP_KW)
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_widedeep_shape(self, tiny_dataset, rng):
+        model = WideDeep(tiny_dataset.cardinalities,
+                         tiny_dataset.cross_cardinalities, rng=rng, **DEEP_KW)
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_widedeep_requires_cross(self, tiny_dataset, rng):
+        model = WideDeep(tiny_dataset.cardinalities,
+                         tiny_dataset.cross_cardinalities, rng=rng, **DEEP_KW)
+        with pytest.raises(ValueError):
+            model(Batch(x=tiny_dataset.x[:4], x_cross=None,
+                        y=tiny_dataset.y[:4]))
+
+    def test_widedeep_pair_subset(self, tiny_dataset, rng):
+        subset = WideDeep(tiny_dataset.cardinalities,
+                          tiny_dataset.cross_cardinalities,
+                          wide_pairs=[0, 3], rng=rng, **DEEP_KW)
+        full = WideDeep(tiny_dataset.cardinalities,
+                        tiny_dataset.cross_cardinalities, rng=rng, **DEEP_KW)
+        assert subset.num_parameters() < full.num_parameters()
+        assert subset(_batch(tiny_dataset)).shape == (8,)
+
+    @pytest.mark.parametrize("cls", [FNN, IPNN, OPNN, DeepFM, PIN])
+    def test_gradients_flow_everywhere(self, cls, tiny_dataset, rng):
+        model = cls(tiny_dataset.cardinalities, rng=rng, **DEEP_KW)
+        batch = _batch(tiny_dataset)
+        loss = binary_cross_entropy_with_logits(model(batch), batch.y)
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"{name} got no gradient"
+
+
+class TestParameterAccounting:
+    def test_pin_has_more_params_than_ipnn(self, tiny_dataset, rng):
+        """PIN adds per-pair micro networks (paper Table V ordering)."""
+        ipnn = IPNN(tiny_dataset.cardinalities, rng=rng, **DEEP_KW)
+        pin = PIN(tiny_dataset.cardinalities, rng=rng, **DEEP_KW)
+        assert pin.num_parameters() > ipnn.num_parameters()
+
+    def test_lr_smallest(self, tiny_dataset, rng):
+        from repro.models import LogisticRegression
+
+        lr_model = LogisticRegression(tiny_dataset.cardinalities, rng=rng)
+        fnn = FNN(tiny_dataset.cardinalities, rng=rng, **DEEP_KW)
+        assert lr_model.num_parameters() < fnn.num_parameters()
+
+    def test_predict_proba_in_unit_interval(self, tiny_dataset, rng):
+        model = DeepFM(tiny_dataset.cardinalities, rng=rng, **DEEP_KW)
+        probs = model.predict_proba(_batch(tiny_dataset))
+        assert ((probs > 0) & (probs < 1)).all()
+
+    def test_predict_proba_restores_training_mode(self, tiny_dataset, rng):
+        model = FNN(tiny_dataset.cardinalities, rng=rng, **DEEP_KW)
+        model.train()
+        model.predict_proba(_batch(tiny_dataset))
+        assert model.training is True
+
+
+class TestLearnability:
+    def test_ipnn_beats_random(self, tiny_splits, rng):
+        train, val, test = tiny_splits
+        model = IPNN(train.cardinalities, rng=rng, **DEEP_KW)
+        Trainer(model, Adam(model.parameters(), lr=3e-3), batch_size=128,
+                max_epochs=6, rng=rng).fit(train, val)
+        assert evaluate_model(model, test)["auc"] > 0.55
+
+    def test_deterministic_forward(self, tiny_dataset):
+        model_a = FNN(tiny_dataset.cardinalities,
+                      rng=np.random.default_rng(5), **DEEP_KW)
+        model_b = FNN(tiny_dataset.cardinalities,
+                      rng=np.random.default_rng(5), **DEEP_KW)
+        batch = _batch(tiny_dataset)
+        np.testing.assert_allclose(model_a(batch).numpy(),
+                                   model_b(batch).numpy())

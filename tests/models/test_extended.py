@@ -1,0 +1,131 @@
+"""Extended zoo: FFM and DCN."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch
+from repro.models import DCN, FFM, CrossNetwork, FactorizationMachine
+from repro.nn import Adam, Tensor, binary_cross_entropy_with_logits
+from repro.training import Trainer, evaluate_model
+
+
+def _batch(dataset, n=8):
+    return Batch(x=dataset.x[:n], x_cross=None, y=dataset.y[:n])
+
+
+class TestFFM:
+    def test_forward_shape(self, tiny_dataset, rng):
+        model = FFM(tiny_dataset.cardinalities, embed_dim=3, rng=rng)
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_field_aware_table_is_m_times_fm(self, tiny_dataset, rng):
+        m = tiny_dataset.num_fields
+        ffm = FFM(tiny_dataset.cardinalities, embed_dim=3, rng=rng)
+        fm = FactorizationMachine(tiny_dataset.cardinalities, embed_dim=3,
+                                  rng=rng)
+        assert (ffm.latent.table.weight.size
+                == m * fm.latent.table.weight.size)
+
+    def test_uses_field_specific_vectors(self, rng):
+        """Zeroing the vectors for one target field changes only the pairs
+        that interact *with* that field."""
+        model = FFM([4, 4, 4], embed_dim=2, rng=rng)
+        x = np.array([[1, 2, 3]])
+        base = model(Batch(x=x, x_cross=None, y=np.zeros(1))).item()
+        # Zero field 0's vector aimed at field 1 AND field 1's vector aimed
+        # at field 0 -> only the (0,1) pair term vanishes.
+        latent = model.latent.table.weight.data
+        n_fields, d = 3, 2
+        table = latent.reshape(-1, n_fields, d)
+        offsets = model.latent.offsets
+        table[offsets[0] + 1, 1, :] = 0.0  # e_0^(1) for value 1
+        table[offsets[1] + 2, 0, :] = 0.0  # e_1^(0) for value 2
+        after = model(Batch(x=x, x_cross=None, y=np.zeros(1))).item()
+        assert after != base
+
+    def test_gradients_flow(self, tiny_dataset, rng):
+        model = FFM(tiny_dataset.cardinalities, embed_dim=3, rng=rng)
+        batch = _batch(tiny_dataset)
+        binary_cross_entropy_with_logits(model(batch), batch.y).backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+    def test_learns(self, tiny_splits, rng):
+        train, val, test = tiny_splits
+        model = FFM(train.cardinalities, embed_dim=3, rng=rng)
+        Trainer(model, Adam(model.parameters(), lr=1e-2), batch_size=256,
+                max_epochs=6, rng=rng).fit(train, val)
+        assert evaluate_model(model, test)["auc"] > 0.55
+
+
+class TestCrossNetwork:
+    def test_preserves_dimension(self, rng):
+        net = CrossNetwork(6, num_layers=3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)))
+        assert net(x).shape == (4, 6)
+
+    def test_zero_weights_identity_plus_bias(self, rng):
+        net = CrossNetwork(4, num_layers=1, rng=rng)
+        net.weights[0].data[:] = 0.0
+        net.biases[0].data[:] = 0.0
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(net(x).numpy(), x.numpy())
+
+    def test_single_layer_formula(self, rng):
+        net = CrossNetwork(3, num_layers=1, rng=rng)
+        x = rng.normal(size=(2, 3))
+        out = net(Tensor(x)).numpy()
+        w = net.weights[0].data
+        b = net.biases[0].data
+        expected = x * (x @ w) + b + x
+        np.testing.assert_allclose(out, expected)
+
+    def test_invalid_layers(self, rng):
+        with pytest.raises(ValueError):
+            CrossNetwork(4, num_layers=0, rng=rng)
+
+    def test_parameters_registered(self, rng):
+        net = CrossNetwork(5, num_layers=2, rng=rng)
+        assert len(net.parameters()) == 4  # 2 weights + 2 biases
+
+
+class TestDCN:
+    def test_forward_shape(self, tiny_dataset, rng):
+        model = DCN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(16,), rng=rng)
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_gradients_flow(self, tiny_dataset, rng):
+        model = DCN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(16,), rng=rng)
+        batch = _batch(tiny_dataset)
+        binary_cross_entropy_with_logits(model(batch), batch.y).backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+    def test_learns(self, tiny_splits, rng):
+        train, val, test = tiny_splits
+        model = DCN(train.cardinalities, embed_dim=4, hidden_dims=(16,),
+                    rng=rng)
+        Trainer(model, Adam(model.parameters(), lr=3e-3), batch_size=256,
+                max_epochs=6, rng=rng).fit(train, val)
+        assert evaluate_model(model, test)["auc"] > 0.55
+
+
+class TestRegistry:
+    def test_extended_models_run_in_harness(self, tiny_splits):
+        from repro.experiments import (
+            EXTENDED_MODELS,
+            ExperimentConfig,
+            prepare_dataset,
+            run_model,
+        )
+
+        config = ExperimentConfig(dataset="criteo", n_samples=1500,
+                                  embed_dim=4, cross_embed_dim=2,
+                                  hidden_dims=(8,), epochs=1,
+                                  search_epochs=1, batch_size=256, seed=0)
+        bundle = prepare_dataset(config)
+        for name in EXTENDED_MODELS:
+            row = run_model(name, bundle, config)
+            assert 0.0 <= row.auc <= 1.0, name

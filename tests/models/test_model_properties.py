@@ -1,0 +1,119 @@
+"""Property-based construction sweep over the whole model zoo.
+
+For arbitrary (small) schemas and embedding sizes, every model must build,
+produce finite logits of the right shape, expose a positive parameter
+count, and backprop a gradient into every parameter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Architecture, OptInterModel
+from repro.data import Batch
+from repro.models import (
+    DCN,
+    DeepFM,
+    FactorizationMachine,
+    FFM,
+    FNN,
+    FmFM,
+    FwFM,
+    IPNN,
+    LogisticRegression,
+    OPNN,
+    PIN,
+    Poly2,
+    WideDeep,
+)
+from repro.nn import binary_cross_entropy_with_logits
+
+cardinality_lists = st.lists(st.integers(2, 12), min_size=2, max_size=5)
+
+
+def _fake_batch(cards, n=6, seed=0, with_cross=True):
+    rng = np.random.default_rng(seed)
+    x = np.column_stack([rng.integers(0, c, size=n) for c in cards])
+    m = len(cards)
+    num_pairs = m * (m - 1) // 2
+    cross_cards = [5] * num_pairs
+    x_cross = rng.integers(0, 5, size=(n, num_pairs)) if with_cross else None
+    y = (rng.random(n) > 0.5).astype(float)
+    if y.sum() in (0, n):
+        y[0] = 1 - y[0]
+    return Batch(x=x, x_cross=x_cross, y=y), cross_cards
+
+
+NO_CROSS_MODELS = [
+    ("LR", lambda c, rng: LogisticRegression(c, rng=rng)),
+    ("FM", lambda c, rng: FactorizationMachine(c, embed_dim=3, rng=rng)),
+    ("FwFM", lambda c, rng: FwFM(c, embed_dim=3, rng=rng)),
+    ("FmFM", lambda c, rng: FmFM(c, embed_dim=3, rng=rng)),
+    ("FFM", lambda c, rng: FFM(c, embed_dim=2, rng=rng)),
+    ("FNN", lambda c, rng: FNN(c, embed_dim=3, hidden_dims=(6,), rng=rng)),
+    ("IPNN", lambda c, rng: IPNN(c, embed_dim=3, hidden_dims=(6,), rng=rng)),
+    ("OPNN", lambda c, rng: OPNN(c, embed_dim=3, hidden_dims=(6,), rng=rng)),
+    ("DeepFM", lambda c, rng: DeepFM(c, embed_dim=3, hidden_dims=(6,),
+                                     rng=rng)),
+    ("PIN", lambda c, rng: PIN(c, embed_dim=3, hidden_dims=(6,),
+                               subnet_hidden=4, subnet_out=2, rng=rng)),
+    ("DCN", lambda c, rng: DCN(c, embed_dim=3, hidden_dims=(6,), rng=rng)),
+]
+
+
+class TestZooProperties:
+    @pytest.mark.parametrize("name,builder", NO_CROSS_MODELS)
+    @given(cards=cardinality_lists)
+    @settings(max_examples=8, deadline=None)
+    def test_forward_and_backward(self, name, builder, cards):
+        rng = np.random.default_rng(0)
+        model = builder(cards, rng)
+        batch, _ = _fake_batch(cards, with_cross=False)
+        logits = model(batch)
+        assert logits.shape == (6,), name
+        assert np.isfinite(logits.numpy()).all(), name
+        assert model.num_parameters() > 0
+        loss = binary_cross_entropy_with_logits(logits, batch.y)
+        loss.backward()
+        for pname, param in model.named_parameters():
+            assert param.grad is not None, f"{name}:{pname}"
+
+    @given(cards=cardinality_lists)
+    @settings(max_examples=8, deadline=None)
+    def test_cross_models(self, cards):
+        rng = np.random.default_rng(0)
+        batch, cross_cards = _fake_batch(cards)
+        for builder in (
+            lambda: Poly2(cards, cross_cards, rng=rng),
+            lambda: WideDeep(cards, cross_cards, embed_dim=3,
+                             hidden_dims=(6,), rng=rng),
+        ):
+            model = builder()
+            logits = model(batch)
+            assert logits.shape == (6,)
+            assert np.isfinite(logits.numpy()).all()
+
+    @given(cards=cardinality_lists, seed=st.integers(0, 100))
+    @settings(max_examples=8, deadline=None)
+    def test_optinter_any_architecture(self, cards, seed):
+        rng = np.random.default_rng(seed)
+        batch, cross_cards = _fake_batch(cards)
+        m = len(cards)
+        num_pairs = m * (m - 1) // 2
+        arch = Architecture.random(num_pairs, rng)
+        model = OptInterModel(cards, cross_cards, embed_dim=3,
+                              cross_embed_dim=2, hidden_dims=(6,),
+                              architecture=arch, rng=rng)
+        logits = model(batch)
+        assert logits.shape == (6,)
+        assert np.isfinite(logits.numpy()).all()
+
+    @given(cards=cardinality_lists)
+    @settings(max_examples=6, deadline=None)
+    def test_probabilities_in_unit_interval(self, cards):
+        rng = np.random.default_rng(1)
+        model = FNN(cards, embed_dim=3, hidden_dims=(6,), rng=rng)
+        batch, _ = _fake_batch(cards, with_cross=False)
+        probs = model.predict_proba(batch)
+        assert ((probs > 0) & (probs < 1)).all()

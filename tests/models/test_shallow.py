@@ -1,0 +1,111 @@
+"""Shallow models: forward shapes, semantics and learnability."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch
+from repro.models import (
+    FactorizationMachine,
+    FmFM,
+    FwFM,
+    LogisticRegression,
+    Poly2,
+)
+from repro.nn import Adam, binary_cross_entropy_with_logits
+from repro.training import Trainer, evaluate_model
+
+
+def _batch(dataset, n=8):
+    return Batch(x=dataset.x[:n], x_cross=dataset.x_cross[:n],
+                 y=dataset.y[:n])
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("cls", [LogisticRegression,
+                                     FactorizationMachine, FwFM, FmFM])
+    def test_logit_shape(self, cls, tiny_dataset, rng):
+        if cls is LogisticRegression:
+            model = cls(tiny_dataset.cardinalities, rng=rng)
+        else:
+            model = cls(tiny_dataset.cardinalities, embed_dim=4, rng=rng)
+        out = model(_batch(tiny_dataset))
+        assert out.shape == (8,)
+
+    def test_poly2_shape(self, tiny_dataset, rng):
+        model = Poly2(tiny_dataset.cardinalities,
+                      tiny_dataset.cross_cardinalities, rng=rng)
+        assert model(_batch(tiny_dataset)).shape == (8,)
+
+    def test_poly2_requires_cross(self, tiny_dataset, rng):
+        model = Poly2(tiny_dataset.cardinalities,
+                      tiny_dataset.cross_cardinalities, rng=rng)
+        batch = Batch(x=tiny_dataset.x[:4], x_cross=None,
+                      y=tiny_dataset.y[:4])
+        with pytest.raises(ValueError):
+            model(batch)
+
+
+class TestFMSemantics:
+    def test_fm_second_order_identity(self, rng):
+        """FM's O(Md) trick equals the explicit pairwise sum."""
+        model = FactorizationMachine([4, 4, 4], embed_dim=3, rng=rng)
+        x = np.array([[0, 1, 2]])
+        emb = model.latent(x).numpy()[0]  # [3, d]
+        explicit = sum(
+            float(emb[i] @ emb[j])
+            for i in range(3) for j in range(i + 1, 3)
+        )
+        logit = model(Batch(x=x, x_cross=None, y=np.zeros(1))).item()
+        first = model.weights(x).numpy().sum() + model.bias.data[0]
+        np.testing.assert_allclose(logit - first, explicit, rtol=1e-8)
+
+    def test_fwfm_zero_weights_reduce_to_lr(self, rng):
+        model = FwFM([4, 4], embed_dim=3, rng=rng)
+        model.pair_weights.data[:] = 0.0
+        x = np.array([[1, 2]])
+        logit = model(Batch(x=x, x_cross=None, y=np.zeros(1))).item()
+        first = model.weights(x).numpy().sum() + model.bias.data[0]
+        np.testing.assert_allclose(logit, first, rtol=1e-10)
+
+    def test_fmfm_identity_matrices_reduce_to_fm(self, rng):
+        fmfm = FmFM([4, 4, 4], embed_dim=3, rng=rng)
+        fmfm.pair_matrices.data[:] = np.eye(3)
+        x = np.array([[0, 1, 2]])
+        emb = fmfm.latent(x).numpy()[0]
+        explicit = sum(float(emb[i] @ emb[j])
+                       for i in range(3) for j in range(i + 1, 3))
+        logit = fmfm(Batch(x=x, x_cross=None, y=np.zeros(1))).item()
+        first = fmfm.weights(x).numpy().sum() + fmfm.bias.data[0]
+        np.testing.assert_allclose(logit - first, explicit, rtol=1e-8)
+
+
+class TestLearnability:
+    def test_lr_learns_main_effects(self, tiny_splits, rng):
+        train, val, test = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=5e-2),
+                          batch_size=128, max_epochs=6, rng=rng)
+        trainer.fit(train, val)
+        assert evaluate_model(model, test)["auc"] > 0.55
+
+    def test_poly2_beats_lr_with_memorizable_signal(self, tiny_splits, rng):
+        """Poly2 sees crosses; the planted memorizable pair rewards it."""
+        train, val, test = tiny_splits
+        lr_model = LogisticRegression(train.cardinalities,
+                                      rng=np.random.default_rng(0))
+        poly = Poly2(train.cardinalities, train.cross_cardinalities,
+                     rng=np.random.default_rng(0))
+        for model in (lr_model, poly):
+            Trainer(model, Adam(model.parameters(), lr=5e-2), batch_size=128,
+                    max_epochs=8, rng=np.random.default_rng(1)).fit(train, val)
+        auc_lr = evaluate_model(lr_model, test)["auc"]
+        auc_poly = evaluate_model(poly, test)["auc"]
+        assert auc_poly > auc_lr
+
+    def test_gradients_flow_to_all_parameters(self, tiny_dataset, rng):
+        model = FwFM(tiny_dataset.cardinalities, embed_dim=3, rng=rng)
+        batch = _batch(tiny_dataset)
+        loss = binary_cross_entropy_with_logits(model(batch), batch.y)
+        loss.backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, f"{name} got no gradient"

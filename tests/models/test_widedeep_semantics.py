@@ -1,0 +1,82 @@
+"""Wide&Deep decomposition semantics and remaining zoo edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch
+from repro.models import FNN, LogisticRegression, Poly2, WideDeep
+from repro.nn import Tensor
+
+
+class TestWideDeepDecomposition:
+    def test_logit_is_wide_plus_deep(self, tiny_dataset, rng):
+        """With the deep MLP zeroed, Wide&Deep reduces to its wide part."""
+        model = WideDeep(tiny_dataset.cardinalities,
+                         tiny_dataset.cross_cardinalities, embed_dim=3,
+                         hidden_dims=(8,), rng=rng)
+        # Zero the MLP's output layer -> deep contribution vanishes.
+        head = model.mlp.net.layers[-1]
+        head.weight.data[:] = 0.0
+        head.bias.data[:] = 0.0
+        batch = tiny_dataset.full_batch()
+        logits = model(batch).numpy()
+        wide = (model.weights(batch.x).numpy().sum(axis=(1, 2))
+                + model.cross_weights(batch.x_cross).numpy().sum(axis=(1, 2))
+                + model.bias.data[0])
+        np.testing.assert_allclose(logits, wide, rtol=1e-10)
+
+    def test_wide_part_mirrors_poly2(self, tiny_dataset, rng):
+        """Wide&Deep's wide component has Poly2's exact parameter layout."""
+        wd = WideDeep(tiny_dataset.cardinalities,
+                      tiny_dataset.cross_cardinalities, embed_dim=3,
+                      hidden_dims=(8,), rng=rng)
+        poly = Poly2(tiny_dataset.cardinalities,
+                     tiny_dataset.cross_cardinalities, rng=rng)
+        assert (wd.cross_weights.table.weight.shape
+                == poly.cross_weights.table.weight.shape)
+        assert (wd.weights.table.weight.shape
+                == poly.weights.table.weight.shape)
+
+    def test_deep_part_mirrors_fnn(self, tiny_dataset, rng):
+        wd = WideDeep(tiny_dataset.cardinalities,
+                      tiny_dataset.cross_cardinalities, embed_dim=3,
+                      hidden_dims=(8,), rng=rng)
+        fnn = FNN(tiny_dataset.cardinalities, embed_dim=3, hidden_dims=(8,),
+                  rng=rng)
+        assert wd.mlp.input_dim == fnn.mlp.input_dim
+
+
+class TestZooEdgeCases:
+    def test_lr_on_single_field(self, rng):
+        model = LogisticRegression([7], rng=rng)
+        batch = Batch(x=np.array([[0], [3], [6]]), x_cross=None,
+                      y=np.zeros(3))
+        assert model(batch).shape == (3,)
+
+    def test_batch_of_one(self, tiny_dataset, rng):
+        model = FNN(tiny_dataset.cardinalities, embed_dim=3,
+                    hidden_dims=(8,), rng=rng)
+        batch = Batch(x=tiny_dataset.x[:1], x_cross=None,
+                      y=tiny_dataset.y[:1])
+        assert model(batch).shape == (1,)
+
+    def test_repeated_forward_is_pure(self, tiny_dataset, rng):
+        """Eval-mode forwards have no hidden state; outputs repeat exactly."""
+        model = FNN(tiny_dataset.cardinalities, embed_dim=3,
+                    hidden_dims=(8,), rng=rng)
+        model.eval()
+        batch = tiny_dataset.full_batch()
+        a = model(batch).numpy().copy()
+        b = model(batch).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_training_with_dropout_differs_from_eval(self, tiny_dataset):
+        from repro.nn.layers import MLP
+
+        mlp = MLP(4, (16,), dropout=0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).normal(size=(32, 4)))
+        mlp.train()
+        train_out = mlp(x).numpy()
+        mlp.eval()
+        eval_out = mlp(x).numpy()
+        assert not np.allclose(train_out, eval_out)

@@ -1,0 +1,44 @@
+"""Finite-difference gradient checking utilities for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor,
+                     eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued ``fn`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn().item()
+        flat[i] = original - eps
+        minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradients_close(fn: Callable[[], Tensor],
+                           tensors: Sequence[Tensor],
+                           atol: float = 1e-6, rtol: float = 1e-4) -> None:
+    """Check analytic gradients of scalar ``fn`` against finite differences."""
+    for t in tensors:
+        t.grad = None
+    out = fn()
+    assert out.size == 1, "gradcheck needs a scalar output"
+    out.backward()
+    for idx, t in enumerate(tensors):
+        assert t.grad is not None, f"tensor {idx} received no gradient"
+        numeric = numeric_gradient(fn, t)
+        np.testing.assert_allclose(
+            t.grad, numeric, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for tensor {idx}",
+        )

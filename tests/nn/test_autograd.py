@@ -1,0 +1,234 @@
+"""Gradient checks: every autodiff op against central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, embedding_lookup, stack, where
+
+from .gradcheck import assert_gradients_close
+
+
+def _tensor(rng, *shape, positive=False):
+    data = rng.normal(0.0, 1.0, size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        a, b = _tensor(rng, 3, 4), _tensor(rng, 3, 4)
+        assert_gradients_close(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self, rng):
+        a, b = _tensor(rng, 3, 4), _tensor(rng, 4)
+        assert_gradients_close(lambda: (a + b).sum(), [a, b])
+
+    def test_mul(self, rng):
+        a, b = _tensor(rng, 2, 5), _tensor(rng, 2, 5)
+        assert_gradients_close(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_scalar_shape(self, rng):
+        a, b = _tensor(rng, 2, 5), _tensor(rng, 1)
+        assert_gradients_close(lambda: (a * b).sum(), [a, b])
+
+    def test_sub(self, rng):
+        a, b = _tensor(rng, 4), _tensor(rng, 4)
+        assert_gradients_close(lambda: (a - b).sum(), [a, b])
+
+    def test_div(self, rng):
+        a = _tensor(rng, 3, 3)
+        b = _tensor(rng, 3, 3, positive=True)
+        assert_gradients_close(lambda: (a / b).sum(), [a, b])
+
+    def test_neg(self, rng):
+        a = _tensor(rng, 5)
+        assert_gradients_close(lambda: (-a).sum(), [a])
+
+    def test_pow(self, rng):
+        a = _tensor(rng, 4, positive=True)
+        assert_gradients_close(lambda: (a**3).sum(), [a])
+
+    def test_pow_negative_exponent(self, rng):
+        a = _tensor(rng, 4, positive=True)
+        assert_gradients_close(lambda: (a**-0.5).sum(), [a])
+
+    def test_rsub_rdiv(self, rng):
+        a = _tensor(rng, 3, positive=True)
+        assert_gradients_close(lambda: (2.0 - a).sum(), [a])
+        assert_gradients_close(lambda: (2.0 / a).sum(), [a])
+
+
+class TestMatmulGradients:
+    def test_matmul_2d(self, rng):
+        a, b = _tensor(rng, 3, 4), _tensor(rng, 4, 2)
+        assert_gradients_close(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a, b = _tensor(rng, 5, 3, 4), _tensor(rng, 5, 4, 2)
+        assert_gradients_close(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self, rng):
+        # [n, P, 1, d] @ [P, d, d] used by FmFM and PIN.
+        a, b = _tensor(rng, 2, 3, 1, 4), _tensor(rng, 3, 4, 4)
+        assert_gradients_close(lambda: (a @ b).sum(), [a, b])
+
+
+class TestReductionGradients:
+    def test_sum_all(self, rng):
+        a = _tensor(rng, 3, 4)
+        assert_gradients_close(lambda: a.sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = _tensor(rng, 3, 4, 2)
+        assert_gradients_close(lambda: a.sum(axis=1).sum(), [a])
+
+    def test_sum_axis_tuple(self, rng):
+        a = _tensor(rng, 3, 4, 2)
+        assert_gradients_close(lambda: a.sum(axis=(1, 2)).sum(), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = _tensor(rng, 3, 4)
+        assert_gradients_close(lambda: a.sum(axis=0, keepdims=True).sum(), [a])
+
+    def test_mean(self, rng):
+        a = _tensor(rng, 6)
+        assert_gradients_close(lambda: a.mean(), [a])
+
+    def test_mean_axis(self, rng):
+        a = _tensor(rng, 2, 3)
+        assert_gradients_close(lambda: a.mean(axis=-1).sum(), [a])
+
+    def test_max(self, rng):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [4.0, 0.0, -1.0]]),
+                   requires_grad=True)
+        assert_gradients_close(lambda: a.max(axis=1).sum(), [a])
+
+
+class TestShapeGradients:
+    def test_reshape(self, rng):
+        a = _tensor(rng, 2, 6)
+        assert_gradients_close(lambda: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = _tensor(rng, 2, 3, 4)
+        assert_gradients_close(
+            lambda: (a.transpose((2, 0, 1)) ** 2).sum(), [a])
+
+    def test_getitem_slice(self, rng):
+        a = _tensor(rng, 5, 4)
+        assert_gradients_close(lambda: (a[1:4] ** 2).sum(), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = _tensor(rng, 5, 4)
+        idx = np.array([0, 2, 2, 3])
+        assert_gradients_close(lambda: (a[:, idx] ** 2).sum(), [a])
+
+    def test_concatenate(self, rng):
+        a, b = _tensor(rng, 2, 3), _tensor(rng, 2, 5)
+        assert_gradients_close(
+            lambda: (concatenate([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = _tensor(rng, 3), _tensor(rng, 3)
+        assert_gradients_close(lambda: (stack([a, b]) ** 2).sum(), [a, b])
+
+
+class TestNonlinearityGradients:
+    def test_exp(self, rng):
+        a = _tensor(rng, 4)
+        assert_gradients_close(lambda: a.exp().sum(), [a])
+
+    def test_log(self, rng):
+        a = _tensor(rng, 4, positive=True)
+        assert_gradients_close(lambda: a.log().sum(), [a])
+
+    def test_relu(self, rng):
+        a = Tensor(rng.normal(size=(8,)) + 0.01, requires_grad=True)
+        assert_gradients_close(lambda: a.relu().sum(), [a])
+
+    def test_sigmoid(self, rng):
+        a = _tensor(rng, 6)
+        assert_gradients_close(lambda: a.sigmoid().sum(), [a])
+
+    def test_tanh(self, rng):
+        a = _tensor(rng, 6)
+        assert_gradients_close(lambda: a.tanh().sum(), [a])
+
+    def test_softmax(self, rng):
+        a = _tensor(rng, 3, 4)
+        weights = Tensor(rng.normal(size=(3, 4)))
+        assert_gradients_close(lambda: (a.softmax(axis=-1) * weights).sum(), [a])
+
+    def test_clip(self, rng):
+        a = Tensor(np.array([-2.0, -0.5, 0.3, 1.7]), requires_grad=True)
+        assert_gradients_close(lambda: a.clip(-1.0, 1.0).sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = _tensor(rng, 4, positive=True)
+        assert_gradients_close(lambda: a.sqrt().sum(), [a])
+
+
+class TestEmbeddingGradients:
+    def test_lookup(self, rng):
+        table = _tensor(rng, 6, 3)
+        idx = np.array([[0, 2], [5, 2]])
+        assert_gradients_close(
+            lambda: (embedding_lookup(table, idx) ** 2).sum(), [table])
+
+    def test_duplicate_indices_accumulate(self, rng):
+        table = _tensor(rng, 4, 2)
+        idx = np.array([1, 1, 1])
+        out = embedding_lookup(table, idx).sum()
+        out.backward()
+        np.testing.assert_allclose(table.grad[1], np.full(2, 3.0))
+        np.testing.assert_allclose(table.grad[0], np.zeros(2))
+
+
+class TestWhereGradients:
+    def test_where(self, rng):
+        a, b = _tensor(rng, 5), _tensor(rng, 5)
+        cond = np.array([True, False, True, True, False])
+        assert_gradients_close(lambda: where(cond, a, b).sum(), [a, b])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_reuse(self, rng):
+        a = _tensor(rng, 3)
+        out = (a * a).sum() + a.sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1.0)
+
+    def test_backward_through_diamond(self, rng):
+        a = _tensor(rng, 3)
+        b = a * 2.0
+        out = (b + b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 4.0))
+
+    def test_no_grad_blocks_graph(self, rng):
+        from repro.nn import no_grad
+
+        a = _tensor(rng, 3)
+        with no_grad():
+            out = (a * 2.0).sum()
+        assert out.requires_grad is False
+        assert out._backward is None
+
+    def test_backward_shape_mismatch_raises(self, rng):
+        a = _tensor(rng, 3)
+        with pytest.raises(ValueError):
+            a.backward(np.ones(4))
+
+    def test_detach_cuts_graph(self, rng):
+        a = _tensor(rng, 3)
+        d = a.detach()
+        assert d.requires_grad is False
+        out = (d * 2.0).sum()
+        assert out.requires_grad is False
+
+    def test_nonscalar_backward_with_explicit_grad(self, rng):
+        a = _tensor(rng, 3)
+        b = a * 3.0
+        b.backward(np.array([1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 0.0, 6.0])

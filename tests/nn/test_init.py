@@ -1,0 +1,49 @@
+"""Initialisation scheme properties."""
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestXavierUniform:
+    def test_bound(self, rng):
+        w = init.xavier_uniform((50, 30), rng)
+        bound = np.sqrt(6.0 / 80)
+        assert np.abs(w).max() <= bound
+
+    def test_roughly_zero_mean(self, rng):
+        w = init.xavier_uniform((200, 200), rng)
+        assert abs(w.mean()) < 0.01
+
+    def test_higher_rank_fan_out(self, rng):
+        w = init.xavier_uniform((10, 4, 5), rng)
+        bound = np.sqrt(6.0 / (10 + 20))
+        assert np.abs(w).max() <= bound
+
+    def test_1d_shape(self, rng):
+        w = init.xavier_uniform((16,), rng)
+        assert w.shape == (16,)
+
+
+class TestXavierNormal:
+    def test_std(self, rng):
+        w = init.xavier_normal((400, 400), rng)
+        expected_std = np.sqrt(2.0 / 800)
+        assert abs(w.std() - expected_std) / expected_std < 0.1
+
+
+class TestConstants:
+    def test_zeros_ones(self):
+        assert (init.zeros((3, 2)) == 0).all()
+        assert (init.ones((3, 2)) == 1).all()
+
+    def test_uniform_bound(self, rng):
+        w = init.uniform((100,), rng, bound=0.01)
+        assert np.abs(w).max() <= 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        a = init.xavier_uniform((5, 5), np.random.default_rng(1))
+        b = init.xavier_uniform((5, 5), np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,170 @@
+"""Layer behaviour: Linear, Embedding, LayerNorm, Dropout, MLP, Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tensor,
+)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(out.numpy(), expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_xavier_bound(self, rng):
+        layer = Linear(100, 100, rng=rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= bound
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 5, rng=rng)
+        out = emb(np.array([[0, 3], [9, 1]]))
+        assert out.shape == (2, 2, 5)
+
+    def test_rows_match_table(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([2, 7]))
+        np.testing.assert_allclose(out.numpy()[0], emb.weight.data[2])
+        np.testing.assert_allclose(out.numpy()[1], emb.weight.data[7])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_padding_idx_zeroed(self, rng):
+        emb = Embedding(5, 3, rng=rng, padding_idx=0)
+        np.testing.assert_allclose(emb.weight.data[0], np.zeros(3))
+
+    def test_gradient_reaches_table(self, rng):
+        emb = Embedding(6, 2, rng=rng)
+        out = emb(np.array([1, 1, 4])).sum()
+        out.backward()
+        assert emb.weight.grad is not None
+        np.testing.assert_allclose(emb.weight.grad[1], np.full(2, 2.0))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.normal(3.0, 2.0, size=(10, 8)))
+        out = ln(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        ln = LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 1.0)
+        x = Tensor(rng.normal(size=(3, 4)))
+        out = ln(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradcheck(self, rng):
+        from .gradcheck import assert_gradients_close
+
+        ln = LayerNorm(5)
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        assert_gradients_close(lambda: (ln(x) ** 2).sum(),
+                               [x, ln.gamma, ln.beta], rtol=1e-3)
+
+
+class TestDropout:
+    def test_identity_in_eval(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(drop(x).numpy(), x.numpy())
+
+    def test_zero_p_is_identity(self, rng):
+        drop = Dropout(0.0, rng=rng)
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(drop(x).numpy(), x.numpy())
+
+    def test_scales_kept_values(self, rng):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).numpy()
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+        # Empirically about half survive.
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(Linear(3, 3, rng=rng), ReLU())
+        x = Tensor(rng.normal(size=(2, 3)))
+        out = seq(x).numpy()
+        assert (out >= 0).all()
+        assert len(seq) == 2
+
+    def test_mlp_output_dim(self, rng):
+        mlp = MLP(6, (16, 8), output_dim=1, rng=rng)
+        out = mlp(Tensor(rng.normal(size=(4, 6))))
+        assert out.shape == (4, 1)
+
+    def test_mlp_no_hidden_layers(self, rng):
+        mlp = MLP(6, (), output_dim=2, rng=rng)
+        out = mlp(Tensor(rng.normal(size=(3, 6))))
+        assert out.shape == (3, 2)
+
+    def test_mlp_layer_norm_toggle(self, rng):
+        with_ln = MLP(4, (8,), layer_norm=True, rng=rng)
+        without_ln = MLP(4, (8,), layer_norm=False, rng=rng)
+        assert len(with_ln.parameters()) == len(without_ln.parameters()) + 2
+
+    def test_mlp_trains_xor_like_function(self, rng):
+        # Sanity: the MLP can fit a small nonlinear function.
+        from repro.nn import Adam, binary_cross_entropy_with_logits
+
+        x = rng.normal(size=(256, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(float)
+        mlp = MLP(2, (16, 16), rng=rng)
+        opt = Adam(mlp.parameters(), lr=1e-2)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = binary_cross_entropy_with_logits(
+                mlp(Tensor(x)).reshape(256), y)
+            loss.backward()
+            opt.step()
+        probs = mlp(Tensor(x)).sigmoid().numpy().ravel()
+        accuracy = ((probs > 0.5) == y).mean()
+        assert accuracy > 0.9
+
+    def test_sigmoid_module(self, rng):
+        x = Tensor(np.array([0.0]))
+        np.testing.assert_allclose(Sigmoid()(x).numpy(), [0.5])

@@ -1,0 +1,102 @@
+"""Module tree mechanics: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MLP, Module, Parameter, Sequential, Tensor
+
+
+class _Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.inner = Linear(2, 2)
+
+    def forward(self, x):
+        return self.inner(x @ self.weight)
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        model = _Composite()
+        names = [n for n, _ in model.named_parameters()]
+        assert "weight" in names
+        assert "inner.weight" in names
+        assert "inner.bias" in names
+
+    def test_num_parameters(self):
+        model = _Composite()
+        assert model.num_parameters() == 4 + 4 + 2
+
+    def test_modules_iteration(self):
+        model = _Composite()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds[0] == "_Composite"
+        assert "Linear" in kinds
+
+    def test_register_module_for_lists(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng), Linear(2, 2, rng=rng))
+        assert len(seq.parameters()) == 4
+
+
+class TestModes:
+    def test_train_eval_propagate(self):
+        model = _Composite()
+        model.eval()
+        assert model.training is False
+        assert model.inner.training is False
+        model.train()
+        assert model.inner.training is True
+
+
+class TestGradManagement:
+    def test_zero_grad_clears_all(self):
+        model = _Composite()
+        out = model(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = MLP(3, (4,), rng=rng)
+        b = MLP(3, (4,), rng=np.random.default_rng(99))
+        state = a.state_dict()
+        b.load_state_dict(state)
+        x = Tensor(rng.normal(size=(2, 3)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())
+
+    def test_state_dict_copies(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(model.weight.data, 0.0)
+
+    def test_missing_key_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["phantom"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = Linear(2, 2, rng=rng)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestForwardContract:
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,96 @@
+"""BatchNorm1d and PReLU."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, PReLU, Tensor
+
+from .gradcheck import assert_gradients_close
+
+
+class TestBatchNorm1d:
+    def test_training_normalises_batch(self, rng):
+        bn = BatchNorm1d(4)
+        x = Tensor(rng.normal(5.0, 3.0, size=(64, 4)))
+        out = bn(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        bn = BatchNorm1d(3, momentum=0.5)
+        x = Tensor(rng.normal(2.0, 1.0, size=(128, 3)))
+        bn(x)
+        assert np.abs(bn.running_mean - 1.0).max() < 1.5  # moved toward 2
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(3, momentum=1.0)  # adopt batch stats fully
+        x = Tensor(rng.normal(4.0, 2.0, size=(256, 3)))
+        bn(x)
+        bn.eval()
+        single = bn(Tensor(x.numpy()[:1])).numpy()
+        assert np.isfinite(single).all()
+
+    def test_eval_handles_single_row(self, rng):
+        bn = BatchNorm1d(3)
+        bn.eval()
+        out = bn(Tensor(rng.normal(size=(1, 3))))
+        assert out.shape == (1, 3)
+
+    def test_training_single_row_rejected(self, rng):
+        bn = BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(rng.normal(size=(1, 3))))
+
+    def test_non_2d_rejected(self, rng):
+        bn = BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(rng.normal(size=(2, 3, 3))))
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3, momentum=0.0)
+
+    def test_gamma_beta_trainable(self, rng):
+        bn = BatchNorm1d(3)
+        x = Tensor(rng.normal(size=(8, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+        assert x.grad is not None
+
+
+class TestPReLU:
+    def test_positive_passthrough(self):
+        prelu = PReLU()
+        x = Tensor(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(prelu(x).numpy(), [1.0, 2.0])
+
+    def test_negative_scaled(self):
+        prelu = PReLU(init_slope=0.1)
+        x = Tensor(np.array([-1.0, -2.0]))
+        np.testing.assert_allclose(prelu(x).numpy(), [-0.1, -0.2])
+
+    def test_zero_slope_is_relu(self, rng):
+        prelu = PReLU(init_slope=0.0)
+        x = Tensor(rng.normal(size=10))
+        np.testing.assert_allclose(prelu(x).numpy(), x.relu().numpy())
+
+    def test_slope_one_is_identity(self, rng):
+        prelu = PReLU(init_slope=1.0)
+        x = Tensor(rng.normal(size=10))
+        np.testing.assert_allclose(prelu(x).numpy(), x.numpy())
+
+    def test_per_channel_slopes(self):
+        prelu = PReLU(num_parameters=3)
+        prelu.slope.data = np.array([0.0, 0.5, 1.0])
+        x = Tensor(np.full((2, 3), -2.0))
+        out = prelu(x).numpy()
+        np.testing.assert_allclose(out[0], [0.0, -1.0, -2.0])
+
+    def test_slope_gradient(self, rng):
+        prelu = PReLU()
+        x = Tensor(np.array([-1.0, -3.0, 2.0]), requires_grad=True)
+        assert_gradients_close(lambda: prelu(x).sum(), [x, prelu.slope])
+
+    def test_registered_as_parameter(self):
+        assert len(PReLU().parameters()) == 1

@@ -1,0 +1,133 @@
+"""Optimizer behaviour: SGD, Adam, GRDA and parameter groups."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, GRDA, Parameter, SGD
+
+
+def _quadratic_param(start=5.0):
+    """A parameter whose gradient pulls it towards zero: L = 0.5 x^2."""
+    return Parameter(np.array([start]))
+
+
+def _set_quadratic_grad(param):
+    param.grad = param.data.copy()
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        _set_quadratic_grad(p)
+        opt.step()
+        np.testing.assert_allclose(p.data, [4.5])
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.2)
+        for _ in range(100):
+            _set_quadratic_grad(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        plain, heavy = _quadratic_param(), _quadratic_param()
+        opt_plain = SGD([plain], lr=0.01)
+        opt_heavy = SGD([heavy], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            _set_quadratic_grad(plain)
+            opt_plain.step()
+            _set_quadratic_grad(heavy)
+            opt_heavy.step()
+        assert abs(heavy.data[0]) < abs(plain.data[0])
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9])
+
+    def test_skips_none_grad(self):
+        p = _quadratic_param()
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set
+        np.testing.assert_allclose(p.data, [5.0])
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |first step| == lr regardless of grad scale.
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1e-3])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            _set_quadratic_grad(p)
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_zero_grad(self):
+        p = _quadratic_param()
+        opt = Adam([p])
+        p.grad = np.ones(1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_param_groups_use_own_lr(self):
+        fast, slow = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        opt = Adam([
+            {"params": [fast], "lr": 0.5},
+            {"params": [slow], "lr": 0.01},
+        ])
+        fast.grad = np.ones(1)
+        slow.grad = np.ones(1)
+        opt.step()
+        assert abs(1.0 - fast.data[0]) > abs(1.0 - slow.data[0])
+
+    def test_weight_decay_applies(self):
+        p = Parameter(np.array([2.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 2.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestGRDA:
+    def test_drives_useless_coordinates_to_zero(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(np.array([0.01, 1.0]))
+        opt = GRDA([p], lr=0.05, c=0.05, mu=0.8)
+        for _ in range(200):
+            # Coordinate 0 receives pure noise; coordinate 1 a steady pull
+            # towards 1 (gradient of 0.5*(x-1)^2).
+            p.grad = np.array([rng.normal(0, 0.01), p.data[1] - 1.0])
+            opt.step()
+        assert p.data[0] == 0.0
+        assert p.data[1] > 0.5
+
+    def test_produces_exact_zeros(self):
+        p = Parameter(np.array([0.1]))
+        opt = GRDA([p], lr=0.01, c=1.0, mu=0.8)
+        for _ in range(200):
+            p.grad = np.array([0.0])
+            opt.step()
+        assert p.data[0] == 0.0
+
+    def test_strong_signal_survives(self):
+        p = Parameter(np.array([0.0]))
+        opt = GRDA([p], lr=0.05, c=1e-4, mu=0.5)
+        for _ in range(100):
+            p.grad = np.array([-1.0])  # constant pull upward
+            opt.step()
+        assert p.data[0] > 0.1

@@ -1,0 +1,119 @@
+"""Adagrad, RMSprop and FTRL-Proximal optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adagrad, FTRLProximal, Parameter, RMSprop
+
+
+def _quadratic(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def _pull_to_zero(param):
+    param.grad = param.data.copy()
+
+
+class TestAdagrad:
+    def test_converges_on_quadratic(self):
+        p = _quadratic()
+        opt = Adagrad([p], lr=1.0)
+        for _ in range(300):
+            _pull_to_zero(p)
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_steps_shrink_over_time(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adagrad([p], lr=0.1)
+        steps = []
+        for _ in range(5):
+            before = p.data[0]
+            p.grad = np.array([1.0])
+            opt.step()
+            steps.append(abs(p.data[0] - before))
+        assert all(a >= b for a, b in zip(steps, steps[1:]))
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        opt = Adagrad([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 2.0
+
+    def test_skips_missing_grad(self):
+        p = _quadratic()
+        Adagrad([p], lr=0.1).step()
+        assert p.data[0] == 5.0
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        p = _quadratic()
+        opt = RMSprop([p], lr=0.05)
+        for _ in range(400):
+            _pull_to_zero(p)
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_adapts_to_gradient_scale(self):
+        # Same optimizer settings, gradients differing by 1000x -> the
+        # normalised steps end up comparable.
+        small, large = Parameter(np.array([0.0])), Parameter(np.array([0.0]))
+        opt_s, opt_l = RMSprop([small], lr=0.01), RMSprop([large], lr=0.01)
+        for _ in range(10):
+            small.grad = np.array([1e-3])
+            opt_s.step()
+            large.grad = np.array([1.0])
+            opt_l.step()
+        ratio = abs(small.data[0]) / abs(large.data[0])
+        assert 0.5 < ratio < 2.0
+
+
+class TestFTRLProximal:
+    def test_l1_produces_exact_zeros_on_noise(self):
+        rng = np.random.default_rng(0)
+        p = Parameter(np.zeros(4))
+        opt = FTRLProximal([p], alpha=0.1, l1=2.0)
+        for _ in range(100):
+            # Coordinates 0-2 see pure noise; coordinate 3 a steady signal.
+            p.grad = np.concatenate([rng.normal(0, 0.05, 3), [-1.0]])
+            opt.step()
+        assert (p.data[:3] == 0.0).all()
+        assert p.data[3] > 0.0
+
+    def test_no_l1_behaves_like_adaptive_sgd(self):
+        p = _quadratic()
+        opt = FTRLProximal([p], alpha=1.0, l1=0.0)
+        for _ in range(200):
+            _pull_to_zero(p)
+            opt.step()
+        assert abs(p.data[0]) < 0.2
+
+    def test_l2_shrinks_solution(self):
+        free, penalised = _quadratic(0.0), _quadratic(0.0)
+        opt_free = FTRLProximal([free], alpha=0.5, l2=0.0)
+        opt_pen = FTRLProximal([penalised], alpha=0.5, l2=10.0)
+        for _ in range(100):
+            free.grad = np.array([free.data[0] - 1.0])
+            opt_free.step()
+            penalised.grad = np.array([penalised.data[0] - 1.0])
+            opt_pen.step()
+        assert abs(penalised.data[0]) < abs(free.data[0])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            FTRLProximal([_quadratic()], alpha=0.0)
+
+    def test_trains_logistic_regression(self, tiny_splits):
+        """FTRL is the classic LR-for-CTR optimizer; verify end to end."""
+        from repro.models import LogisticRegression
+        from repro.training import Trainer, evaluate_model
+
+        train, val, test = tiny_splits
+        model = LogisticRegression(train.cardinalities,
+                                   rng=np.random.default_rng(0))
+        opt = FTRLProximal(model.parameters(), alpha=0.5, l1=1e-4)
+        Trainer(model, opt, batch_size=256, max_epochs=6,
+                rng=np.random.default_rng(0)).fit(train, val)
+        assert evaluate_model(model, test)["auc"] > 0.55

@@ -1,0 +1,123 @@
+"""Learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    ExponentialLR,
+    Parameter,
+    StepLR,
+    WarmupLR,
+)
+
+
+def _optimizer(lr=0.1, groups=1):
+    params = [{"params": [Parameter(np.ones(1))], "lr": lr * (i + 1)}
+              for i in range(groups)]
+    return Adam(params)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = _optimizer(lr=0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        np.testing.assert_allclose(lrs, [0.1, 0.01, 0.01, 0.001, 0.001])
+
+    def test_multiple_groups_scaled_independently(self):
+        opt = _optimizer(lr=0.1, groups=2)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        np.testing.assert_allclose(opt.param_groups[0]["lr"], 0.05)
+        np.testing.assert_allclose(opt.param_groups[1]["lr"], 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepLR(_optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(_optimizer(), step_size=1, gamma=0.0)
+
+
+class TestExponentialLR:
+    def test_geometric_decay(self):
+        opt = _optimizer(lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        for expected in (0.5, 0.25, 0.125):
+            sched.step()
+            np.testing.assert_allclose(opt.param_groups[0]["lr"], expected)
+
+    def test_gamma_one_constant(self):
+        opt = _optimizer(lr=0.3)
+        sched = ExponentialLR(opt, gamma=1.0)
+        sched.step()
+        assert opt.param_groups[0]["lr"] == 0.3
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        opt = _optimizer(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.param_groups[0]["lr"], 0.0, atol=1e-12)
+
+    def test_midpoint_half(self):
+        opt = _optimizer(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        np.testing.assert_allclose(opt.param_groups[0]["lr"], 0.5, atol=1e-12)
+
+    def test_stays_at_min_past_t_max(self):
+        opt = _optimizer(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=3, eta_min=0.01)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.param_groups[0]["lr"], 0.01)
+
+    def test_monotone_decreasing(self):
+        opt = _optimizer(lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=8)
+        lrs = []
+        for _ in range(8):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+class TestWarmupLR:
+    def test_starts_low_and_reaches_base(self):
+        opt = _optimizer(lr=1.0)
+        sched = WarmupLR(opt, warmup_epochs=4)
+        assert opt.param_groups[0]["lr"] < 1.0
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.param_groups[0]["lr"])
+        assert all(a <= b + 1e-12 for a, b in zip(lrs, lrs[1:]))
+        np.testing.assert_allclose(lrs[-1], 1.0)
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            WarmupLR(_optimizer(), warmup_epochs=0)
+
+
+class TestWithTrainer:
+    def test_scheduler_composes_with_training(self, tiny_splits, rng):
+        from repro.models import LogisticRegression
+        from repro.training import Trainer
+
+        train, val, _ = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        opt = Adam(model.parameters(), lr=0.05)
+        sched = ExponentialLR(opt, gamma=0.5)
+        trainer = Trainer(model, opt, batch_size=256, max_epochs=1, rng=rng)
+        trainer.fit(train)
+        sched.step()
+        trainer.fit(train)
+        np.testing.assert_allclose(opt.param_groups[0]["lr"], 0.025)

@@ -1,0 +1,171 @@
+"""Tensor edge cases: error paths, odd shapes, dtype handling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concatenate, embedding_lookup, stack, where
+from repro.nn.tensor import is_grad_enabled, no_grad
+
+
+class TestConstruction:
+    def test_scalar_input(self):
+        t = Tensor(3.5)
+        assert t.shape == ()
+        assert t.item() == 3.5
+
+    def test_list_input(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_integer_array_cast_to_float(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype == np.float64
+
+    def test_item_multi_element_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(Tensor(np.zeros((2, 3))))
+
+
+class TestArithmeticEdges:
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_scalar_tensor_ops(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a).backward()
+        np.testing.assert_allclose(a.grad, 4.0)
+
+    def test_chain_of_many_ops(self, rng):
+        a = Tensor(rng.normal(size=5), requires_grad=True)
+        out = a
+        for _ in range(50):
+            out = out * 1.01 + 0.001
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(5, 1.01**50), rtol=1e-10)
+
+    def test_broadcast_three_ways(self, rng):
+        a = Tensor(rng.normal(size=(2, 1, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        out = (a + b).sum()
+        out.backward()
+        assert a.grad.shape == (2, 1, 4)
+        assert b.grad.shape == (3, 1)
+        np.testing.assert_allclose(a.grad, np.full((2, 1, 4), 3.0))
+        np.testing.assert_allclose(b.grad, np.full((3, 1), 8.0))
+
+
+class TestReductionsEdges:
+    def test_sum_negative_axis(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        a.sum(axis=-1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_of_scalar_like(self):
+        a = Tensor(np.array([7.0]), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_max_with_all_ties(self):
+        a = Tensor(np.full((2, 3), 5.0), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        # Ties split the gradient evenly: each coordinate gets 1/3.
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 1 / 3))
+
+
+class TestIndexingEdges:
+    def test_boolean_mask(self, rng):
+        a = Tensor(rng.normal(size=6), requires_grad=True)
+        mask = np.array([True, False, True, False, True, False])
+        a[mask].sum().backward()
+        np.testing.assert_allclose(a.grad, mask.astype(float))
+
+    def test_single_element(self, rng):
+        a = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        a[1, 2].backward()
+        expected = np.zeros((3, 3))
+        expected[1, 2] = 1.0
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_negative_index(self, rng):
+        a = Tensor(rng.normal(size=4), requires_grad=True)
+        a[-1].backward()
+        np.testing.assert_allclose(a.grad, [0, 0, 0, 1.0])
+
+
+class TestGraphEdges:
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_grad_flag_infects_outputs(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=3))
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_no_grad_restores_state_on_exception(self):
+        assert is_grad_enabled()
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                assert not is_grad_enabled()
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_twice_accumulates(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        out = (a * 2.0).sum()
+        out.backward()
+        first = a.grad.copy()
+        out2 = (a * 2.0).sum()
+        out2.backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+    def test_zero_grad_resets(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        (a * 3.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestEmbeddingLookupEdges:
+    def test_scalar_index(self, rng):
+        table = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        out = embedding_lookup(table, np.array(2))
+        assert out.shape == (2,)
+
+    def test_3d_indices(self, rng):
+        table = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        idx = np.zeros((2, 3, 4), dtype=int)
+        out = embedding_lookup(table, idx)
+        assert out.shape == (2, 3, 4, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(table.grad[0], np.full(2, 24.0))
+
+
+class TestWhereEdges:
+    def test_where_with_raw_arrays(self):
+        cond = np.array([True, False])
+        out = where(cond, np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        np.testing.assert_allclose(out.numpy(), [1.0, 2.0])
+
+    def test_stack_mixed_grad_flags(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=3))
+        stack([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        assert b.grad is None

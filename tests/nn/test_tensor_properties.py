@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the autodiff engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, concatenate
+from repro.nn.tensor import _unbroadcast
+
+finite_floats = st.floats(min_value=-100, max_value=100,
+                          allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4, max_dims=3):
+    shapes = st.lists(st.integers(1, max_side), min_size=1,
+                      max_size=max_dims).map(tuple)
+    return shapes.flatmap(
+        lambda s: arrays(np.float64, s, elements=finite_floats))
+
+
+class TestAlgebraicProperties:
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutes(self, data):
+        a, b = Tensor(data), Tensor(data * 0.5 + 1)
+        np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, data):
+        a = Tensor(data)
+        np.testing.assert_allclose((-(-a)).numpy(), data)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_mul_by_one_identity(self, data):
+        a = Tensor(data)
+        np.testing.assert_allclose((a * 1.0).numpy(), data)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_then_backward_gives_ones(self, data):
+        a = Tensor(data, requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(data))
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_sum_to_one(self, data):
+        probs = Tensor(data).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-9)
+        assert (probs >= 0).all()
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_bounds(self, data):
+        out = Tensor(data * 100).sigmoid().numpy()
+        assert ((out >= 0) & (out <= 1)).all()
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_nonnegative_and_idempotent(self, data):
+        a = Tensor(data)
+        once = a.relu().numpy()
+        twice = a.relu().relu().numpy()
+        assert (once >= 0).all()
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestUnbroadcast:
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_unbroadcast_restores_shape(self, n, m):
+        grad = np.ones((n, m))
+        assert _unbroadcast(grad, (m,)).shape == (m,)
+        assert _unbroadcast(grad, (1, m)).shape == (1, m)
+        assert _unbroadcast(grad, (n, 1)).shape == (n, 1)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_unbroadcast_sums_mass(self, n, m):
+        grad = np.ones((n, m))
+        np.testing.assert_allclose(_unbroadcast(grad, (m,)),
+                                   np.full(m, float(n)))
+
+
+class TestConcatenateProperties:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_shape_and_content(self, n, a, b):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(n, a)))
+        y = Tensor(rng.normal(size=(n, b)))
+        out = concatenate([x, y], axis=1)
+        assert out.shape == (n, a + b)
+        np.testing.assert_array_equal(out.numpy()[:, :a], x.numpy())
+        np.testing.assert_array_equal(out.numpy()[:, a:], y.numpy())
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_gradient_splits(self, a, b):
+        x = Tensor(np.zeros((2, a)), requires_grad=True)
+        y = Tensor(np.zeros((2, b)), requires_grad=True)
+        concatenate([x, y], axis=1).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((2, a)))
+        np.testing.assert_array_equal(y.grad, np.ones((2, b)))

@@ -1,0 +1,101 @@
+"""CLI behaviour: argument parsing, dispatch, artefact writing."""
+
+import numpy as np
+import pytest
+
+import repro.cli as cli_mod
+from repro.cli import build_parser, main
+from repro.experiments import ExperimentConfig
+from repro.io import load_architecture, load_results
+
+
+@pytest.fixture(autouse=True)
+def micro_configs(monkeypatch):
+    """Make CLI commands run on tiny data so the tests stay fast."""
+
+    def micro(dataset, scale="quick"):
+        return ExperimentConfig(dataset=dataset, n_samples=1500,
+                                embed_dim=3, cross_embed_dim=2,
+                                hidden_dims=(8,), epochs=1, search_epochs=1,
+                                batch_size=256, seed=0)
+
+    monkeypatch.setattr(cli_mod, "default_config", micro)
+    import repro.experiments.tables as tables_mod
+    import repro.experiments.figures as figures_mod
+
+    monkeypatch.setattr(tables_mod, "default_config", micro)
+    monkeypatch.setattr(figures_mod, "default_config", micro)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "1"])
+
+    def test_model_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "BERT"])
+
+    def test_scale_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pos ratio" in out
+        assert "criteo" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "#cross value" in capsys.readouterr().out
+
+    def test_table9_with_out(self, capsys, tmp_path):
+        out_path = tmp_path / "t9.json"
+        assert main(["table", "9", "--datasets", "criteo",
+                     "--out", str(out_path)]) == 0
+        payload = load_results(out_path)
+        assert payload["table"] == "9"
+        assert "with_retrain" in payload["rendered"]
+
+    def test_figure5(self, capsys):
+        assert main(["figure", "5", "--dataset", "criteo"]) == 0
+        assert "mean MI" in capsys.readouterr().out
+
+    def test_train_writes_metrics(self, capsys, tmp_path):
+        out_path = tmp_path / "lr.json"
+        assert main(["train", "LR", "--out", str(out_path)]) == 0
+        payload = load_results(out_path)
+        assert payload["model"] == "LR"
+        assert 0.0 <= payload["auc"] <= 1.0
+
+    def test_train_optinter_reports_counts(self, capsys):
+        assert main(["train", "OptInter"]) == 0
+        assert "selection counts" in capsys.readouterr().out
+
+    def test_search_then_retrain_workflow(self, capsys, tmp_path):
+        arch_path = tmp_path / "arch.json"
+        ckpt_path = tmp_path / "model.npz"
+        assert main(["search", "--arch-out", str(arch_path)]) == 0
+        arch = load_architecture(arch_path)
+        assert sum(arch.counts()) > 0
+
+        assert main(["retrain", "--arch", str(arch_path),
+                     "--checkpoint", str(ckpt_path)]) == 0
+        assert ckpt_path.exists()
+        out = capsys.readouterr().out
+        assert "test AUC" in out
+
+    def test_retrain_missing_architecture(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["retrain", "--arch", str(tmp_path / "absent.json")])

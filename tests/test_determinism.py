@@ -1,0 +1,50 @@
+"""Pinned-value regression tests.
+
+These pin exact values produced by seeded runs in this environment.  They
+exist to catch *unintentional* behaviour changes — a refactor that changes
+RNG consumption order, a preprocessing tweak that silently shifts ids —
+which shape-level tests would absorb.  If you change behaviour on purpose,
+update the pins in the same commit and say why.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SearchConfig, search_optinter
+from repro.data import criteo_like, make_dataset
+
+
+@pytest.fixture(scope="module")
+def pinned_dataset():
+    return make_dataset(criteo_like(n_samples=2000))
+
+
+class TestDataPins:
+    def test_label_count(self, pinned_dataset):
+        dataset, _ = pinned_dataset
+        assert int(dataset.y.sum()) == 456
+
+    def test_id_matrix_checksum(self, pinned_dataset):
+        dataset, _ = pinned_dataset
+        assert int(dataset.x.sum()) == 200129
+
+    def test_cross_checksum(self, pinned_dataset):
+        dataset, _ = pinned_dataset
+        assert int(dataset.x_cross.sum()) % 1000003 == 457100
+
+    def test_cardinalities_prefix(self, pinned_dataset):
+        dataset, _ = pinned_dataset
+        assert dataset.cardinalities[:4] == [11, 11, 11, 41]
+
+
+class TestSearchPins:
+    def test_searched_architecture(self, pinned_dataset):
+        dataset, _ = pinned_dataset
+        train, val, _ = dataset.split((0.7, 0.1, 0.2),
+                                      rng=np.random.default_rng(0))
+        result = search_optinter(train, val, SearchConfig(
+            embed_dim=3, cross_embed_dim=2, hidden_dims=(8,), epochs=1,
+            batch_size=256, seed=0))
+        assert result.architecture.counts() == [38, 10, 18]
+        np.testing.assert_allclose(np.abs(result.alpha).sum(), 7.549658,
+                                   atol=1e-5)

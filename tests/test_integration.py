@@ -1,0 +1,136 @@
+"""End-to-end integration tests: the full OptInter story on planted data.
+
+These are the tests that tie the reproduction together: on data with known
+structure, the two-stage pipeline must (a) run end to end, (b) beat weak
+baselines, and (c) keep the planted strong interaction out of the naïve
+bucket.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Architecture,
+    Method,
+    RetrainConfig,
+    SearchConfig,
+    run_optinter,
+)
+from repro.data import PairRole, SyntheticConfig, make_dataset
+from repro.models import FNN, LogisticRegression
+from repro.nn import Adam
+from repro.training import Trainer, evaluate_model
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """A dataset with one dominant memorizable pair and ample samples."""
+    config = SyntheticConfig(
+        cardinalities=[12, 10, 8, 15],
+        n_samples=6000,
+        positive_ratio=0.3,
+        n_memorizable=1,
+        n_factorizable=1,
+        memorize_strength=2.5,
+        min_count=1,
+        cross_min_count=2,
+        seed=11,
+    )
+    dataset, truth = make_dataset(config)
+    train, val, test = dataset.split((0.7, 0.1, 0.2),
+                                     rng=np.random.default_rng(0))
+    return dataset, truth, train, val, test
+
+
+class TestEndToEnd:
+    def test_pipeline_beats_lr(self, planted):
+        _, _, train, val, test = planted
+        result = run_optinter(
+            train, val,
+            SearchConfig(embed_dim=4, cross_embed_dim=3, hidden_dims=(16,),
+                         epochs=2, batch_size=256, lr=3e-3, lr_arch=2e-2,
+                         seed=0),
+            RetrainConfig(embed_dim=4, cross_embed_dim=3, hidden_dims=(16,),
+                          epochs=5, batch_size=256, lr=3e-3, seed=1),
+        )
+        lr_model = LogisticRegression(train.cardinalities,
+                                      rng=np.random.default_rng(0))
+        Trainer(lr_model, Adam(lr_model.parameters(), lr=5e-2),
+                batch_size=256, max_epochs=5,
+                rng=np.random.default_rng(0)).fit(train, val)
+        auc_optinter = evaluate_model(result.model, test)["auc"]
+        auc_lr = evaluate_model(lr_model, test)["auc"]
+        assert auc_optinter > auc_lr
+
+    def test_search_keeps_planted_pair_modelled(self, planted):
+        _, truth, train, val, _ = planted
+        result = run_optinter(
+            train, val,
+            SearchConfig(embed_dim=4, cross_embed_dim=3, hidden_dims=(16,),
+                         epochs=3, batch_size=256, lr=3e-3, lr_arch=2e-2,
+                         seed=0))
+        strong = truth.pairs_with_role(PairRole.MEMORIZABLE)[0]
+        assert result.architecture[strong] is not Method.NAIVE
+
+    def test_selective_memorization_saves_parameters(self, planted):
+        """OptInter's model must be smaller than all-memorize (Table V)."""
+        from repro.core import build_fixed_model
+
+        _, _, train, val, _ = planted
+        result = run_optinter(
+            train, val,
+            SearchConfig(embed_dim=4, cross_embed_dim=3, hidden_dims=(16,),
+                         epochs=2, batch_size=256, lr=3e-3, lr_arch=2e-2,
+                         seed=0))
+        config = RetrainConfig(embed_dim=4, cross_embed_dim=3,
+                               hidden_dims=(16,))
+        all_mem = build_fixed_model(
+            Architecture.all_memorize(train.num_pairs), train, config)
+        if result.architecture.counts()[0] < train.num_pairs:
+            assert result.model.num_parameters() < all_mem.num_parameters()
+
+    def test_oracle_architecture_beats_all_naive(self, planted):
+        from repro.core import retrain
+
+        _, truth, train, val, test = planted
+        methods = tuple(
+            Method.MEMORIZE if truth.pair_roles[p] is not PairRole.NOISE
+            else Method.NAIVE for p in range(train.num_pairs))
+        oracle = Architecture(methods=methods)
+        naive = Architecture.all_naive(train.num_pairs)
+        config = RetrainConfig(embed_dim=4, cross_embed_dim=3,
+                               hidden_dims=(16,), epochs=5, batch_size=256,
+                               lr=3e-3, seed=2)
+        oracle_model, _ = retrain(oracle, train, val, config)
+        naive_model, _ = retrain(naive, train, val, config)
+        auc_oracle = evaluate_model(oracle_model, test)["auc"]
+        auc_naive = evaluate_model(naive_model, test)["auc"]
+        assert auc_oracle > auc_naive
+
+    def test_mi_analysis_consistent_with_truth(self, planted):
+        from repro.analysis import pairwise_mutual_information
+
+        dataset, truth, *_ = planted
+        scores = pairwise_mutual_information(dataset)
+        strong = truth.pairs_with_role(PairRole.MEMORIZABLE)[0]
+        noise_pairs = truth.pairs_with_role(PairRole.NOISE)
+        assert scores[strong] > np.median(scores[noise_pairs])
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self, planted):
+        _, _, train, val, test = planted
+        kwargs = dict(
+            search_config=SearchConfig(embed_dim=3, cross_embed_dim=2,
+                                       hidden_dims=(8,), epochs=1,
+                                       batch_size=512, seed=5),
+            retrain_config=RetrainConfig(embed_dim=3, cross_embed_dim=2,
+                                         hidden_dims=(8,), epochs=1,
+                                         batch_size=512, seed=6),
+        )
+        a = run_optinter(train, val, **kwargs)
+        b = run_optinter(train, val, **kwargs)
+        assert list(a.architecture) == list(b.architecture)
+        pa = evaluate_model(a.model, test)
+        pb = evaluate_model(b.model, test)
+        assert pa["auc"] == pb["auc"]

@@ -1,0 +1,143 @@
+"""Checkpointing and serialisation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import Architecture
+from repro.io import (
+    load_architecture,
+    load_checkpoint,
+    load_results,
+    save_architecture,
+    save_checkpoint,
+    save_results,
+)
+from repro.models import FNN
+from repro.nn import Tensor
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_outputs(self, tiny_dataset, tmp_path, rng):
+        model = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+
+        clone = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=np.random.default_rng(99))
+        load_checkpoint(clone, path)
+        batch = tiny_dataset.full_batch()
+        np.testing.assert_allclose(model(batch).numpy(),
+                                   clone(batch).numpy())
+
+    def test_creates_parent_directories(self, tiny_dataset, tmp_path, rng):
+        model = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=rng)
+        path = tmp_path / "deep" / "nested" / "model.npz"
+        save_checkpoint(model, path)
+        assert path.exists()
+
+    def test_missing_file_raises(self, tiny_dataset, tmp_path, rng):
+        model = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=rng)
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(model, tmp_path / "absent.npz")
+
+    def test_architecture_mismatch_raises(self, tiny_dataset, tmp_path, rng):
+        model = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=rng)
+        save_checkpoint(model, tmp_path / "m.npz")
+        other = FNN(tiny_dataset.cardinalities, embed_dim=5,
+                    hidden_dims=(8,), rng=rng)
+        with pytest.raises(ValueError):
+            load_checkpoint(other, tmp_path / "m.npz")
+
+    def test_parameterless_model_rejected(self, tmp_path):
+        from repro.nn import Module
+
+        class Empty(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ValueError):
+            save_checkpoint(Empty(), tmp_path / "empty.npz")
+
+
+class TestArchitectureFiles:
+    def test_roundtrip(self, tmp_path, rng):
+        arch = Architecture.random(25, rng)
+        path = tmp_path / "arch.json"
+        save_architecture(arch, path)
+        assert load_architecture(path) == arch
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_architecture(tmp_path / "absent.json")
+
+    def test_human_readable(self, tmp_path):
+        arch = Architecture.all_memorize(2)
+        path = tmp_path / "arch.json"
+        save_architecture(arch, path)
+        assert "memorize" in path.read_text()
+
+
+class TestResults:
+    def test_roundtrip_with_numpy_values(self, tmp_path):
+        results = {
+            "auc": np.float64(0.81),
+            "params": np.int64(12345),
+            "aucs": np.array([0.8, 0.81]),
+            "nested": {"log_loss": 0.44},
+        }
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert loaded["auc"] == pytest.approx(0.81)
+        assert loaded["params"] == 12345
+        assert loaded["aucs"] == [0.8, 0.81]
+        assert loaded["nested"]["log_loss"] == pytest.approx(0.44)
+
+    def test_architecture_embedded_in_results(self, tmp_path, rng):
+        arch = Architecture.random(5, rng)
+        path = tmp_path / "results.json"
+        save_results({"architecture": arch}, path)
+        loaded = load_results(path)
+        assert Architecture.from_assignment(loaded["architecture"]) == arch
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "absent.json")
+
+    def test_unencodable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_results({"bad": Tensor(np.ones(2))}, tmp_path / "x.json")
+
+
+class TestSearchRetrainWorkflow:
+    def test_search_save_reload_retrain(self, tiny_splits, tmp_path):
+        """The cross-process workflow: search, persist, reload, re-train."""
+        from repro.core import RetrainConfig, SearchConfig, retrain, search_optinter
+        from repro.training import evaluate_model
+
+        train, val, test = tiny_splits
+        search = search_optinter(train, val, SearchConfig(
+            embed_dim=3, cross_embed_dim=2, hidden_dims=(8,), epochs=1,
+            batch_size=256, seed=0))
+        arch_path = tmp_path / "searched.json"
+        save_architecture(search.architecture, arch_path)
+
+        restored = load_architecture(arch_path)
+        model, _ = retrain(restored, train, val, RetrainConfig(
+            embed_dim=3, cross_embed_dim=2, hidden_dims=(8,), epochs=1,
+            batch_size=256, seed=1))
+        ckpt_path = tmp_path / "final.npz"
+        save_checkpoint(model, ckpt_path)
+
+        from repro.core import build_fixed_model
+
+        clone = build_fixed_model(restored, train, RetrainConfig(
+            embed_dim=3, cross_embed_dim=2, hidden_dims=(8,), seed=2))
+        load_checkpoint(clone, ckpt_path)
+        a = evaluate_model(model, test)
+        b = evaluate_model(clone, test)
+        assert a["auc"] == pytest.approx(b["auc"])

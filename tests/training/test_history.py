@@ -1,0 +1,55 @@
+"""History container behaviour."""
+
+from repro.training import EpochRecord, History
+
+
+class TestHistory:
+    def test_append_and_len(self):
+        history = History()
+        history.append(EpochRecord(epoch=0, train_loss=1.0))
+        history.append(EpochRecord(epoch=1, train_loss=0.5))
+        assert len(history) == 2
+        assert history.last.epoch == 1
+
+    def test_empty(self):
+        history = History()
+        assert history.last is None
+        assert history.best_epoch() is None
+        assert history.train_losses() == []
+
+    def test_best_epoch_maximises_auc(self):
+        history = History()
+        for epoch, auc in enumerate([0.6, 0.75, 0.7]):
+            history.append(EpochRecord(epoch=epoch, train_loss=1.0,
+                                       val_auc=auc))
+        assert history.best_epoch("val_auc").epoch == 1
+
+    def test_best_epoch_minimises_loss(self):
+        history = History()
+        for epoch, loss in enumerate([0.5, 0.3, 0.4]):
+            history.append(EpochRecord(epoch=epoch, train_loss=1.0,
+                                       val_log_loss=loss, val_auc=0.5))
+        assert history.best_epoch("val_log_loss").epoch == 1
+
+    def test_best_epoch_skips_missing_metric(self):
+        history = History()
+        history.append(EpochRecord(epoch=0, train_loss=1.0))
+        history.append(EpochRecord(epoch=1, train_loss=0.9, val_auc=0.6))
+        assert history.best_epoch("val_auc").epoch == 1
+
+    def test_as_dict_omits_missing(self):
+        record = EpochRecord(epoch=0, train_loss=1.0)
+        assert "val_auc" not in record.as_dict()
+        record.val_auc = 0.5
+        assert record.as_dict()["val_auc"] == 0.5
+
+    def test_val_aucs_filtered(self):
+        history = History()
+        history.append(EpochRecord(epoch=0, train_loss=1.0))
+        history.append(EpochRecord(epoch=1, train_loss=0.9, val_auc=0.6))
+        assert history.val_aucs() == [0.6]
+
+    def test_iteration(self):
+        history = History()
+        history.append(EpochRecord(epoch=0, train_loss=1.0))
+        assert [r.epoch for r in history] == [0]

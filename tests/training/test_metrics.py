@@ -1,0 +1,90 @@
+"""AUC, log loss and parameter formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.training import auc_score, evaluate_predictions, format_param_count, log_loss
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc_score(np.array([0, 0, 1, 1]),
+                         np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert auc_score(np.array([1, 1, 0, 0]),
+                         np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        y = (rng.random(5000) > 0.5).astype(float)
+        scores = rng.random(5000)
+        assert abs(auc_score(y, scores) - 0.5) < 0.05
+
+    def test_ties_count_half(self):
+        y = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert auc_score(y, scores) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auc_score(np.ones(4), np.random.random(4))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            auc_score(np.ones(4), np.ones(3))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        y = (rng.random(50) > 0.5).astype(float)
+        if y.sum() in (0, 50):
+            y[0] = 1 - y[0]
+        scores = rng.normal(size=50)
+        base = auc_score(y, scores)
+        np.testing.assert_allclose(auc_score(y, 3 * scores + 7), base)
+        np.testing.assert_allclose(
+            auc_score(y, 1 / (1 + np.exp(-scores))), base)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_complement_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        y = (rng.random(40) > 0.4).astype(float)
+        if y.sum() in (0, 40):
+            y[0] = 1 - y[0]
+        scores = rng.normal(size=40)
+        np.testing.assert_allclose(auc_score(y, scores),
+                                   1.0 - auc_score(y, -scores), atol=1e-12)
+
+    def test_agrees_with_trapezoid_on_small_case(self):
+        # Hand-computed case: 2 pos, 2 neg, one inversion.
+        y = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        # Pairs: (0.9>0.8)=1, (0.9>0.1)=1, (0.7<0.8)=0, (0.7>0.1)=1 -> 3/4.
+        assert auc_score(y, scores) == 0.75
+
+
+class TestLogLoss:
+    def test_perfect(self):
+        assert log_loss(np.array([1.0, 0.0]), np.array([1.0, 0.0])) < 1e-10
+
+    def test_evaluate_predictions_bundle(self, rng):
+        y = (rng.random(100) > 0.5).astype(float)
+        probs = rng.random(100)
+        metrics = evaluate_predictions(y, probs)
+        assert set(metrics) == {"auc", "log_loss"}
+
+
+class TestFormatParamCount:
+    @pytest.mark.parametrize("count,expected", [
+        (650, "650"),
+        (1_500, "1.5K"),
+        (9_500_000, "9.5M"),
+        (58_000_000, "58M"),
+        (500_000, "500.0K"),
+    ])
+    def test_formats(self, count, expected):
+        assert format_param_count(count) == expected

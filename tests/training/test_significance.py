@@ -1,0 +1,137 @@
+"""Multi-seed significance protocol (paper §III-A5)."""
+
+import numpy as np
+import pytest
+
+from repro.training.significance import (
+    MATERIAL_AUC_DELTA,
+    Comparison,
+    MultiSeedResult,
+    SeedRun,
+    compare_models,
+    paired_t_test,
+    run_seeds,
+)
+
+
+def _fake_trainer(base_auc, noise=0.0):
+    def train(seed):
+        rng = np.random.default_rng(seed)
+        return {"auc": base_auc + noise * rng.normal(),
+                "log_loss": 0.5 - base_auc / 10}
+
+    return train
+
+
+class TestRunSeeds:
+    def test_collects_all_seeds(self):
+        result = run_seeds("m", _fake_trainer(0.7), seeds=[0, 1, 2])
+        assert len(result.runs) == 3
+        assert [r.seed for r in result.runs] == [0, 1, 2]
+
+    def test_summary_statistics(self):
+        result = run_seeds("m", _fake_trainer(0.7, noise=0.01),
+                           seeds=range(8))
+        summary = result.summary()
+        assert abs(summary["mean_auc"] - 0.7) < 0.02
+        assert summary["std_auc"] > 0
+        assert summary["n_seeds"] == 8
+
+    def test_single_seed_std_zero(self):
+        result = run_seeds("m", _fake_trainer(0.7), seeds=[0])
+        assert result.std_auc == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_seeds("m", _fake_trainer(0.7), seeds=[])
+
+
+class TestPairedTTest:
+    def test_identical_samples_p_one(self):
+        assert paired_t_test([0.7, 0.71, 0.72], [0.7, 0.71, 0.72]) == 1.0
+
+    def test_clear_difference_small_p(self):
+        a = [0.80, 0.81, 0.79, 0.80, 0.81]
+        b = [0.70, 0.71, 0.69, 0.70, 0.71]
+        assert paired_t_test(a, b) < 0.001
+
+    def test_noise_only_large_p(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(0.7, 0.01, size=20)
+        a = base + rng.normal(0, 0.02, size=20)
+        b = base + rng.normal(0, 0.02, size=20)
+        assert paired_t_test(a, b) > 0.005
+
+    def test_symmetry(self):
+        a = [0.7, 0.72, 0.69, 0.71]
+        b = [0.68, 0.70, 0.71, 0.69]
+        np.testing.assert_allclose(paired_t_test(a, b), paired_t_test(b, a))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([0.7], [0.7, 0.8])
+
+    def test_single_pair_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([0.7], [0.8])
+
+
+class TestCompareModels:
+    def test_clear_winner_significant(self):
+        comparison = compare_models(
+            "better", _fake_trainer(0.80, noise=0.002),
+            "worse", _fake_trainer(0.70, noise=0.002),
+            seeds=range(10))
+        assert comparison.significant
+        assert comparison.material
+        assert comparison.auc_gain > 0.05
+
+    def test_tie_not_significant(self):
+        comparison = compare_models(
+            "a", _fake_trainer(0.75, noise=0.01),
+            "b", _fake_trainer(0.75, noise=0.01),
+            seeds=range(10))
+        assert not comparison.significant
+
+    def test_material_threshold(self):
+        comparison = compare_models(
+            "a", _fake_trainer(0.751), "b", _fake_trainer(0.75),
+            seeds=range(3))
+        assert comparison.auc_gain >= MATERIAL_AUC_DELTA - 1e-12
+
+    def test_render_mentions_both_models(self):
+        comparison = compare_models(
+            "alpha", _fake_trainer(0.76, noise=0.01),
+            "beta", _fake_trainer(0.74, noise=0.01), seeds=range(4))
+        text = comparison.render()
+        assert "alpha" in text and "beta" in text and "p =" in text
+
+
+class TestOnRealModels:
+    def test_optinter_m_vs_lr_significant(self, tiny_splits):
+        """On planted data, all-memorize beats LR with multi-seed support."""
+        from repro.core import Architecture, RetrainConfig, retrain
+        from repro.models import LogisticRegression
+        from repro.nn import Adam
+        from repro.training import Trainer, evaluate_model
+
+        train, val, test = tiny_splits
+
+        def mem_fn(seed):
+            config = RetrainConfig(embed_dim=4, cross_embed_dim=3,
+                                   hidden_dims=(16,), epochs=10,
+                                   batch_size=256, lr=1e-2, seed=seed)
+            model, _ = retrain(Architecture.all_memorize(train.num_pairs),
+                               train, val, config)
+            return evaluate_model(model, test)
+
+        def lr_fn(seed):
+            rng = np.random.default_rng(seed)
+            model = LogisticRegression(train.cardinalities, rng=rng)
+            Trainer(model, Adam(model.parameters(), lr=5e-2), batch_size=256,
+                    max_epochs=4, rng=rng).fit(train, val)
+            return evaluate_model(model, test)
+
+        comparison = compare_models("OptInter-M", mem_fn, "LR", lr_fn,
+                                    seeds=range(3), alpha=0.05)
+        assert comparison.auc_gain > 0

@@ -1,0 +1,99 @@
+"""Trainer: loss decreases, early stopping, best-state restoration."""
+
+import numpy as np
+import pytest
+
+from repro.models import FNN, LogisticRegression
+from repro.nn import Adam, SGD
+from repro.training import Trainer, evaluate_model, predict_dataset
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_splits, rng):
+        train, val, _ = tiny_splits
+        model = FNN(train.cardinalities, embed_dim=4, hidden_dims=(16,),
+                    rng=rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=3e-3),
+                          batch_size=128, max_epochs=4, rng=rng)
+        history = trainer.fit(train, val)
+        losses = history.train_losses()
+        assert losses[-1] < losses[0]
+
+    def test_history_length_capped_by_epochs(self, tiny_splits, rng):
+        train, val, _ = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1),
+                          batch_size=256, max_epochs=3, rng=rng)
+        history = trainer.fit(train, val)
+        assert 1 <= len(history) <= 3
+
+    def test_fit_without_validation(self, tiny_splits, rng):
+        train, _, _ = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1),
+                          batch_size=256, max_epochs=2, rng=rng)
+        history = trainer.fit(train)
+        assert len(history) == 2
+        assert history.last.val_auc is None
+
+    def test_early_stopping_triggers(self, tiny_splits):
+        train, val, _ = tiny_splits
+        model = LogisticRegression(train.cardinalities,
+                                   rng=np.random.default_rng(0))
+        # Absurd LR makes validation AUC stop improving immediately.
+        trainer = Trainer(model, SGD(model.parameters(), lr=50.0),
+                          batch_size=256, max_epochs=30, patience=2,
+                          rng=np.random.default_rng(0))
+        history = trainer.fit(train, val)
+        assert len(history) < 30
+
+    def test_best_state_restored(self, tiny_splits, rng):
+        train, val, _ = tiny_splits
+        model = FNN(train.cardinalities, embed_dim=4, hidden_dims=(16,),
+                    rng=rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=3e-3),
+                          batch_size=128, max_epochs=5, patience=2, rng=rng)
+        history = trainer.fit(train, val)
+        best = history.best_epoch("val_auc")
+        restored = evaluate_model(model, val)
+        np.testing.assert_allclose(restored["auc"], best.val_auc, rtol=1e-9)
+
+    def test_on_step_hook_called(self, tiny_splits, rng):
+        train, _, _ = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        calls = []
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1),
+                          batch_size=512, max_epochs=1, rng=rng,
+                          on_step=lambda m, b, loss: calls.append(loss))
+        trainer.fit(train)
+        assert len(calls) == int(np.ceil(len(train) / 512))
+
+    def test_invalid_patience(self, tiny_splits, rng):
+        train, _, _ = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        with pytest.raises(ValueError):
+            Trainer(model, SGD(model.parameters(), lr=0.1), patience=0)
+
+
+class TestPredictDataset:
+    def test_probabilities_shape_and_range(self, tiny_splits, rng):
+        train, _, test = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        probs = predict_dataset(model, test, batch_size=64)
+        assert probs.shape == (len(test),)
+        assert ((probs > 0) & (probs < 1)).all()
+
+    def test_batching_invariance(self, tiny_splits, rng):
+        train, _, test = tiny_splits
+        model = LogisticRegression(train.cardinalities, rng=rng)
+        a = predict_dataset(model, test, batch_size=7)
+        b = predict_dataset(model, test, batch_size=1000)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_restores_training_mode(self, tiny_splits, rng):
+        train, _, test = tiny_splits
+        model = FNN(train.cardinalities, embed_dim=4, hidden_dims=(8,),
+                    rng=rng)
+        model.train()
+        predict_dataset(model, test)
+        assert model.training is True
