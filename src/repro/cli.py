@@ -8,9 +8,14 @@ Usage (also available as ``python -m repro``)::
     python -m repro train IPNN --dataset criteo # train one zoo model
     python -m repro search --arch-out arch.json # search stage, persist result
     python -m repro retrain --arch arch.json --checkpoint model.npz
+    python -m repro profile --out BENCH_obs.json  # per-op autodiff timings
 
 Every subcommand prints the same rows/series the paper reports; ``--out``
-persists the structured results as JSON via :mod:`repro.io`.
+persists the structured results as JSON via :mod:`repro.io`.  The
+``train`` / ``search`` / ``retrain`` commands accept ``--trace PATH`` to
+stream structured events (per-epoch losses, evaluation metrics and — for
+``search`` — per-epoch α snapshots) to a JSONL file; see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -63,6 +68,20 @@ def _add_dataset(parser: argparse.ArgumentParser,
                         help="which paper-shaped dataset to use")
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="stream structured JSONL events "
+                             "(epoch_end/eval/search_alpha/...) to PATH")
+
+
+def _open_bus(args):
+    """An EventBus writing to ``--trace``, or None when untraced."""
+    from .obs import EventBus
+
+    trace = getattr(args, "trace", None)
+    return EventBus.to_jsonl(trace) if trace else None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,11 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("model", choices=ALL_MODELS + EXTENDED_MODELS)
     _add_scale(train)
     _add_dataset(train)
+    _add_trace(train)
     train.add_argument("--out", default=None, help="write metrics JSON here")
 
     search = sub.add_parser("search", help="run the search stage only")
     _add_scale(search)
     _add_dataset(search)
+    _add_trace(search)
     search.add_argument("--arch-out", default=None,
                         help="write the searched architecture JSON here")
 
@@ -115,8 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="architecture JSON from `repro search`")
     _add_scale(retrain)
     _add_dataset(retrain)
+    _add_trace(retrain)
     retrain.add_argument("--checkpoint", default=None,
                          help="write the trained model .npz here")
+
+    profile = sub.add_parser(
+        "profile",
+        help="train a small model under the autodiff profiler and print "
+             "the per-op time table")
+    _add_dataset(profile)
+    profile.add_argument("--epochs", type=int, default=1,
+                         help="search epochs to profile (default 1)")
+    profile.add_argument("--samples", type=int, default=4000,
+                         help="synthetic rows to train on (default 4000)")
+    profile.add_argument("--top", type=int, default=None,
+                         help="show only the N most expensive ops")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="write the profile as JSON (BENCH_obs.json)")
+    _add_trace(profile)
 
     return parser
 
@@ -159,7 +196,13 @@ def _cmd_figure(args) -> int:
 def _cmd_train(args) -> int:
     config = default_config(args.dataset, args.scale)
     bundle = prepare_dataset(config)
-    row = run_model(args.model, bundle, config)
+    bus = _open_bus(args)
+    try:
+        row = run_model(args.model, bundle, config, bus=bus)
+    finally:
+        if bus is not None:
+            bus.close()
+            print(f"trace written to {args.trace}")
     print(row.formatted())
     if row.extra and "counts" in row.extra:
         print(f"selection counts [m, f, n]: {row.extra['counts']}")
@@ -179,7 +222,14 @@ def _cmd_search(args) -> int:
 
     config = default_config(args.dataset, args.scale)
     bundle = prepare_dataset(config)
-    result = search_optinter(bundle.train, bundle.val, config.search_config())
+    bus = _open_bus(args)
+    try:
+        result = search_optinter(bundle.train, bundle.val,
+                                 config.search_config(), bus=bus)
+    finally:
+        if bus is not None:
+            bus.close()
+            print(f"trace written to {args.trace}")
     counts = result.architecture.counts()
     print(f"searched architecture [memorize, factorize, naive] = {counts}")
     if result.history.last and result.history.last.val_auc is not None:
@@ -197,8 +247,14 @@ def _cmd_retrain(args) -> int:
     config = default_config(args.dataset, args.scale)
     bundle = prepare_dataset(config)
     architecture = load_architecture(args.arch)
-    model, _ = retrain(architecture, bundle.train, bundle.val,
-                       config.retrain_config())
+    bus = _open_bus(args)
+    try:
+        model, _ = retrain(architecture, bundle.train, bundle.val,
+                           config.retrain_config(), bus=bus)
+    finally:
+        if bus is not None:
+            bus.close()
+            print(f"trace written to {args.trace}")
     metrics = evaluate_model(model, bundle.test)
     print(f"re-trained {architecture!r}")
     print(f"test AUC = {metrics['auc']:.4f}, "
@@ -207,6 +263,48 @@ def _cmd_retrain(args) -> int:
     if args.checkpoint:
         save_checkpoint(model, args.checkpoint)
         print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Train a small OptInter search under the profiler; print op costs.
+
+    The search stage exercises every hot path the substrate has —
+    embedding gathers, dense matmuls, Gumbel-softmax sampling and the
+    full backward sweep — so its per-op table is the benchmark baseline
+    (``BENCH_obs.json``) later perf PRs are measured against.
+    """
+    from .core import search_optinter
+    from .experiments import ExperimentConfig
+    from .obs import Profiler
+
+    config = ExperimentConfig(dataset=args.dataset, n_samples=args.samples,
+                              hidden_dims=(32, 32), search_epochs=args.epochs,
+                              seed=0)
+    bundle = prepare_dataset(config)
+    bus = _open_bus(args)
+    try:
+        with Profiler(bus=bus) as prof:
+            result = search_optinter(bundle.train, bundle.val,
+                                     config.search_config())
+    finally:
+        if bus is not None:
+            bus.close()
+            print(f"trace written to {args.trace}")
+    print(f"profiled search: dataset={args.dataset} samples={args.samples} "
+          f"epochs={args.epochs}")
+    print(f"searched architecture [memorize, factorize, naive] = "
+          f"{result.architecture.counts()}")
+    print()
+    print(prof.table(top=args.top))
+    print()
+    print(prof.module_table(top=args.top))
+    if args.out:
+        payload = {"command": "profile", "dataset": args.dataset,
+                   "samples": args.samples, "epochs": args.epochs}
+        payload.update(prof.as_dict())
+        save_results(payload, args.out)
+        print(f"profile written to {args.out}")
     return 0
 
 
@@ -230,6 +328,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "search": _cmd_search,
     "retrain": _cmd_retrain,
+    "profile": _cmd_profile,
 }
 
 

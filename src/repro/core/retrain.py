@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data.dataset import CTRDataset
 from ..nn.optim import Adam
+from ..obs.events import EventBus
 from ..training.history import History
 from ..training.trainer import Trainer
 from .architecture import Architecture
@@ -77,7 +78,8 @@ def build_fixed_model(architecture: Architecture, dataset: CTRDataset,
 
 def retrain(architecture: Architecture, train: CTRDataset,
             val: Optional[CTRDataset], config: RetrainConfig,
-            verbose: bool = False) -> Tuple[OptInterModel, History]:
+            verbose: bool = False,
+            bus: Optional[EventBus] = None) -> Tuple[OptInterModel, History]:
     """Algorithm 2: train a fresh model under the fixed architecture."""
     rng = np.random.default_rng(config.seed)
     model = build_fixed_model(architecture, train, config, rng=rng)
@@ -92,7 +94,7 @@ def retrain(architecture: Architecture, train: CTRDataset,
     optimizer = Adam(groups)
     trainer = Trainer(model, optimizer, batch_size=config.batch_size,
                       max_epochs=config.epochs, patience=config.patience,
-                      rng=rng, verbose=verbose)
+                      rng=rng, verbose=verbose, bus=bus)
     history = trainer.fit(train, val)
     return model, history
 
@@ -100,7 +102,8 @@ def retrain(architecture: Architecture, train: CTRDataset,
 def run_optinter(train: CTRDataset, val: Optional[CTRDataset],
                  search_config: Optional[SearchConfig] = None,
                  retrain_config: Optional[RetrainConfig] = None,
-                 verbose: bool = False) -> OptInterResult:
+                 verbose: bool = False,
+                 bus: Optional[EventBus] = None) -> OptInterResult:
     """The complete OptInter pipeline: search (Alg. 1) then re-train (Alg. 2)."""
     search_config = search_config or SearchConfig()
     retrain_config = retrain_config or RetrainConfig(
@@ -115,8 +118,8 @@ def run_optinter(train: CTRDataset, val: Optional[CTRDataset],
         seed=search_config.seed + 1,
     )
     search_config.verbose = search_config.verbose or verbose
-    result = search_optinter(train, val, search_config)
+    result = search_optinter(train, val, search_config, bus=bus)
     model, history = retrain(result.architecture, train, val, retrain_config,
-                             verbose=verbose)
+                             verbose=verbose, bus=bus)
     return OptInterResult(model=model, architecture=result.architecture,
                           search=result, retrain_history=history)

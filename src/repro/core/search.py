@@ -21,10 +21,47 @@ import numpy as np
 from ..data.dataset import CTRDataset
 from ..nn.losses import binary_cross_entropy_with_logits
 from ..nn.optim import Adam
+from ..obs.events import ConsoleSink, EventBus
 from ..training.history import EpochRecord, History
 from ..training.trainer import evaluate_model
 from .architecture import Architecture
 from .optinter import OptInterModel
+
+
+def _search_buses(config: "SearchConfig",
+                  bus: Optional[EventBus]) -> List[EventBus]:
+    """Event fan-out: the caller's bus plus a console bus when verbose."""
+    buses: List[EventBus] = []
+    if bus is not None:
+        buses.append(bus)
+    if config.verbose:
+        buses.append(EventBus([ConsoleSink()]))
+    return buses
+
+
+def _emit_search_epoch(buses: List[EventBus], model: OptInterModel,
+                       record: EpochRecord, temperature: float,
+                       stage: str) -> None:
+    """Publish the per-epoch α snapshot and epoch metrics.
+
+    The ``search_alpha`` payload carries the raw logits, the noiseless
+    selection probabilities and the argmax decode — enough to replay the
+    selection-probability trajectory (paper Table VI / Figure 5) from a
+    trace file alone, without the model.
+    """
+    if not buses:
+        return
+    architecture = model.derive_architecture()
+    for bus in buses:
+        bus.emit("search_alpha",
+                 stage=stage,
+                 epoch=record.epoch,
+                 temperature=temperature,
+                 alpha=model.combination.alpha.data,
+                 probabilities=model.combination.probabilities(),
+                 methods=[m.value for m in architecture],
+                 counts=architecture.counts())
+        bus.emit("epoch_end", stage=stage, **record.as_dict())
 
 
 @dataclass
@@ -107,14 +144,22 @@ def _parameter_groups(model: OptInterModel, config: SearchConfig):
 
 
 def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
-                    config: SearchConfig) -> SearchResult:
-    """Algorithm 1: joint gradient descent on (Θ, α) over training batches."""
+                    config: SearchConfig,
+                    bus: Optional[EventBus] = None) -> SearchResult:
+    """Algorithm 1: joint gradient descent on (Θ, α) over training batches.
+
+    ``bus`` receives one ``search_alpha`` + ``epoch_end`` event pair per
+    epoch; the final ``search_alpha`` event's argmax equals the returned
+    :class:`SearchResult` architecture.
+    """
     rng = np.random.default_rng(config.seed)
     model = _build_search_model(train, config, rng)
     optimizer = Adam(_parameter_groups(model, config))
     history = History()
+    buses = _search_buses(config, bus)
     for epoch in range(config.epochs):
-        model.combination.set_temperature(_annealed_temperature(config, epoch))
+        temperature = _annealed_temperature(config, epoch)
+        model.combination.set_temperature(temperature)
         model.train()
         losses: List[float] = []
         for batch in train.iter_batches(config.batch_size, shuffle=True, rng=rng):
@@ -129,8 +174,7 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
             record.val_auc = metrics["auc"]
             record.val_log_loss = metrics["log_loss"]
         history.append(record)
-        if config.verbose:
-            print(f"[search] epoch {epoch}: {record.as_dict()}")
+        _emit_search_epoch(buses, model, record, temperature, stage="search")
     return SearchResult(
         architecture=model.derive_architecture(),
         alpha=model.combination.alpha.data.copy(),
@@ -140,7 +184,8 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
 
 
 def search_bilevel(train: CTRDataset, val: CTRDataset,
-                   config: SearchConfig) -> SearchResult:
+                   config: SearchConfig,
+                   bus: Optional[EventBus] = None) -> SearchResult:
     """DARTS-style bi-level ablation: Θ on train batches, α on val batches.
 
     The two parameter families alternate instead of sharing one update;
@@ -163,8 +208,10 @@ def search_bilevel(train: CTRDataset, val: CTRDataset,
             yield from val.iter_batches(config.batch_size, shuffle=True, rng=rng)
 
     val_stream = _val_batches()
+    buses = _search_buses(config, bus)
     for epoch in range(config.epochs):
-        model.combination.set_temperature(_annealed_temperature(config, epoch))
+        temperature = _annealed_temperature(config, epoch)
+        model.combination.set_temperature(temperature)
         model.train()
         losses: List[float] = []
         for batch in train.iter_batches(config.batch_size, shuffle=True, rng=rng):
@@ -186,8 +233,7 @@ def search_bilevel(train: CTRDataset, val: CTRDataset,
         record.val_auc = metrics["auc"]
         record.val_log_loss = metrics["log_loss"]
         history.append(record)
-        if config.verbose:
-            print(f"[bilevel] epoch {epoch}: {record.as_dict()}")
+        _emit_search_epoch(buses, model, record, temperature, stage="bilevel")
     return SearchResult(
         architecture=model.derive_architecture(),
         alpha=model.combination.alpha.data.copy(),

@@ -125,12 +125,17 @@ def _build_plain_model(name: str, train: CTRDataset, config: ExperimentConfig,
 
 
 def run_model(name: str, bundle: DatasetBundle,
-              config: ExperimentConfig) -> ResultRow:
-    """Train one registry model on a bundle and score it on the test split."""
+              config: ExperimentConfig, bus=None) -> ResultRow:
+    """Train one registry model on a bundle and score it on the test split.
+
+    ``bus`` (a :class:`repro.obs.events.EventBus`) receives the training
+    events of whichever pipeline the model name selects.
+    """
     rng = np.random.default_rng(config.seed)
     if name == "OptInter":
         result = run_optinter(bundle.train, bundle.val,
-                              config.search_config(), config.retrain_config())
+                              config.search_config(), config.retrain_config(),
+                              bus=bus)
         metrics = evaluate_model(result.model, bundle.test)
         return ResultRow(model=name, auc=metrics["auc"],
                          log_loss=metrics["log_loss"],
@@ -144,7 +149,7 @@ def run_model(name: str, bundle: DatasetBundle,
             batch_size=config.batch_size,
             search_epochs=config.search_epochs,
             retrain_epochs=config.epochs, patience=config.patience,
-            seed=config.seed)
+            seed=config.seed, bus=bus)
         metrics = evaluate_model(result.model, bundle.test)
         return ResultRow(model=name, auc=metrics["auc"],
                          log_loss=metrics["log_loss"],
@@ -156,12 +161,12 @@ def run_model(name: str, bundle: DatasetBundle,
         num_pairs = bundle.train.num_pairs
         arch = (Architecture.all_memorize(num_pairs) if name == "OptInter-M"
                 else Architecture.all_factorize(num_pairs))
-        row = run_fixed_architecture(arch, bundle, config, label=name)
+        row = run_fixed_architecture(arch, bundle, config, label=name, bus=bus)
         return row
     model = _build_plain_model(name, bundle.train, config, rng)
     trainer = Trainer(model, Adam(model.parameters(), lr=config.lr),
                       batch_size=config.batch_size, max_epochs=config.epochs,
-                      patience=config.patience, rng=rng)
+                      patience=config.patience, rng=rng, bus=bus)
     trainer.fit(bundle.train, bundle.val)
     metrics = evaluate_model(model, bundle.test)
     return ResultRow(model=name, auc=metrics["auc"],
@@ -171,10 +176,10 @@ def run_model(name: str, bundle: DatasetBundle,
 
 def run_fixed_architecture(architecture: Architecture, bundle: DatasetBundle,
                            config: ExperimentConfig,
-                           label: str = "fixed") -> ResultRow:
+                           label: str = "fixed", bus=None) -> ResultRow:
     """Retrain + score an explicit architecture (Table VIII / IX helper)."""
     model, _ = retrain(architecture, bundle.train, bundle.val,
-                       config.retrain_config())
+                       config.retrain_config(), bus=bus)
     metrics = evaluate_model(model, bundle.test)
     return ResultRow(model=label, auc=metrics["auc"],
                      log_loss=metrics["log_loss"],

@@ -98,7 +98,8 @@ def train_autofis(train: CTRDataset, val: CTRDataset, embed_dim: int = 8,
                   grda_c: float = 5e-4, grda_mu: float = 0.8,
                   batch_size: int = 512, search_epochs: int = 5,
                   retrain_epochs: int = 10, patience: int = 3,
-                  seed: int = 0, verbose: bool = False) -> AutoFISResult:
+                  seed: int = 0, verbose: bool = False,
+                  bus=None) -> AutoFISResult:
     """Full AutoFIS pipeline: GRDA-gated search, then masked retrain.
 
     Mirrors the paper's baseline setup (Table IV lists the GRDA ``mu`` and
@@ -126,7 +127,7 @@ def train_autofis(train: CTRDataset, val: CTRDataset, embed_dim: int = 8,
 
     trainer = Trainer(search_model, _JointOptimizer(), batch_size=batch_size,
                       max_epochs=search_epochs, patience=max(search_epochs, 1),
-                      rng=rng, verbose=verbose)
+                      rng=rng, verbose=verbose, bus=bus)
     search_history = trainer.fit(train, val)
     selection = (search_model.gates.data != 0.0).astype(np.float64)
     if selection.sum() == 0:
@@ -139,7 +140,7 @@ def train_autofis(train: CTRDataset, val: CTRDataset, embed_dim: int = 8,
                             rng=np.random.default_rng(seed + 1))
     retrainer = Trainer(retrain_model, Adam(retrain_model.parameters(), lr=lr),
                         batch_size=batch_size, max_epochs=retrain_epochs,
-                        patience=patience, rng=rng, verbose=verbose)
+                        patience=patience, rng=rng, verbose=verbose, bus=bus)
     retrain_history = retrainer.fit(train, val)
     return AutoFISResult(model=retrain_model, selection=selection,
                          search_history=search_history,

@@ -1,0 +1,50 @@
+"""``repro.obs`` — observability: structured events, metrics and profiling.
+
+Three cooperating layers, all optional and zero-cost when unused:
+
+* :mod:`repro.obs.events` — a typed event bus with pluggable sinks
+  (JSONL file, in-memory buffer, console).  The training loop, the
+  architecture search and the CLI all publish through it, so one trace
+  file carries per-epoch losses, α snapshots and evaluation metrics.
+* :mod:`repro.obs.metrics` — a process-local metrics registry with
+  counters, gauges, streaming histograms and a ``perf_counter`` timer
+  context for ad-hoc instrumentation.
+* :mod:`repro.obs.profiler` — an autodiff profiler that hooks
+  :class:`~repro.nn.tensor.Tensor` op construction and
+  :class:`~repro.nn.module.Module` forward calls to attribute wall-clock
+  time, call counts and array bytes to individual ops.  The hooks are
+  installed only inside ``with Profiler(...):`` — the disabled path is
+  the unmodified hot path.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    ConsoleSink,
+    Event,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    read_trace,
+    register_event_type,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .profiler import ModuleStat, OpStat, Profiler
+
+__all__ = [
+    "EVENT_TYPES",
+    "Event",
+    "EventBus",
+    "JsonlSink",
+    "MemorySink",
+    "ConsoleSink",
+    "read_trace",
+    "register_event_type",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "Profiler",
+    "OpStat",
+    "ModuleStat",
+]

@@ -1,0 +1,211 @@
+"""Process-local metrics: counters, gauges, streaming histograms, timers.
+
+The registry is deliberately simple — names map to metric objects that
+are cheap to update from hot loops.  Histograms are fixed-bucket
+(exponential boundaries by default) so a long training run observes
+millions of values in O(1) memory and fully deterministically: no
+reservoir sampling, hence no RNG interaction with training (a property
+the profiler determinism tests rely on).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
+           "default_buckets"]
+
+
+def default_buckets(start: float = 1e-6, factor: float = 4.0,
+                    count: int = 16) -> List[float]:
+    """Exponential bucket upper bounds, tuned for seconds-scale timings.
+
+    The default spans 1 µs .. ~4300 s, wide enough for both a single
+    numpy op and a full training epoch.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return [start * factor**i for i in range(count)]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (learning rate, temperature, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming histogram with fixed exponential buckets.
+
+    Tracks count / sum / min / max exactly and approximates quantiles by
+    linear interpolation inside the bucket containing the target rank.
+    """
+
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        bounds = sorted(buckets) if buckets is not None else default_buckets()
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = list(bounds)
+        # counts[i] pairs with bounds[i]; the final slot is the overflow.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile (0 <= q <= 1) from bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i] if i < len(self.bounds) else (
+                    self.max if self.max is not None else self.bounds[-1])
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(fraction, 0.0)
+                # Exact extremes beat bucket interpolation at the tails.
+                if self.min is not None:
+                    estimate = max(estimate, self.min) if q > 0 else self.min
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+            cumulative += bucket_count
+        return self.max
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Timer:
+    """``perf_counter`` context manager feeding a histogram.
+
+    ::
+
+        with registry.timer("forward"):
+            model(batch)
+    """
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self.elapsed: Optional[float] = None
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self.histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Asking twice for the same name returns the same object; asking for a
+    name already registered as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(name, Histogram,
+                                   lambda: Histogram(name, buckets=buckets))
+
+    def timer(self, name: str) -> Timer:
+        """A fresh timer context feeding the histogram called ``name``."""
+        return Timer(self.histogram(name))
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics rendered to plain dicts (JSON-ready)."""
+        return {name: metric.as_dict()
+                for name, metric in sorted(self._metrics.items())}
+
+    def reset(self) -> None:
+        self._metrics.clear()

@@ -1,7 +1,15 @@
-"""Training history: per-epoch metric records and best-epoch tracking."""
+"""Training history: per-epoch metric records and best-epoch tracking.
+
+Histories serialise to JSONL using the same line shape as live traces
+written by :class:`repro.obs.events.JsonlSink` — one
+``{"type": "epoch_end", "time": ..., "payload": {...}}`` object per
+line — so a trace file recorded during training *is* a loadable history
+(``History.from_jsonl(Path("trace.jsonl").read_text())``).
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -57,3 +65,38 @@ class History:
 
     def val_aucs(self) -> List[float]:
         return [r.val_auc for r in self.records if r.val_auc is not None]
+
+    # ------------------------------------------------------------------
+    # JSONL (trace-compatible) serialisation
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One ``epoch_end`` event line per record (trace file format)."""
+        lines = [json.dumps({"type": "epoch_end", "time": 0.0,
+                             "payload": record.as_dict()})
+                 for record in self.records]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "History":
+        """Rebuild a history from JSONL written by :meth:`to_jsonl` or by
+        a live :class:`~repro.obs.events.JsonlSink` trace.
+
+        Non-``epoch_end`` lines (``search_alpha``, ``eval``, ...) and
+        unknown payload keys (``epoch_s``, ``stage``, ...) are ignored,
+        so any trace containing epoch events round-trips.
+        """
+        history = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            raw = json.loads(line)
+            if raw.get("type") != "epoch_end":
+                continue
+            payload = raw.get("payload", {})
+            history.append(EpochRecord(
+                epoch=int(payload["epoch"]),
+                train_loss=float(payload["train_loss"]),
+                val_auc=payload.get("val_auc"),
+                val_log_loss=payload.get("val_log_loss"),
+            ))
+        return history

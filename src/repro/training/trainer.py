@@ -6,11 +6,18 @@ registered parameters (including, for OptInter's search stage, the
 architecture parameters α) updated simultaneously by the supplied
 optimizer.  Early stopping restores the parameters of the best validation
 epoch, matching common CTR practice.
+
+Observability: the trainer publishes ``run_start`` / ``epoch_end`` /
+``eval`` / ``step`` / ``run_end`` events on an optional
+:class:`~repro.obs.events.EventBus`; ``verbose=True`` is sugar for
+attaching a :class:`~repro.obs.events.ConsoleSink`-backed bus, so the
+human-readable log and a JSONL trace are the same event stream.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import time
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -18,6 +25,7 @@ from ..data.dataset import Batch, CTRDataset
 from ..nn.losses import binary_cross_entropy_with_logits
 from ..nn.module import Module
 from ..nn.optim import Optimizer
+from ..obs.events import ConsoleSink, EventBus
 from .history import EpochRecord, History
 from .metrics import evaluate_predictions
 
@@ -35,7 +43,9 @@ def predict_dataset(model: Module, dataset: CTRDataset,
             logits = model(batch)
             chunks.append(logits.sigmoid().numpy().ravel())
     model.train(was_training)
-    return np.concatenate(chunks) if chunks else np.empty(0)
+    # The empty case must match the dtype of the populated case so
+    # downstream metric code never branches on dtype.
+    return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)
 
 
 def evaluate_model(model: Module, dataset: CTRDataset,
@@ -46,7 +56,13 @@ def evaluate_model(model: Module, dataset: CTRDataset,
 
 
 class Trainer:
-    """Orchestrates epochs, early stopping and best-weight restoration."""
+    """Orchestrates epochs, early stopping and best-weight restoration.
+
+    ``bus`` receives structured events for every epoch (and, when
+    ``log_every`` is set, every ``log_every``-th step).  ``verbose``
+    keeps its historical meaning — per-epoch progress on stdout — but is
+    now routed through the same event layer.
+    """
 
     def __init__(
         self,
@@ -60,6 +76,8 @@ class Trainer:
         grad_clip_norm: Optional[float] = None,
         lr_decay: Optional[float] = None,
         verbose: bool = False,
+        bus: Optional[EventBus] = None,
+        log_every: Optional[int] = None,
     ) -> None:
         if patience < 1:
             raise ValueError(f"patience must be >= 1, got {patience}")
@@ -67,6 +85,8 @@ class Trainer:
             raise ValueError("grad_clip_norm must be positive")
         if lr_decay is not None and not 0 < lr_decay <= 1:
             raise ValueError("lr_decay must be in (0, 1]")
+        if log_every is not None and log_every < 1:
+            raise ValueError(f"log_every must be >= 1, got {log_every}")
         self.model = model
         self.optimizer = optimizer
         self.batch_size = batch_size
@@ -77,6 +97,18 @@ class Trainer:
         self.grad_clip_norm = grad_clip_norm
         self.lr_decay = lr_decay
         self.verbose = verbose
+        self.bus = bus
+        self.log_every = log_every
+        self._global_step = 0
+        self._buses: List[EventBus] = []
+        if bus is not None:
+            self._buses.append(bus)
+        if verbose:
+            self._buses.append(EventBus([ConsoleSink()]))
+
+    def _emit(self, event_type: str, **payload) -> None:
+        for bus in self._buses:
+            bus.emit(event_type, **payload)
 
     def _clip_gradients(self) -> None:
         """Scale all gradients so their global L2 norm is at most the cap."""
@@ -95,7 +127,7 @@ class Trainer:
         for group in self.optimizer.param_groups:
             group["lr"] = group["lr"] * self.lr_decay
 
-    def train_epoch(self, train: CTRDataset) -> float:
+    def train_epoch(self, train: CTRDataset, epoch: int = 0) -> float:
         """One pass over the training data; returns the mean batch loss."""
         self.model.train()
         losses = []
@@ -114,6 +146,11 @@ class Trainer:
                 self._clip_gradients()
             self.optimizer.step()
             losses.append(value)
+            self._global_step += 1
+            if (self.log_every is not None
+                    and self._global_step % self.log_every == 0):
+                self._emit("step", epoch=epoch, step=self._global_step,
+                           loss=value)
             if self.on_step is not None:
                 self.on_step(self.model, batch, value)
         return float(np.mean(losses)) if losses else float("nan")
@@ -124,12 +161,18 @@ class Trainer:
         With a validation set, stops after ``patience`` epochs without AUC
         improvement and restores the best epoch's weights.
         """
+        run_start = time.perf_counter()
+        self._emit("run_start", model=type(self.model).__name__,
+                   params=self.model.num_parameters(),
+                   n_train=len(train), n_val=len(val) if val is not None else 0,
+                   batch_size=self.batch_size, max_epochs=self.max_epochs)
         history = History()
         best_auc = -np.inf
         best_state = None
         stale = 0
         for epoch in range(self.max_epochs):
-            train_loss = self.train_epoch(train)
+            epoch_start = time.perf_counter()
+            train_loss = self.train_epoch(train, epoch=epoch)
             if self.lr_decay is not None:
                 self._decay_learning_rates()
             record = EpochRecord(epoch=epoch, train_loss=train_loss)
@@ -137,6 +180,8 @@ class Trainer:
                 metrics = evaluate_model(self.model, val)
                 record.val_auc = metrics["auc"]
                 record.val_log_loss = metrics["log_loss"]
+                self._emit("eval", split="val", epoch=epoch,
+                           auc=record.val_auc, log_loss=record.val_log_loss)
                 if record.val_auc > best_auc:
                     best_auc = record.val_auc
                     best_state = self.model.state_dict()
@@ -144,10 +189,13 @@ class Trainer:
                 else:
                     stale += 1
             history.append(record)
-            if self.verbose:
-                print(f"epoch {epoch}: {record.as_dict()}")
+            self._emit("epoch_end", epoch_s=time.perf_counter() - epoch_start,
+                       **record.as_dict())
             if val is not None and stale >= self.patience:
                 break
         if best_state is not None:
             self.model.load_state_dict(best_state)
+        self._emit("run_end", epochs_run=len(history),
+                   best_val_auc=None if best_auc == -np.inf else best_auc,
+                   wall_s=time.perf_counter() - run_start)
         return history

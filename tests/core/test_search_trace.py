@@ -1,0 +1,104 @@
+"""Search-stage observability: α snapshots reconstruct the selection."""
+
+import numpy as np
+
+from repro.core import Architecture, SearchConfig, search_bilevel, search_optinter
+from repro.core.architecture import METHOD_ORDER
+from repro.obs import EventBus, MemorySink, read_trace
+
+
+def _config(**overrides):
+    base = dict(embed_dim=4, cross_embed_dim=2, hidden_dims=(8,),
+                epochs=2, batch_size=128, lr=5e-3, lr_arch=2e-2,
+                temperature_start=1.0, temperature_end=0.4, seed=0)
+    base.update(overrides)
+    return SearchConfig(**base)
+
+
+class TestSearchAlphaEvents:
+    def test_one_snapshot_per_epoch(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        search_optinter(train, val, _config(), bus=EventBus([sink]))
+        snapshots = sink.of_type("search_alpha")
+        assert len(snapshots) == 2
+        assert [e.payload["epoch"] for e in snapshots] == [0, 1]
+        assert all(e.payload["stage"] == "search" for e in snapshots)
+
+    def test_final_snapshot_matches_search_result(self, tiny_splits):
+        """Acceptance: the per-pair selection is reconstructable from the
+        trace alone and equals the returned ``SearchResult``."""
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        result = search_optinter(train, val, _config(), bus=EventBus([sink]))
+        final = sink.of_type("search_alpha")[-1].payload
+        assert final["methods"] == [m.value for m in result.architecture]
+        assert final["counts"] == result.architecture.counts()
+        np.testing.assert_allclose(np.asarray(final["alpha"]), result.alpha)
+        rebuilt = Architecture.from_alpha(np.asarray(final["alpha"]))
+        assert rebuilt == result.architecture
+
+    def test_snapshot_shapes_and_probabilities(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        search_optinter(train, val, _config(epochs=1), bus=EventBus([sink]))
+        payload = sink.of_type("search_alpha")[0].payload
+        num_pairs = train.num_pairs
+        alpha = np.asarray(payload["alpha"])
+        probs = np.asarray(payload["probabilities"])
+        assert alpha.shape == (num_pairs, len(METHOD_ORDER))
+        assert probs.shape == (num_pairs, len(METHOD_ORDER))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+        assert len(payload["methods"]) == num_pairs
+
+    def test_temperature_annealing_visible_in_trace(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        search_optinter(train, val, _config(epochs=3), bus=EventBus([sink]))
+        temps = [e.payload["temperature"] for e in sink.of_type("search_alpha")]
+        assert temps[0] == 1.0
+        assert temps[-1] == 0.4
+        assert temps == sorted(temps, reverse=True)
+
+    def test_epoch_end_events_accompany_snapshots(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        result = search_optinter(train, val, _config(), bus=EventBus([sink]))
+        epochs = sink.of_type("epoch_end")
+        assert len(epochs) == len(result.history)
+        assert epochs[0].payload["train_loss"] == result.history.records[0].train_loss
+
+    def test_search_without_bus_emits_nothing(self, tiny_splits):
+        train, val, _ = tiny_splits
+        result = search_optinter(train, val, _config())
+        assert result.architecture.num_pairs == train.num_pairs
+
+    def test_events_unchanged_by_observation(self, tiny_splits):
+        """Attaching a bus must not perturb the search trajectory."""
+        train, val, _ = tiny_splits
+        plain = search_optinter(train, val, _config())
+        observed = search_optinter(train, val, _config(),
+                                   bus=EventBus([MemorySink()]))
+        np.testing.assert_array_equal(plain.alpha, observed.alpha)
+        assert plain.architecture == observed.architecture
+
+    def test_jsonl_trace_round_trip(self, tiny_splits, tmp_path):
+        train, val, _ = tiny_splits
+        path = tmp_path / "search.jsonl"
+        with EventBus.to_jsonl(path) as bus:
+            result = search_optinter(train, val, _config(), bus=bus)
+        events = read_trace(path, "search_alpha")
+        assert len(events) == 2
+        assert events[-1].payload["methods"] == [m.value
+                                                 for m in result.architecture]
+
+    def test_bilevel_search_also_traced(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        result = search_bilevel(train, val, _config(epochs=1),
+                                bus=EventBus([sink]))
+        snapshots = sink.of_type("search_alpha")
+        assert len(snapshots) == 1
+        assert snapshots[0].payload["stage"] == "bilevel"
+        assert snapshots[0].payload["methods"] == [m.value
+                                                   for m in result.architecture]

@@ -1,0 +1,178 @@
+"""Event bus: typed events, sinks, JSONL round-trips."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    ConsoleSink,
+    Event,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    read_trace,
+    register_event_type,
+)
+
+
+class TestEvent:
+    def test_json_round_trip(self):
+        event = Event(type="eval", payload={"auc": 0.75, "split": "val"})
+        restored = Event.from_json(event.to_json())
+        assert restored.type == "eval"
+        assert restored.payload == {"auc": 0.75, "split": "val"}
+        assert restored.time == event.time
+
+    def test_numpy_payload_serialises(self):
+        event = Event(type="search_alpha",
+                      payload={"alpha": np.arange(6, dtype=np.float64).reshape(2, 3),
+                               "epoch": np.int64(3),
+                               "loss": np.float64(0.5)})
+        raw = json.loads(event.to_json())
+        assert raw["payload"]["alpha"] == [[0, 1, 2], [3, 4, 5]]
+        assert raw["payload"]["epoch"] == 3
+        assert raw["payload"]["loss"] == 0.5
+
+    def test_nested_numpy_in_dicts_and_lists(self):
+        event = Event(type="op_timing",
+                      payload={"ops": {"add": {"bytes": np.int64(8)}},
+                               "series": [np.float64(1.0)]})
+        raw = json.loads(event.to_json())
+        assert raw["payload"]["ops"]["add"]["bytes"] == 8
+        assert raw["payload"]["series"] == [1.0]
+
+
+class TestEventBus:
+    def test_emit_fans_out_to_all_sinks(self):
+        a, b = MemorySink(), MemorySink()
+        bus = EventBus([a, b])
+        bus.emit("epoch_end", epoch=0, train_loss=0.7)
+        assert len(a) == len(b) == 1
+        assert a.events[0].payload["epoch"] == 0
+
+    def test_unknown_type_rejected(self):
+        bus = EventBus([MemorySink()])
+        with pytest.raises(ValueError, match="unknown event type"):
+            bus.emit("no_such_event")
+
+    def test_registered_custom_type_accepted(self):
+        name = register_event_type("custom_for_test")
+        sink = MemorySink()
+        EventBus([sink]).emit(name, value=1)
+        assert sink.events[0].type == name
+
+    def test_invalid_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_event_type("")
+
+    def test_bus_with_no_sinks_is_noop(self):
+        event = EventBus().emit("step", loss=0.1)
+        assert event.payload == {"loss": 0.1}
+
+    def test_publish_prebuilt_event(self):
+        sink = MemorySink()
+        EventBus([sink]).publish(Event(type="eval", payload={"auc": 0.5}))
+        assert sink.of_type("eval")[0].payload["auc"] == 0.5
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with EventBus.to_jsonl(path) as bus:
+            bus.emit("run_start", model="FNN")
+        with pytest.raises(RuntimeError, match="closed"):
+            bus.sinks[0].emit(Event(type="run_end"))
+
+
+class TestMemorySink:
+    def test_of_type_filters(self):
+        sink = MemorySink()
+        bus = EventBus([sink])
+        bus.emit("step", loss=0.1)
+        bus.emit("epoch_end", epoch=0, train_loss=0.2)
+        bus.emit("step", loss=0.05)
+        assert [e.payload["loss"] for e in sink.of_type("step")] == [0.1, 0.05]
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        bus = EventBus.to_jsonl(path)
+        bus.emit("epoch_end", epoch=0, train_loss=0.9)
+        bus.emit("epoch_end", epoch=1, train_loss=0.8)
+        bus.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["payload"]["epoch"] == 1
+
+    def test_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for epoch in range(2):
+            with EventBus.to_jsonl(path) as bus:
+                bus.emit("epoch_end", epoch=epoch, train_loss=0.5)
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_flushes_while_open(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        bus = EventBus.to_jsonl(path)
+        bus.emit("step", loss=0.3)
+        # Readable before close — important for tailing live runs.
+        assert json.loads(path.read_text().splitlines()[0])["type"] == "step"
+        bus.close()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with EventBus.to_jsonl(path) as bus:
+            bus.emit("run_start")
+        assert path.exists()
+
+
+class TestConsoleSink:
+    def test_renders_payload(self):
+        stream = io.StringIO()
+        sink = ConsoleSink(stream=stream)
+        sink.emit(Event(type="epoch_end",
+                        payload={"epoch": 1, "train_loss": 0.53125}))
+        out = stream.getvalue()
+        assert "[epoch_end]" in out
+        assert "epoch=1" in out
+        assert "train_loss=0.53125" in out
+
+    def test_step_events_suppressed_by_default(self):
+        stream = io.StringIO()
+        ConsoleSink(stream=stream).emit(Event(type="step", payload={"loss": 1.0}))
+        assert stream.getvalue() == ""
+
+    def test_step_events_opt_in(self):
+        stream = io.StringIO()
+        ConsoleSink(stream=stream, include_steps=True).emit(
+            Event(type="step", payload={"loss": 1.0}))
+        assert "[step]" in stream.getvalue()
+
+    def test_long_arrays_abbreviated(self):
+        stream = io.StringIO()
+        ConsoleSink(stream=stream).emit(
+            Event(type="search_alpha", payload={"alpha": [[0.1] * 3] * 10}))
+        assert "<10 values>" in stream.getvalue()
+
+
+class TestReadTrace:
+    def test_round_trip_with_filter(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with EventBus.to_jsonl(path) as bus:
+            bus.emit("epoch_end", epoch=0, train_loss=0.4)
+            bus.emit("search_alpha", epoch=0, methods=["naive"])
+            bus.emit("epoch_end", epoch=1, train_loss=0.3)
+        assert len(read_trace(path)) == 3
+        alphas = read_trace(path, "search_alpha")
+        assert len(alphas) == 1
+        assert alphas[0].payload["methods"] == ["naive"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace(tmp_path / "absent.jsonl")
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "eval", "payload": {"auc": 0.5}}\n\n\n')
+        assert len(read_trace(path)) == 1

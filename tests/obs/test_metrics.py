@@ -1,0 +1,132 @@
+"""Metrics registry: counters, gauges, streaming histograms, timers."""
+
+import time
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import default_buckets
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("steps")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("steps").inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        g = Gauge("temperature")
+        g.set(1.0)
+        g.set(0.3)
+        assert g.value == 0.3
+
+    def test_unset_is_none(self):
+        assert Gauge("lr").value is None
+
+
+class TestHistogram:
+    def test_exact_summary_stats(self):
+        h = Histogram("loss", buckets=[0.5, 1.0, 2.0])
+        for v in (0.1, 0.4, 0.9, 1.5):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(2.9)
+        assert h.min == 0.1
+        assert h.max == 1.5
+        assert h.mean == pytest.approx(0.725)
+
+    def test_bucket_assignment_and_overflow(self):
+        h = Histogram("t", buckets=[1.0, 10.0])
+        for v in (0.5, 0.9, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+
+    def test_quantiles_bracket_the_data(self):
+        h = Histogram("t", buckets=default_buckets(start=0.01, factor=2,
+                                                   count=20))
+        for v in range(1, 101):
+            h.observe(v / 10.0)
+        p50 = h.quantile(0.5)
+        assert 3.0 <= p50 <= 8.0
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram("t").quantile(0.5) is None
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("t").quantile(1.5)
+
+    def test_as_dict_is_json_shaped(self):
+        h = Histogram("t")
+        h.observe(0.5)
+        summary = h.as_dict()
+        assert summary["count"] == 1
+        assert set(summary) == {"count", "sum", "min", "max", "mean",
+                                "p50", "p99"}
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=[])
+        with pytest.raises(ValueError):
+            default_buckets(start=0)
+
+
+class TestTimer:
+    def test_records_elapsed_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("sleep") as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        hist = registry.histogram("sleep")
+        assert hist.count == 1
+        assert hist.total >= 0.01
+
+    def test_repeated_timers_share_histogram(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.timer("op"):
+                pass
+        assert registry.histogram("op").count == 3
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_covers_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc(2)
+        registry.gauge("lr").set(0.001)
+        registry.histogram("loss").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["steps"]["value"] == 2
+        assert snap["lr"]["value"] == 0.001
+        assert snap["loss"]["count"] == 1
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("temp")
+        assert "temp" in registry
+        assert registry.names() == ["temp"]
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.reset()
+        assert registry.names() == []

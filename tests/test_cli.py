@@ -99,3 +99,69 @@ class TestCommands:
     def test_retrain_missing_architecture(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["retrain", "--arch", str(tmp_path / "absent.json")])
+
+
+class TestObservability:
+    def test_search_trace_reconstructs_selection(self, capsys, tmp_path):
+        """Acceptance: search_alpha events in the trace decode to the same
+        per-pair method selection the CLI reports."""
+        from repro.io import load_architecture as load_arch
+        from repro.obs import read_trace
+
+        trace = tmp_path / "trace.jsonl"
+        arch_path = tmp_path / "arch.json"
+        assert main(["search", "--trace", str(trace),
+                     "--arch-out", str(arch_path)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        snapshots = read_trace(trace, "search_alpha")
+        assert len(snapshots) >= 1
+        arch = load_arch(arch_path)
+        assert snapshots[-1].payload["methods"] == [m.value for m in arch]
+        assert snapshots[-1].payload["counts"] == arch.counts()
+
+    def test_train_trace_has_epoch_events(self, capsys, tmp_path):
+        from repro.obs import read_trace
+        from repro.training import History
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["train", "LR", "--trace", str(trace)]) == 0
+        epochs = read_trace(trace, "epoch_end")
+        assert len(epochs) >= 1
+        # The trace doubles as a loadable History.
+        history = History.from_jsonl(trace.read_text())
+        assert len(history) == len(epochs)
+
+    def test_retrain_trace(self, capsys, tmp_path):
+        trace = tmp_path / "retrain.jsonl"
+        arch_path = tmp_path / "arch.json"
+        assert main(["search", "--arch-out", str(arch_path)]) == 0
+        assert main(["retrain", "--arch", str(arch_path),
+                     "--trace", str(trace)]) == 0
+        from repro.obs import read_trace
+
+        assert len(read_trace(trace, "epoch_end")) >= 1
+
+    def test_profile_prints_op_table(self, capsys):
+        assert main(["profile", "--samples", "1200", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fwd self (s)" in out      # per-op table header
+        assert "matmul" in out
+        assert "embedding_lookup" in out
+        assert "wall clock" in out
+        assert "module" in out            # per-module table
+
+    def test_profile_writes_bench_json(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_obs.json"
+        assert main(["profile", "--samples", "1200", "--epochs", "1",
+                     "--out", str(out_path)]) == 0
+        payload = load_results(out_path)
+        assert payload["command"] == "profile"
+        assert payload["wall_s"] > 0
+        assert payload["ops"]["matmul"]["calls"] > 0
+        assert payload["modules"]["OptInterModel"]["calls"] > 0
+
+    def test_profile_leaves_no_hooks_behind(self, capsys):
+        from repro.nn.tensor import Tensor
+
+        assert main(["profile", "--samples", "1200", "--epochs", "1"]) == 0
+        assert not hasattr(Tensor.__mul__, "_obs_original")

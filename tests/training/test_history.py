@@ -1,5 +1,7 @@
 """History container behaviour."""
 
+import json
+
 from repro.training import EpochRecord, History
 
 
@@ -53,3 +55,58 @@ class TestHistory:
         history = History()
         history.append(EpochRecord(epoch=0, train_loss=1.0))
         assert [r.epoch for r in history] == [0]
+
+
+class TestHistoryJsonl:
+    def _sample(self):
+        history = History()
+        history.append(EpochRecord(epoch=0, train_loss=0.9))
+        history.append(EpochRecord(epoch=1, train_loss=0.7, val_auc=0.65,
+                                   val_log_loss=0.5))
+        return history
+
+    def test_round_trip(self):
+        history = self._sample()
+        restored = History.from_jsonl(history.to_jsonl())
+        assert len(restored) == 2
+        assert restored.records == history.records
+
+    def test_empty_round_trip(self):
+        assert History.from_jsonl(History().to_jsonl()).records == []
+        assert History().to_jsonl() == ""
+
+    def test_lines_are_trace_shaped(self):
+        lines = self._sample().to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["type"] == "epoch_end"
+        assert first["payload"] == {"epoch": 0, "train_loss": 0.9}
+
+    def test_missing_val_metrics_stay_none(self):
+        restored = History.from_jsonl(self._sample().to_jsonl())
+        assert restored.records[0].val_auc is None
+        assert restored.records[1].val_auc == 0.65
+
+    def test_from_jsonl_ignores_other_event_types_and_extra_keys(self):
+        """A live trace mixes epoch_end with search_alpha / eval events and
+        decorates payloads (epoch_s, stage); loading must tolerate both."""
+        lines = [
+            json.dumps({"type": "run_start", "time": 1.0,
+                        "payload": {"model": "FNN"}}),
+            json.dumps({"type": "epoch_end", "time": 2.0,
+                        "payload": {"epoch": 0, "train_loss": 0.8,
+                                    "epoch_s": 0.1, "stage": "search"}}),
+            json.dumps({"type": "search_alpha", "time": 2.1,
+                        "payload": {"epoch": 0, "methods": ["naive"]}}),
+            "",
+        ]
+        restored = History.from_jsonl("\n".join(lines))
+        assert len(restored) == 1
+        assert restored.records[0].train_loss == 0.8
+        assert restored.records[0].val_auc is None
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        history = self._sample()
+        path.write_text(history.to_jsonl())
+        assert History.from_jsonl(path.read_text()).records == history.records

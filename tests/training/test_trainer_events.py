@@ -1,0 +1,126 @@
+"""Trainer observability: event emission and the empty-split regression."""
+
+import io
+from contextlib import redirect_stdout
+
+import numpy as np
+
+from repro.models import FNN, LogisticRegression
+from repro.nn.optim import Adam
+from repro.obs import EventBus, MemorySink
+from repro.training import History, Trainer, predict_dataset
+
+
+def _trainer(train, bus=None, verbose=False, log_every=None, max_epochs=2):
+    model = LogisticRegression(train.cardinalities,
+                               rng=np.random.default_rng(0))
+    return Trainer(model, Adam(model.parameters(), lr=1e-2),
+                   batch_size=128, max_epochs=max_epochs,
+                   rng=np.random.default_rng(1), bus=bus, verbose=verbose,
+                   log_every=log_every)
+
+
+class TestTrainerEvents:
+    def test_epoch_end_events_match_history(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        history = _trainer(train, bus=EventBus([sink])).fit(train, val)
+        epochs = sink.of_type("epoch_end")
+        assert len(epochs) == len(history)
+        for event, record in zip(epochs, history):
+            assert event.payload["epoch"] == record.epoch
+            assert event.payload["train_loss"] == record.train_loss
+            assert event.payload["val_auc"] == record.val_auc
+            assert event.payload["epoch_s"] > 0
+
+    def test_run_start_and_end_bracket_the_run(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        _trainer(train, bus=EventBus([sink])).fit(train, val)
+        start = sink.of_type("run_start")
+        end = sink.of_type("run_end")
+        assert len(start) == len(end) == 1
+        assert start[0].payload["model"] == "LogisticRegression"
+        assert start[0].payload["n_train"] == len(train)
+        assert end[0].payload["epochs_run"] == 2
+        assert end[0].payload["wall_s"] > 0
+
+    def test_eval_events_carry_val_metrics(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        _trainer(train, bus=EventBus([sink])).fit(train, val)
+        evals = sink.of_type("eval")
+        assert len(evals) == 2
+        assert all(e.payload["split"] == "val" for e in evals)
+        assert all(0.0 <= e.payload["auc"] <= 1.0 for e in evals)
+
+    def test_no_eval_events_without_validation(self, tiny_splits):
+        train, _, _ = tiny_splits
+        sink = MemorySink()
+        _trainer(train, bus=EventBus([sink])).fit(train)
+        assert sink.of_type("eval") == []
+
+    def test_step_events_respect_log_every(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        trainer = _trainer(train, bus=EventBus([sink]), log_every=3,
+                           max_epochs=1)
+        trainer.fit(train, val)
+        n_batches = int(np.ceil(len(train) / trainer.batch_size))
+        steps = sink.of_type("step")
+        assert len(steps) == n_batches // 3
+        assert [e.payload["step"] for e in steps] == [3 * (i + 1)
+                                                      for i in range(len(steps))]
+
+    def test_no_step_events_by_default(self, tiny_splits):
+        train, val, _ = tiny_splits
+        sink = MemorySink()
+        _trainer(train, bus=EventBus([sink])).fit(train, val)
+        assert sink.of_type("step") == []
+
+    def test_verbose_prints_through_event_layer(self, tiny_splits):
+        train, val, _ = tiny_splits
+        out = io.StringIO()
+        with redirect_stdout(out):
+            _trainer(train, verbose=True).fit(train, val)
+        text = out.getvalue()
+        assert "[epoch_end]" in text
+        assert "train_loss=" in text
+
+    def test_silent_without_verbose_or_bus(self, tiny_splits):
+        train, val, _ = tiny_splits
+        out = io.StringIO()
+        with redirect_stdout(out):
+            _trainer(train).fit(train, val)
+        assert out.getvalue() == ""
+
+    def test_history_reconstructable_from_trace(self, tiny_splits, tmp_path):
+        """epoch_end events in a JSONL trace ARE a loadable History."""
+        train, val, _ = tiny_splits
+        path = tmp_path / "trace.jsonl"
+        with EventBus.to_jsonl(path) as bus:
+            history = _trainer(train, bus=bus).fit(train, val)
+        restored = History.from_jsonl(path.read_text())
+        assert restored.train_losses() == history.train_losses()
+        assert restored.val_aucs() == history.val_aucs()
+
+
+class TestEmptySplit:
+    def test_predict_dataset_empty_is_float64(self, tiny_splits):
+        train, _, _ = tiny_splits
+        empty = train.subset(np.array([], dtype=np.int64))
+        model = FNN(train.cardinalities, embed_dim=4, hidden_dims=(8,),
+                    rng=np.random.default_rng(0))
+        probs = predict_dataset(model, empty)
+        assert probs.shape == (0,)
+        assert probs.dtype == np.float64
+
+    def test_empty_predictions_concatenate_with_real_ones(self, tiny_splits):
+        train, val, _ = tiny_splits
+        model = FNN(train.cardinalities, embed_dim=4, hidden_dims=(8,),
+                    rng=np.random.default_rng(0))
+        empty = train.subset(np.array([], dtype=np.int64))
+        merged = np.concatenate([predict_dataset(model, empty),
+                                 predict_dataset(model, val)])
+        assert merged.dtype == np.float64
+        assert len(merged) == len(val)
