@@ -15,9 +15,9 @@ Quickstart::
     print(result.architecture, evaluate_model(result.model, test))
 """
 
-from . import analysis, core, data, io, models, nn, obs, training
+from . import analysis, core, data, io, models, nn, obs, resilience, training
 
 __version__ = "1.0.0"
 
 __all__ = ["nn", "data", "models", "core", "training", "analysis", "io",
-           "obs", "__version__"]
+           "obs", "resilience", "__version__"]

@@ -15,7 +15,10 @@ persists the structured results as JSON via :mod:`repro.io`.  The
 ``train`` / ``search`` / ``retrain`` commands accept ``--trace PATH`` to
 stream structured events (per-epoch losses, evaluation metrics and — for
 ``search`` — per-epoch α snapshots) to a JSONL file; see
-``docs/observability.md``.
+``docs/observability.md``.  The same three commands accept
+``--checkpoint-dir DIR`` to write atomic full-state checkpoints every
+epoch and ``--resume`` to continue an interrupted run from the newest
+valid one; see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -74,6 +77,22 @@ def _add_trace(parser: argparse.ArgumentParser) -> None:
                              "(epoch_end/eval/search_alpha/...) to PATH")
 
 
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="write a full-state checkpoint (model + "
+                             "optimizer + RNG + history) here after every "
+                             "epoch; see docs/robustness.md")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from the newest valid checkpoint in "
+                             "--checkpoint-dir (falls back past a corrupt "
+                             "newest file)")
+
+
+def _check_resume(args) -> None:
+    if getattr(args, "resume", False) and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+
+
 def _open_bus(args):
     """An EventBus writing to ``--trace``, or None when untraced."""
     from .obs import EventBus
@@ -111,12 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(train)
     _add_dataset(train)
     _add_trace(train)
+    _add_resilience(train)
     train.add_argument("--out", default=None, help="write metrics JSON here")
 
     search = sub.add_parser("search", help="run the search stage only")
     _add_scale(search)
     _add_dataset(search)
     _add_trace(search)
+    _add_resilience(search)
     search.add_argument("--arch-out", default=None,
                         help="write the searched architecture JSON here")
 
@@ -137,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(retrain)
     _add_dataset(retrain)
     _add_trace(retrain)
+    _add_resilience(retrain)
     retrain.add_argument("--checkpoint", default=None,
                          help="write the trained model .npz here")
 
@@ -194,11 +216,14 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    _check_resume(args)
     config = default_config(args.dataset, args.scale)
     bundle = prepare_dataset(config)
     bus = _open_bus(args)
     try:
-        row = run_model(args.model, bundle, config, bus=bus)
+        row = run_model(args.model, bundle, config, bus=bus,
+                        checkpoint_dir=args.checkpoint_dir,
+                        resume=args.resume)
     finally:
         if bus is not None:
             bus.close()
@@ -220,12 +245,15 @@ def _cmd_train(args) -> int:
 def _cmd_search(args) -> int:
     from .core import search_optinter
 
+    _check_resume(args)
     config = default_config(args.dataset, args.scale)
     bundle = prepare_dataset(config)
     bus = _open_bus(args)
     try:
         result = search_optinter(bundle.train, bundle.val,
-                                 config.search_config(), bus=bus)
+                                 config.search_config(), bus=bus,
+                                 checkpoint_dir=args.checkpoint_dir,
+                                 resume=args.resume)
     finally:
         if bus is not None:
             bus.close()
@@ -244,13 +272,16 @@ def _cmd_retrain(args) -> int:
     from .core import retrain
     from .training import evaluate_model
 
+    _check_resume(args)
     config = default_config(args.dataset, args.scale)
     bundle = prepare_dataset(config)
     architecture = load_architecture(args.arch)
     bus = _open_bus(args)
     try:
         model, _ = retrain(architecture, bundle.train, bundle.val,
-                           config.retrain_config(), bus=bus)
+                           config.retrain_config(), bus=bus,
+                           checkpoint_dir=args.checkpoint_dir,
+                           resume=args.resume)
     finally:
         if bus is not None:
             bus.close()

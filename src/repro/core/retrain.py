@@ -10,13 +10,16 @@ Table IX).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataset import CTRDataset
+from ..fsutil import PathLike
 from ..nn.optim import Adam
 from ..obs.events import EventBus
+from ..resilience.recovery import RecoveryPolicy
 from ..training.history import History
 from ..training.trainer import Trainer
 from .architecture import Architecture
@@ -79,8 +82,16 @@ def build_fixed_model(architecture: Architecture, dataset: CTRDataset,
 def retrain(architecture: Architecture, train: CTRDataset,
             val: Optional[CTRDataset], config: RetrainConfig,
             verbose: bool = False,
-            bus: Optional[EventBus] = None) -> Tuple[OptInterModel, History]:
-    """Algorithm 2: train a fresh model under the fixed architecture."""
+            bus: Optional[EventBus] = None,
+            recovery: Optional[RecoveryPolicy] = None,
+            checkpoint_dir: Optional[PathLike] = None,
+            resume: bool = False) -> Tuple[OptInterModel, History]:
+    """Algorithm 2: train a fresh model under the fixed architecture.
+
+    ``checkpoint_dir``/``resume`` make the stage crash-safe via the
+    trainer's per-epoch full-state checkpoints; ``recovery`` attaches a
+    divergence guard (see :mod:`repro.resilience`).
+    """
     rng = np.random.default_rng(config.seed)
     model = build_fixed_model(architecture, train, config, rng=rng)
     cross_params = ([model.cross_embedding.table.weight]
@@ -94,7 +105,8 @@ def retrain(architecture: Architecture, train: CTRDataset,
     optimizer = Adam(groups)
     trainer = Trainer(model, optimizer, batch_size=config.batch_size,
                       max_epochs=config.epochs, patience=config.patience,
-                      rng=rng, verbose=verbose, bus=bus)
+                      rng=rng, verbose=verbose, bus=bus, recovery=recovery,
+                      checkpoint_dir=checkpoint_dir, resume=resume)
     history = trainer.fit(train, val)
     return model, history
 
@@ -103,8 +115,22 @@ def run_optinter(train: CTRDataset, val: Optional[CTRDataset],
                  search_config: Optional[SearchConfig] = None,
                  retrain_config: Optional[RetrainConfig] = None,
                  verbose: bool = False,
-                 bus: Optional[EventBus] = None) -> OptInterResult:
-    """The complete OptInter pipeline: search (Alg. 1) then re-train (Alg. 2)."""
+                 bus: Optional[EventBus] = None,
+                 recovery: Optional[RecoveryPolicy] = None,
+                 checkpoint_dir: Optional[PathLike] = None,
+                 resume: bool = False) -> OptInterResult:
+    """The complete OptInter pipeline: search (Alg. 1) then re-train (Alg. 2).
+
+    With ``checkpoint_dir`` each stage checkpoints into its own
+    subdirectory (``search/`` and ``retrain/``) and the searched
+    architecture is persisted to ``architecture.json`` the moment the
+    search stage completes.  ``resume=True`` continues wherever the
+    previous run died: mid-search resumes the search; a finished search
+    (marker file present) skips straight to resuming the re-train, in
+    which case the returned result's ``search`` field is ``None``.
+    """
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
     search_config = search_config or SearchConfig()
     retrain_config = retrain_config or RetrainConfig(
         embed_dim=search_config.embed_dim,
@@ -118,8 +144,29 @@ def run_optinter(train: CTRDataset, val: Optional[CTRDataset],
         seed=search_config.seed + 1,
     )
     search_config.verbose = search_config.verbose or verbose
-    result = search_optinter(train, val, search_config, bus=bus)
-    model, history = retrain(result.architecture, train, val, retrain_config,
-                             verbose=verbose, bus=bus)
-    return OptInterResult(model=model, architecture=result.architecture,
+    search_ckpt_dir = retrain_ckpt_dir = arch_path = None
+    if checkpoint_dir is not None:
+        root = Path(checkpoint_dir)
+        search_ckpt_dir = root / "search"
+        retrain_ckpt_dir = root / "retrain"
+        arch_path = root / "architecture.json"
+    result: Optional[SearchResult] = None
+    if resume and arch_path is not None and arch_path.exists():
+        # Search already completed in a previous run: reuse its output.
+        architecture = Architecture.from_json(arch_path.read_text())
+    else:
+        result = search_optinter(train, val, search_config, bus=bus,
+                                 recovery=recovery,
+                                 checkpoint_dir=search_ckpt_dir,
+                                 resume=resume)
+        architecture = result.architecture
+        if arch_path is not None:
+            from ..io import save_architecture
+
+            save_architecture(architecture, arch_path)
+    model, history = retrain(architecture, train, val, retrain_config,
+                             verbose=verbose, bus=bus, recovery=recovery,
+                             checkpoint_dir=retrain_ckpt_dir,
+                             resume=resume)
+    return OptInterResult(model=model, architecture=architecture,
                           search=result, retrain_history=history)

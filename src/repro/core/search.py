@@ -14,14 +14,18 @@ Three ways to obtain an architecture:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..data.dataset import CTRDataset
+from ..fsutil import PathLike
 from ..nn.losses import binary_cross_entropy_with_logits
 from ..nn.optim import Adam
 from ..obs.events import ConsoleSink, EventBus
+from ..resilience.checkpoint import CheckpointManager, TrainingCheckpoint
+from ..resilience.recovery import DivergenceGuard, RecoveryPolicy
 from ..training.history import EpochRecord, History
 from ..training.trainer import evaluate_model
 from .architecture import Architecture
@@ -37,6 +41,14 @@ def _search_buses(config: "SearchConfig",
     if config.verbose:
         buses.append(EventBus([ConsoleSink()]))
     return buses
+
+
+def _bus_emitter(buses: List[EventBus]):
+    """A ``(type, **payload)`` emitter fanning out to every bus."""
+    def emit(event_type: str, **payload) -> None:
+        for bus in buses:
+            bus.emit(event_type, **payload)
+    return emit
 
 
 def _emit_search_epoch(buses: List[EventBus], model: OptInterModel,
@@ -145,19 +157,59 @@ def _parameter_groups(model: OptInterModel, config: SearchConfig):
 
 def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
                     config: SearchConfig,
-                    bus: Optional[EventBus] = None) -> SearchResult:
+                    bus: Optional[EventBus] = None,
+                    recovery: Optional[RecoveryPolicy] = None,
+                    checkpoint_dir: Optional[PathLike] = None,
+                    resume: bool = False,
+                    keep_last: int = 3) -> SearchResult:
     """Algorithm 1: joint gradient descent on (Θ, α) over training batches.
 
     ``bus`` receives one ``search_alpha`` + ``epoch_end`` event pair per
     epoch; the final ``search_alpha`` event's argmax equals the returned
     :class:`SearchResult` architecture.
+
+    ``checkpoint_dir`` makes the search crash-safe: a full-state
+    checkpoint (Θ, α, optimizer moments, RNG stream, history) is written
+    atomically after every epoch, and ``resume=True`` continues from the
+    newest valid one, reproducing the uninterrupted search bit-for-bit.
+    ``recovery`` attaches a divergence guard that skips non-finite
+    batches and rolls back with the learning rate halved instead of
+    propagating NaNs into α.
     """
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
     rng = np.random.default_rng(config.seed)
     model = _build_search_model(train, config, rng)
     optimizer = Adam(_parameter_groups(model, config))
     history = History()
     buses = _search_buses(config, bus)
-    for epoch in range(config.epochs):
+    emit = _bus_emitter(buses)
+    manager = (CheckpointManager(Path(checkpoint_dir), keep_last=keep_last)
+               if checkpoint_dir is not None else None)
+    step = 0
+    start_epoch = 0
+    if manager is not None and resume:
+        loaded = manager.latest_valid(
+            on_corrupt=lambda path, error: emit(
+                "recovery", action="fallback", path=str(path),
+                error=str(error)))
+        if loaded is not None:
+            checkpoint, path = loaded
+            checkpoint.restore(model, optimizer, rng=rng)
+            history = checkpoint.history
+            step = checkpoint.global_step
+            start_epoch = checkpoint.epoch + 1
+            emit("recovery", action="resume", epoch=checkpoint.epoch,
+                 global_step=step, path=str(path))
+    guard = None
+    if recovery is not None:
+        def _rewind(extras):
+            nonlocal step
+            step = int(extras.get("step", step))
+        guard = DivergenceGuard(recovery, model, optimizer, emit=emit,
+                                on_rollback=_rewind)
+        guard.record_good(extras={"step": step})
+    for epoch in range(start_epoch, config.epochs):
         temperature = _annealed_temperature(config, epoch)
         model.combination.set_temperature(temperature)
         model.train()
@@ -165,9 +217,22 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
         for batch in train.iter_batches(config.batch_size, shuffle=True, rng=rng):
             optimizer.zero_grad()
             loss = binary_cross_entropy_with_logits(model(batch), batch.y)
-            loss.backward()
+            value = loss.item()
+            if guard is not None:
+                if not guard.loss_ok(value):
+                    guard.strike("non_finite_loss", stage="search",
+                                 epoch=epoch, step=step, loss=value)
+                    continue
+                loss.backward()
+                if not guard.gradients_ok():
+                    guard.strike("non_finite_gradient", stage="search",
+                                 epoch=epoch, step=step, loss=value)
+                    continue
+            else:
+                loss.backward()
             optimizer.step()
-            losses.append(loss.item())
+            losses.append(value)
+            step += 1
         record = EpochRecord(epoch=epoch, train_loss=float(np.mean(losses)))
         if val is not None and len(val) > 0:
             metrics = evaluate_model(model, val)
@@ -175,6 +240,14 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
             record.val_log_loss = metrics["log_loss"]
         history.append(record)
         _emit_search_epoch(buses, model, record, temperature, stage="search")
+        if manager is not None:
+            path = manager.save(TrainingCheckpoint.capture(
+                model, optimizer, epoch=epoch, global_step=step, rng=rng,
+                history=history))
+            emit("checkpoint", epoch=epoch, global_step=step,
+                 path=str(path))
+        if guard is not None:
+            guard.record_good(extras={"step": step})
     return SearchResult(
         architecture=model.derive_architecture(),
         alpha=model.combination.alpha.data.copy(),
@@ -185,12 +258,15 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
 
 def search_bilevel(train: CTRDataset, val: CTRDataset,
                    config: SearchConfig,
-                   bus: Optional[EventBus] = None) -> SearchResult:
+                   bus: Optional[EventBus] = None,
+                   recovery: Optional[RecoveryPolicy] = None) -> SearchResult:
     """DARTS-style bi-level ablation: Θ on train batches, α on val batches.
 
     The two parameter families alternate instead of sharing one update;
     the paper reports this as slower to converge and roughly twice as
-    memory-hungry (Table VIII).
+    memory-hungry (Table VIII).  ``recovery`` guards both levels: a
+    non-finite loss on either the Θ or the α step skips that update (and
+    past the strike budget rolls back both optimizers together).
     """
     if val is None or len(val) == 0:
         raise ValueError("bi-level search needs a non-empty validation set")
@@ -209,6 +285,13 @@ def search_bilevel(train: CTRDataset, val: CTRDataset,
 
     val_stream = _val_batches()
     buses = _search_buses(config, bus)
+    emit = _bus_emitter(buses)
+    guard = None
+    step = 0
+    if recovery is not None:
+        guard = DivergenceGuard(recovery, model, [theta_opt, alpha_opt],
+                                emit=emit)
+        guard.record_good()
     for epoch in range(config.epochs):
         temperature = _annealed_temperature(config, epoch)
         model.combination.set_temperature(temperature)
@@ -218,22 +301,47 @@ def search_bilevel(train: CTRDataset, val: CTRDataset,
             # Lower level: network weights on the training batch.
             model.zero_grad()
             loss = binary_cross_entropy_with_logits(model(batch), batch.y)
-            loss.backward()
-            theta_opt.step()
-            losses.append(loss.item())
+            value = loss.item()
+            if guard is not None and not guard.loss_ok(value):
+                guard.strike("non_finite_loss", stage="bilevel",
+                             level="theta", epoch=epoch, step=step,
+                             loss=value)
+            else:
+                loss.backward()
+                if guard is not None and not guard.gradients_ok():
+                    guard.strike("non_finite_gradient", stage="bilevel",
+                                 level="theta", epoch=epoch, step=step,
+                                 loss=value)
+                else:
+                    theta_opt.step()
+                    losses.append(value)
             # Upper level: architecture parameters on a validation batch.
             val_batch = next(val_stream)
             model.zero_grad()
             val_loss = binary_cross_entropy_with_logits(model(val_batch),
                                                         val_batch.y)
-            val_loss.backward()
-            alpha_opt.step()
+            val_value = val_loss.item()
+            if guard is not None and not guard.loss_ok(val_value):
+                guard.strike("non_finite_loss", stage="bilevel",
+                             level="alpha", epoch=epoch, step=step,
+                             loss=val_value)
+            else:
+                val_loss.backward()
+                if guard is not None and not guard.gradients_ok():
+                    guard.strike("non_finite_gradient", stage="bilevel",
+                                 level="alpha", epoch=epoch, step=step,
+                                 loss=val_value)
+                else:
+                    alpha_opt.step()
+            step += 1
         record = EpochRecord(epoch=epoch, train_loss=float(np.mean(losses)))
         metrics = evaluate_model(model, val)
         record.val_auc = metrics["auc"]
         record.val_log_loss = metrics["log_loss"]
         history.append(record)
         _emit_search_epoch(buses, model, record, temperature, stage="bilevel")
+        if guard is not None:
+            guard.record_good()
     return SearchResult(
         architecture=model.derive_architecture(),
         alpha=model.combination.alpha.data.copy(),

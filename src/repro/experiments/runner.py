@@ -125,17 +125,27 @@ def _build_plain_model(name: str, train: CTRDataset, config: ExperimentConfig,
 
 
 def run_model(name: str, bundle: DatasetBundle,
-              config: ExperimentConfig, bus=None) -> ResultRow:
+              config: ExperimentConfig, bus=None,
+              recovery=None, checkpoint_dir=None,
+              resume: bool = False) -> ResultRow:
     """Train one registry model on a bundle and score it on the test split.
 
     ``bus`` (a :class:`repro.obs.events.EventBus`) receives the training
     events of whichever pipeline the model name selects.
+
+    ``checkpoint_dir``/``resume`` enable crash-safe training with resume
+    from the newest valid full-state checkpoint; ``recovery`` (a
+    :class:`repro.resilience.RecoveryPolicy`) enables divergence
+    recovery.  Both are honoured by the OptInter pipelines, the
+    fixed-architecture variants and every plain Trainer-based baseline;
+    AutoFIS runs its own two-stage loop and currently ignores them.
     """
     rng = np.random.default_rng(config.seed)
     if name == "OptInter":
         result = run_optinter(bundle.train, bundle.val,
                               config.search_config(), config.retrain_config(),
-                              bus=bus)
+                              bus=bus, recovery=recovery,
+                              checkpoint_dir=checkpoint_dir, resume=resume)
         metrics = evaluate_model(result.model, bundle.test)
         return ResultRow(model=name, auc=metrics["auc"],
                          log_loss=metrics["log_loss"],
@@ -161,12 +171,17 @@ def run_model(name: str, bundle: DatasetBundle,
         num_pairs = bundle.train.num_pairs
         arch = (Architecture.all_memorize(num_pairs) if name == "OptInter-M"
                 else Architecture.all_factorize(num_pairs))
-        row = run_fixed_architecture(arch, bundle, config, label=name, bus=bus)
+        row = run_fixed_architecture(arch, bundle, config, label=name, bus=bus,
+                                     recovery=recovery,
+                                     checkpoint_dir=checkpoint_dir,
+                                     resume=resume)
         return row
     model = _build_plain_model(name, bundle.train, config, rng)
     trainer = Trainer(model, Adam(model.parameters(), lr=config.lr),
                       batch_size=config.batch_size, max_epochs=config.epochs,
-                      patience=config.patience, rng=rng, bus=bus)
+                      patience=config.patience, rng=rng, bus=bus,
+                      recovery=recovery, checkpoint_dir=checkpoint_dir,
+                      resume=resume)
     trainer.fit(bundle.train, bundle.val)
     metrics = evaluate_model(model, bundle.test)
     return ResultRow(model=name, auc=metrics["auc"],
@@ -176,10 +191,13 @@ def run_model(name: str, bundle: DatasetBundle,
 
 def run_fixed_architecture(architecture: Architecture, bundle: DatasetBundle,
                            config: ExperimentConfig,
-                           label: str = "fixed", bus=None) -> ResultRow:
+                           label: str = "fixed", bus=None, recovery=None,
+                           checkpoint_dir=None,
+                           resume: bool = False) -> ResultRow:
     """Retrain + score an explicit architecture (Table VIII / IX helper)."""
     model, _ = retrain(architecture, bundle.train, bundle.val,
-                       config.retrain_config(), bus=bus)
+                       config.retrain_config(), bus=bus, recovery=recovery,
+                       checkpoint_dir=checkpoint_dir, resume=resume)
     metrics = evaluate_model(model, bundle.test)
     return ResultRow(model=label, auc=metrics["auc"],
                      log_loss=metrics["log_loss"],

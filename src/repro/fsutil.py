@@ -1,0 +1,46 @@
+"""Filesystem primitives shared by persistence code.
+
+Kept free of any ``repro`` imports so low-level subsystems
+(:mod:`repro.io`, :mod:`repro.resilience.checkpoint`) can use the atomic
+writers without pulling in the model/architecture stack.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + replace).
+
+    A crash at any point leaves either the previous file intact or no
+    file — never a truncated artifact.  The temp file lives in the
+    destination directory so ``os.replace`` stays on one filesystem.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Atomic UTF-8 text write (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))

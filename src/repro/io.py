@@ -11,24 +11,40 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict
 
 import numpy as np
 
 from .core.architecture import Architecture
+from .fsutil import PathLike, atomic_write_bytes, atomic_write_text
 from .nn.module import Module
 
-PathLike = Union[str, Path]
+
+def _npz_path(path: PathLike) -> Path:
+    """Normalise a checkpoint path to carry the ``.npz`` suffix.
+
+    ``np.savez`` silently appends ``.npz`` when the name lacks it, so
+    without normalisation ``save_checkpoint(m, "ckpt")`` followed by
+    ``load_checkpoint(m, "ckpt")`` would look for a file that was never
+    written.  Both directions go through this helper.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
 
 
 def save_checkpoint(model: Module, path: PathLike) -> None:
-    """Write all parameters of ``model`` to an ``.npz`` file."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write all parameters of ``model`` to an ``.npz`` file (atomically)."""
+    path = _npz_path(path)
     state = model.state_dict()
     if not state:
         raise ValueError("model has no parameters to checkpoint")
-    np.savez(path, **state)
+    import io as _io
+
+    buffer = _io.BytesIO()
+    np.savez(buffer, **state)
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_checkpoint(model: Module, path: PathLike) -> Module:
@@ -37,7 +53,7 @@ def load_checkpoint(model: Module, path: PathLike) -> Module:
     The model must already have the right architecture; this restores
     values only, mirroring ``Module.load_state_dict`` semantics.
     """
-    path = Path(path)
+    path = _npz_path(path)
     if not path.exists():
         raise FileNotFoundError(f"no checkpoint at {path}")
     with np.load(path) as archive:
@@ -47,10 +63,8 @@ def load_checkpoint(model: Module, path: PathLike) -> Module:
 
 
 def save_architecture(architecture: Architecture, path: PathLike) -> None:
-    """Write an architecture to a JSON file."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(architecture.to_json())
+    """Write an architecture to a JSON file (atomically)."""
+    atomic_write_text(Path(path), architecture.to_json())
 
 
 def load_architecture(path: PathLike) -> Architecture:
@@ -77,11 +91,11 @@ class _NumpyEncoder(json.JSONEncoder):
 
 
 def save_results(results: Dict[str, Any], path: PathLike) -> None:
-    """Write an experiment-result dictionary as pretty-printed JSON."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(results, indent=2, sort_keys=True,
-                               cls=_NumpyEncoder))
+    """Write an experiment-result dictionary as pretty-printed JSON
+    (atomically, so a crash mid-write never truncates the artifact)."""
+    atomic_write_text(Path(path), json.dumps(results, indent=2,
+                                             sort_keys=True,
+                                             cls=_NumpyEncoder))
 
 
 def load_results(path: PathLike) -> Dict[str, Any]:

@@ -11,13 +11,14 @@ sparsity-inducing optimizer AutoFIS uses for its interaction gates.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .module import Parameter
 
 ParamGroup = Dict[str, object]
+SlotTable = Dict[int, np.ndarray]
 
 
 def _as_groups(
@@ -41,7 +42,15 @@ def _as_groups(
 
 
 class Optimizer:
-    """Base optimizer over parameter groups."""
+    """Base optimizer over parameter groups.
+
+    Every optimizer is fully resumable: :meth:`state_dict` captures the
+    group hyper-parameters (including any learning rate decayed since
+    construction) and the per-parameter slot arrays (moments,
+    accumulators, ...), and :meth:`load_state_dict` restores them into a
+    freshly built instance holding the *same parameter list in the same
+    order* — the contract checkpoint resume relies on.
+    """
 
     def __init__(
         self,
@@ -58,6 +67,81 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # State (de)serialisation
+    # ------------------------------------------------------------------
+    def _flat_params(self) -> List[Parameter]:
+        """All parameters across groups, in group order (stable index)."""
+        return [p for group in self.param_groups for p in group["params"]]
+
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        """Per-parameter state tables keyed by ``id(param)``.
+
+        Subclasses return their *live* dicts (e.g. Adam's first/second
+        moments) so the base-class machinery can snapshot and restore
+        them without knowing the update rule.
+        """
+        return {}
+
+    def _extra_state(self) -> Dict[str, Any]:
+        """Scalar state beyond the slot tables (e.g. the step counter)."""
+        return {}
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        pass
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot: group hyper-parameters, slot arrays and scalar state.
+
+        Parameters are identified by their flat index across groups, so
+        the snapshot is independent of ``id()`` values and loads into any
+        instance constructed over the same parameter list.
+        """
+        index = {id(p): i for i, p in enumerate(self._flat_params())}
+        state: Dict[str, Dict[str, np.ndarray]] = {}
+        for slot, table in self._slot_tables().items():
+            for pid, value in table.items():
+                state.setdefault(str(index[pid]), {})[slot] = (
+                    np.array(value, copy=True))
+        return {
+            "groups": [{k: v for k, v in group.items() if k != "params"}
+                       for group in self.param_groups],
+            "state": state,
+            "extra": dict(self._extra_state()),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        groups = state.get("groups", [])
+        if len(groups) != len(self.param_groups):
+            raise ValueError(
+                f"optimizer state holds {len(groups)} parameter groups, "
+                f"this instance has {len(self.param_groups)}")
+        params = self._flat_params()
+        tables = self._slot_tables()
+        for index_str, slots in state.get("state", {}).items():
+            i = int(index_str)
+            if not 0 <= i < len(params):
+                raise ValueError(
+                    f"optimizer state refers to parameter {i} but this "
+                    f"instance has only {len(params)} parameters")
+            for slot in slots:
+                if slot not in tables:
+                    raise KeyError(
+                        f"unknown optimizer state slot {slot!r} for "
+                        f"{type(self).__name__} (expected "
+                        f"{sorted(tables)})")
+        for group, saved in zip(self.param_groups, groups):
+            for key, value in saved.items():
+                group[key] = value
+        for table in tables.values():
+            table.clear()
+        for index_str, slots in state.get("state", {}).items():
+            param = params[int(index_str)]
+            for slot, value in slots.items():
+                tables[slot][id(param)] = np.array(value, copy=True)
+        self._load_extra_state(state.get("extra", {}))
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and L2 decay."""
@@ -67,6 +151,9 @@ class SGD(Optimizer):
         super().__init__(params, {"lr": lr, "momentum": momentum,
                                   "weight_decay": weight_decay})
         self._velocity: Dict[int, np.ndarray] = {}
+
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for group in self.param_groups:
@@ -103,6 +190,15 @@ class Adam(Optimizer):
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
         self._t = 0
+
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        return {"m": self._m, "v": self._v}
+
+    def _extra_state(self) -> Dict[str, Any]:
+        return {"t": self._t}
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        self._t = int(extra.get("t", 0))
 
     def step(self) -> None:
         self._t += 1
@@ -155,6 +251,15 @@ class SparseAdam(Optimizer):
         self._v: Dict[int, np.ndarray] = {}
         self._last_step: Dict[int, np.ndarray] = {}
         self._t = 0
+
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        return {"m": self._m, "v": self._v, "last_step": self._last_step}
+
+    def _extra_state(self) -> Dict[str, Any]:
+        return {"t": self._t}
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        self._t = int(extra.get("t", 0))
 
     def step(self) -> None:
         self._t += 1
@@ -217,6 +322,9 @@ class Adagrad(Optimizer):
                                   "weight_decay": weight_decay})
         self._accumulator: Dict[int, np.ndarray] = {}
 
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        return {"accumulator": self._accumulator}
+
     def step(self) -> None:
         for group in self.param_groups:
             lr = group["lr"]
@@ -243,6 +351,9 @@ class RMSprop(Optimizer):
         super().__init__(params, {"lr": lr, "alpha": alpha, "eps": eps,
                                   "weight_decay": weight_decay})
         self._square_avg: Dict[int, np.ndarray] = {}
+
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        return {"square_avg": self._square_avg}
 
     def step(self) -> None:
         for group in self.param_groups:
@@ -281,6 +392,9 @@ class FTRLProximal(Optimizer):
                                   "l1": l1, "l2": l2})
         self._z: Dict[int, np.ndarray] = {}
         self._n: Dict[int, np.ndarray] = {}
+
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        return {"z": self._z, "n": self._n}
 
     def step(self) -> None:
         for group in self.param_groups:
@@ -325,6 +439,15 @@ class GRDA(Optimizer):
         self._accumulator: Dict[int, np.ndarray] = {}
         self._initial: Dict[int, np.ndarray] = {}
         self._t = 0
+
+    def _slot_tables(self) -> Dict[str, SlotTable]:
+        return {"accumulator": self._accumulator, "initial": self._initial}
+
+    def _extra_state(self) -> Dict[str, Any]:
+        return {"t": self._t}
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        self._t = int(extra.get("t", 0))
 
     def step(self) -> None:
         self._t += 1

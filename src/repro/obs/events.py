@@ -34,6 +34,8 @@ EVENT_TYPES = {
     "eval",        # an evaluation pass (AUC / log loss on a split)
     "search_alpha",  # architecture-parameter snapshot during search
     "op_timing",   # profiler output: per-op cumulative timings
+    "recovery",    # fault handling: batch skip, rollback, resume, fallback
+    "checkpoint",  # a training checkpoint was written (path, epoch, step)
 }
 
 

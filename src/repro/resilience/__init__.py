@@ -1,0 +1,54 @@
+"""``repro.resilience`` — fault-tolerant training for the OptInter pipeline.
+
+Long two-stage search/retrain runs (Algorithms 1 and 2) die to the same
+three hazards every production training stack plans for: preemption
+mid-epoch, numeric divergence (NaN loss/gradient spikes) and corrupt
+artifacts.  This package makes all three survivable:
+
+* :mod:`repro.resilience.checkpoint` — versioned, checksummed,
+  atomically-written full-state checkpoints (model + optimizer moments +
+  RNG stream + counters + history) with keep-last-K retention and
+  corrupt-newest fallback, so an interrupted run resumes **bit-for-bit**.
+* :mod:`repro.resilience.recovery` — a :class:`RecoveryPolicy` +
+  :class:`DivergenceGuard` that skip poisoned batches, roll back to the
+  last good state with the learning rate halved, and only surface the
+  error after the restart budget is spent.  Every skip/rollback emits a
+  typed ``recovery`` event on the observability bus.
+* :mod:`repro.resilience.faults` — fault injectors (batch corruption,
+  gradient poisoning, simulated crashes) that the test-suite uses to
+  prove the guarantees end-to-end.
+
+See ``docs/robustness.md`` for the checkpoint format and a worked
+resume example.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    CorruptCheckpointError,
+    TrainingCheckpoint,
+)
+from .faults import (
+    BatchCorruptor,
+    CrashAtStep,
+    FaultyDataset,
+    GradientPoison,
+    InjectedCrash,
+    corrupt_batch,
+)
+from .recovery import DivergenceGuard, RecoveryPolicy
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "TrainingCheckpoint",
+    "CheckpointManager",
+    "CorruptCheckpointError",
+    "RecoveryPolicy",
+    "DivergenceGuard",
+    "BatchCorruptor",
+    "FaultyDataset",
+    "GradientPoison",
+    "CrashAtStep",
+    "InjectedCrash",
+    "corrupt_batch",
+]

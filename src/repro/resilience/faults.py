@@ -1,0 +1,151 @@
+"""Fault injection: corrupt batches, poison gradients, crash on cue.
+
+The injectors exist to *prove* the recovery machinery works end-to-end:
+the resilience test-suite interrupts real training runs with them and
+asserts that resumed runs reproduce uninterrupted ones bit-for-bit and
+that poisoned gradients trigger logged rollbacks instead of wasted runs.
+
+Three fault families, matching the failure modes production training
+actually sees:
+
+* :class:`BatchCorruptor` / :class:`FaultyDataset` — data poisoning: at
+  a chosen batch index the labels (or label subsets) are replaced with
+  NaN, driving the loss non-finite exactly once.
+* :class:`GradientPoison` — numeric blow-up: at a chosen optimizer step
+  the gradients of one (or every) parameter are filled with NaN/Inf,
+  as an overflowing kernel would.  Plug it into ``Trainer(on_backward=...)``.
+* :class:`CrashAtStep` — preemption: raises :class:`InjectedCrash` after
+  a chosen number of completed optimizer steps, simulating a SIGKILL
+  mid-epoch.  Plug it into ``Trainer(on_step=...)``.
+
+All injectors fire **once** (they disarm after triggering) and count
+globally across epochs, so "crash at step 7" means the 7th applied
+update of the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..data.dataset import Batch, CTRDataset
+
+
+class InjectedCrash(RuntimeError):
+    """Deliberate crash raised by :class:`CrashAtStep` (simulated kill)."""
+
+
+def corrupt_batch(batch: Batch, value: float = float("nan"),
+                  fraction: float = 1.0,
+                  rng: Optional[np.random.Generator] = None) -> Batch:
+    """A copy of ``batch`` with ``fraction`` of its labels set to ``value``.
+
+    Labels are the only float field of a CTR batch (features are integer
+    category ids), so label corruption is the canonical way a bad batch
+    poisons the loss.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    y = np.array(batch.y, dtype=np.float64, copy=True)
+    if fraction >= 1.0:
+        y[:] = value
+    else:
+        rng = rng or np.random.default_rng()
+        count = max(1, int(round(fraction * y.size)))
+        y[rng.choice(y.size, size=count, replace=False)] = value
+    return Batch(x=batch.x, x_cross=batch.x_cross, y=y,
+                 x_triple=batch.x_triple)
+
+
+@dataclass
+class BatchCorruptor:
+    """Corrupt exactly one batch — the ``at_batch``-th one seen (0-based)."""
+
+    at_batch: int
+    value: float = float("nan")
+    fraction: float = 1.0
+    seen: int = field(default=0, init=False)
+    fired: bool = field(default=False, init=False)
+
+    def __call__(self, batch: Batch) -> Batch:
+        index = self.seen
+        self.seen += 1
+        if not self.fired and index == self.at_batch:
+            self.fired = True
+            return corrupt_batch(batch, value=self.value,
+                                 fraction=self.fraction)
+        return batch
+
+
+class FaultyDataset:
+    """A :class:`~repro.data.dataset.CTRDataset` proxy that feeds every batch
+    through a :class:`BatchCorruptor` — drop-in for any training loop
+    that only reads the dataset through ``iter_batches``/``len``.
+    """
+
+    def __init__(self, base: CTRDataset, corruptor: BatchCorruptor) -> None:
+        self._base = base
+        self.corruptor = corruptor
+
+    def iter_batches(self, *args, **kwargs) -> Iterator[Batch]:
+        for batch in self._base.iter_batches(*args, **kwargs):
+            yield self.corruptor(batch)
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+@dataclass
+class GradientPoison:
+    """Overwrite gradients with ``value`` at one optimizer step.
+
+    Use as ``Trainer(on_backward=GradientPoison(at_step=k))``: the hook
+    runs after ``loss.backward()`` and before the divergence guard's
+    gradient check, so a guarded run skips the poisoned update while an
+    unguarded run applies it and blows up — exactly the contrast the
+    NaN-recovery tests assert.
+
+    ``param_name`` restricts the poison to parameters whose dotted name
+    contains the substring; by default every gradient is hit.
+    """
+
+    at_step: int
+    value: float = float("nan")
+    param_name: Optional[str] = None
+    fired: bool = field(default=False, init=False)
+
+    def __call__(self, model, batch: Batch, step: int) -> None:
+        if self.fired or step != self.at_step:
+            return
+        self.fired = True
+        for name, param in model.named_parameters():
+            if self.param_name is not None and self.param_name not in name:
+                continue
+            if param.grad is not None:
+                param.grad = np.full_like(param.grad, self.value)
+
+
+@dataclass
+class CrashAtStep:
+    """Raise :class:`InjectedCrash` once ``at_step`` updates have applied.
+
+    Use as ``Trainer(on_step=CrashAtStep(at_step=k))`` — the hook runs
+    after the optimizer step, so the crash lands *between* updates just
+    like a real preemption.
+    """
+
+    at_step: int
+    applied: int = field(default=0, init=False)
+    fired: bool = field(default=False, init=False)
+
+    def __call__(self, model, batch: Batch, loss: float) -> None:
+        self.applied += 1
+        if not self.fired and self.applied >= self.at_step:
+            self.fired = True
+            raise InjectedCrash(
+                f"injected crash after {self.applied} optimizer steps")

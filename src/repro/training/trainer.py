@@ -12,20 +12,35 @@ Observability: the trainer publishes ``run_start`` / ``epoch_end`` /
 :class:`~repro.obs.events.EventBus`; ``verbose=True`` is sugar for
 attaching a :class:`~repro.obs.events.ConsoleSink`-backed bus, so the
 human-readable log and a JSONL trace are the same event stream.
+
+Resilience: with ``checkpoint_dir`` set the trainer writes a full-state
+:class:`~repro.resilience.checkpoint.TrainingCheckpoint` (model +
+optimizer + RNG + counters + history + early-stopping state) after every
+epoch, and ``resume=True`` continues from the newest *valid* checkpoint
+— falling back past a corrupt one — reproducing the uninterrupted run
+bit-for-bit.  With a :class:`~repro.resilience.recovery.RecoveryPolicy`
+the loop survives non-finite losses/gradients by skipping the poisoned
+batch and, past a strike budget, rolling back to the last good state
+with the learning rate halved; every skip/rollback/resume emits a
+``recovery`` event.
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..data.dataset import Batch, CTRDataset
+from ..fsutil import PathLike
 from ..nn.losses import binary_cross_entropy_with_logits
 from ..nn.module import Module
 from ..nn.optim import Optimizer
 from ..obs.events import ConsoleSink, EventBus
+from ..resilience.checkpoint import CheckpointManager, TrainingCheckpoint
+from ..resilience.recovery import DivergenceGuard, RecoveryPolicy
 from .history import EpochRecord, History
 from .metrics import evaluate_predictions
 
@@ -62,6 +77,15 @@ class Trainer:
     ``log_every`` is set, every ``log_every``-th step).  ``verbose``
     keeps its historical meaning — per-epoch progress on stdout — but is
     now routed through the same event layer.
+
+    ``recovery`` enables divergence recovery (see module docstring);
+    without it a non-finite loss raises immediately, preserving the
+    historical fail-fast behaviour.  ``checkpoint_dir`` enables
+    per-epoch full-state checkpoints with ``keep_last`` retention, and
+    ``resume=True`` continues a previous run from that directory.
+    ``on_backward`` runs between ``loss.backward()`` and the optimizer
+    step (the hook fault injection uses to poison gradients);
+    ``on_step`` runs after each applied update.
     """
 
     def __init__(
@@ -78,6 +102,11 @@ class Trainer:
         verbose: bool = False,
         bus: Optional[EventBus] = None,
         log_every: Optional[int] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        checkpoint_dir: Optional[PathLike] = None,
+        keep_last: int = 3,
+        resume: bool = False,
+        on_backward: Optional[Callable[[Module, Batch, int], None]] = None,
     ) -> None:
         if patience < 1:
             raise ValueError(f"patience must be >= 1, got {patience}")
@@ -87,6 +116,8 @@ class Trainer:
             raise ValueError("lr_decay must be in (0, 1]")
         if log_every is not None and log_every < 1:
             raise ValueError(f"log_every must be >= 1, got {log_every}")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
         self.model = model
         self.optimizer = optimizer
         self.batch_size = batch_size
@@ -94,21 +125,34 @@ class Trainer:
         self.patience = patience
         self.rng = rng or np.random.default_rng()
         self.on_step = on_step
+        self.on_backward = on_backward
         self.grad_clip_norm = grad_clip_norm
         self.lr_decay = lr_decay
         self.verbose = verbose
         self.bus = bus
         self.log_every = log_every
+        self.resume = resume
+        self.checkpoints: Optional[CheckpointManager] = (
+            CheckpointManager(Path(checkpoint_dir), keep_last=keep_last)
+            if checkpoint_dir is not None else None)
         self._global_step = 0
         self._buses: List[EventBus] = []
         if bus is not None:
             self._buses.append(bus)
         if verbose:
             self._buses.append(EventBus([ConsoleSink()]))
+        self._guard: Optional[DivergenceGuard] = (
+            DivergenceGuard(recovery, model, optimizer, emit=self._emit,
+                            on_rollback=self._rewind)
+            if recovery is not None else None)
 
     def _emit(self, event_type: str, **payload) -> None:
         for bus in self._buses:
             bus.emit(event_type, **payload)
+
+    def _rewind(self, extras: Dict) -> None:
+        """Rollback callback: rewind counters stored with the snapshot."""
+        self._global_step = int(extras.get("global_step", self._global_step))
 
     def _clip_gradients(self) -> None:
         """Scale all gradients so their global L2 norm is at most the cap."""
@@ -128,7 +172,12 @@ class Trainer:
             group["lr"] = group["lr"] * self.lr_decay
 
     def train_epoch(self, train: CTRDataset, epoch: int = 0) -> float:
-        """One pass over the training data; returns the mean batch loss."""
+        """One pass over the training data; returns the mean batch loss.
+
+        Without a recovery policy a non-finite loss raises immediately;
+        with one, poisoned batches are skipped (and counted as strikes)
+        instead — see :class:`~repro.resilience.recovery.DivergenceGuard`.
+        """
         self.model.train()
         losses = []
         for batch in train.iter_batches(self.batch_size, shuffle=True, rng=self.rng):
@@ -137,11 +186,22 @@ class Trainer:
             loss = binary_cross_entropy_with_logits(logits, batch.y)
             value = loss.item()
             if not np.isfinite(value):
-                raise RuntimeError(
-                    f"non-finite training loss ({value}); lower the "
-                    "learning rate or inspect the input data"
-                )
+                if self._guard is None:
+                    raise RuntimeError(
+                        f"non-finite training loss ({value}) at epoch "
+                        f"{epoch}, global step {self._global_step}; lower "
+                        "the learning rate or inspect the input data"
+                    )
+                self._guard.strike("non_finite_loss", epoch=epoch,
+                                   step=self._global_step, loss=value)
+                continue
             loss.backward()
+            if self.on_backward is not None:
+                self.on_backward(self.model, batch, self._global_step)
+            if self._guard is not None and not self._guard.gradients_ok():
+                self._guard.strike("non_finite_gradient", epoch=epoch,
+                                   step=self._global_step, loss=value)
+                continue
             if self.grad_clip_norm is not None:
                 self._clip_gradients()
             self.optimizer.step()
@@ -155,22 +215,71 @@ class Trainer:
                 self.on_step(self.model, batch, value)
         return float(np.mean(losses)) if losses else float("nan")
 
+    def _on_corrupt(self, path: Path, error: Exception) -> None:
+        self._emit("recovery", action="fallback", path=str(path),
+                   error=str(error))
+
+    def _try_resume(self):
+        """Load the newest valid checkpoint; returns it or ``None``."""
+        loaded = self.checkpoints.latest_valid(on_corrupt=self._on_corrupt)
+        if loaded is None:
+            return None
+        checkpoint, path = loaded
+        checkpoint.restore(self.model, self.optimizer, rng=self.rng)
+        self._global_step = checkpoint.global_step
+        self._emit("recovery", action="resume", epoch=checkpoint.epoch,
+                   global_step=checkpoint.global_step, path=str(path))
+        return checkpoint
+
+    def _save_checkpoint(self, epoch: int, history: History,
+                         best_auc: float, stale: int,
+                         best_state: Optional[Dict[str, np.ndarray]]) -> None:
+        checkpoint = TrainingCheckpoint.capture(
+            self.model, self.optimizer, epoch=epoch,
+            global_step=self._global_step, rng=self.rng, history=history,
+            extras={"best_auc": (None if best_auc == -np.inf
+                                 else float(best_auc)),
+                    "stale": int(stale)},
+            best_state=best_state,
+        )
+        path = self.checkpoints.save(checkpoint)
+        self._emit("checkpoint", epoch=epoch,
+                   global_step=self._global_step, path=str(path))
+
     def fit(self, train: CTRDataset, val: Optional[CTRDataset] = None) -> History:
         """Train until convergence or ``max_epochs``.
 
         With a validation set, stops after ``patience`` epochs without AUC
-        improvement and restores the best epoch's weights.
+        improvement and restores the best epoch's weights.  When resuming,
+        the returned :class:`History` includes the epochs recorded before
+        the interruption, so it matches the uninterrupted run's history.
         """
         run_start = time.perf_counter()
-        self._emit("run_start", model=type(self.model).__name__,
-                   params=self.model.num_parameters(),
-                   n_train=len(train), n_val=len(val) if val is not None else 0,
-                   batch_size=self.batch_size, max_epochs=self.max_epochs)
         history = History()
         best_auc = -np.inf
         best_state = None
         stale = 0
-        for epoch in range(self.max_epochs):
+        start_epoch = 0
+        if self.checkpoints is not None and self.resume:
+            checkpoint = self._try_resume()
+            if checkpoint is not None:
+                history = checkpoint.history
+                start_epoch = checkpoint.epoch + 1
+                saved_auc = checkpoint.extras.get("best_auc")
+                best_auc = -np.inf if saved_auc is None else float(saved_auc)
+                stale = int(checkpoint.extras.get("stale", 0))
+                best_state = checkpoint.best_state
+        self._emit("run_start", model=type(self.model).__name__,
+                   params=self.model.num_parameters(),
+                   n_train=len(train), n_val=len(val) if val is not None else 0,
+                   batch_size=self.batch_size, max_epochs=self.max_epochs)
+        if self._guard is not None:
+            self._guard.record_good(extras={"global_step": self._global_step})
+        for epoch in range(start_epoch, self.max_epochs):
+            # Checked at the top so a resume from the early-stop epoch's
+            # checkpoint does not train past where the original stopped.
+            if val is not None and stale >= self.patience:
+                break
             epoch_start = time.perf_counter()
             train_loss = self.train_epoch(train, epoch=epoch)
             if self.lr_decay is not None:
@@ -191,8 +300,12 @@ class Trainer:
             history.append(record)
             self._emit("epoch_end", epoch_s=time.perf_counter() - epoch_start,
                        **record.as_dict())
-            if val is not None and stale >= self.patience:
-                break
+            if self.checkpoints is not None:
+                self._save_checkpoint(epoch, history, best_auc, stale,
+                                      best_state)
+            if self._guard is not None:
+                self._guard.record_good(
+                    extras={"global_step": self._global_step})
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self._emit("run_end", epochs_run=len(history),

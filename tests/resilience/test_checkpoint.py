@@ -1,0 +1,213 @@
+"""TrainingCheckpoint / CheckpointManager: round-trips, integrity, retention."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.models import FNN
+from repro.nn.optim import Adam
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    CorruptCheckpointError,
+    TrainingCheckpoint,
+)
+from repro.training.history import EpochRecord, History
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture()
+def model_and_opt(tiny_dataset, rng):
+    model = FNN(tiny_dataset.cardinalities, embed_dim=4, hidden_dims=(8,),
+                rng=rng)
+    return model, Adam(model.parameters(), lr=1e-2)
+
+
+def _history(n=2):
+    history = History()
+    for epoch in range(n):
+        history.append(EpochRecord(epoch=epoch, train_loss=0.5 - 0.1 * epoch,
+                                   val_auc=0.6 + 0.05 * epoch))
+    return history
+
+
+class TestTrainingCheckpoint:
+    def test_roundtrip_preserves_everything(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        gen = np.random.default_rng(123)
+        gen.random(10)  # advance the stream so the state is non-trivial
+        ckpt = TrainingCheckpoint.capture(
+            model, opt, epoch=4, global_step=37, rng=gen,
+            history=_history(), extras={"best_auc": 0.71, "stale": 1},
+            best_state=model.state_dict())
+        path = tmp_path / "ckpt.npz"
+        ckpt.save(path)
+        loaded = TrainingCheckpoint.load(path)
+        assert loaded.epoch == 4
+        assert loaded.global_step == 37
+        assert loaded.version == CHECKPOINT_VERSION
+        assert loaded.extras == {"best_auc": 0.71, "stale": 1}
+        assert [r.as_dict() for r in loaded.history] == \
+               [r.as_dict() for r in ckpt.history]
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(loaded.model_state[key], value)
+            np.testing.assert_array_equal(loaded.best_state[key], value)
+        assert loaded.rng_state == ckpt.rng_state
+
+    def test_restore_resumes_rng_stream(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        gen = np.random.default_rng(9)
+        gen.random(5)
+        ckpt = TrainingCheckpoint.capture(model, opt, epoch=0, global_step=0,
+                                          rng=gen)
+        expected = gen.random(4)  # what the stream yields after the snapshot
+        path = tmp_path / "c.npz"
+        ckpt.save(path)
+        fresh = np.random.default_rng(777)
+        TrainingCheckpoint.load(path).restore(model, opt, rng=fresh)
+        np.testing.assert_array_equal(fresh.random(4), expected)
+
+    def test_restore_loads_model_and_optimizer(self, model_and_opt,
+                                               tiny_dataset, tmp_path):
+        model, opt = model_and_opt
+        batch = tiny_dataset.full_batch()
+        before = model(batch).numpy()
+        ckpt = TrainingCheckpoint.capture(model, opt, epoch=0, global_step=0)
+        # Perturb the weights, then restore.
+        for param in model.parameters():
+            param.data = param.data + 1.0
+        ckpt.restore(model, opt)
+        np.testing.assert_array_equal(model(batch).numpy(), before)
+
+    def test_truncated_file_is_corrupt(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        path = tmp_path / "c.npz"
+        TrainingCheckpoint.capture(model, opt, epoch=0, global_step=0).save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CorruptCheckpointError):
+            TrainingCheckpoint.load(path)
+
+    def test_flipped_byte_is_corrupt(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        path = tmp_path / "c.npz"
+        TrainingCheckpoint.capture(model, opt, epoch=0, global_step=0).save(path)
+        mangled = bytearray(path.read_bytes())
+        mangled[len(mangled) // 2] ^= 0xFF
+        path.write_bytes(bytes(mangled))
+        with pytest.raises(CorruptCheckpointError):
+            TrainingCheckpoint.load(path)
+
+    def test_checksum_mismatch_detected(self, model_and_opt):
+        """Content tampering that keeps the zip valid still fails."""
+        model, opt = model_and_opt
+        ckpt = TrainingCheckpoint.capture(model, opt, epoch=0, global_step=0)
+        tampered = TrainingCheckpoint.capture(model, opt, epoch=0,
+                                              global_step=0)
+        name = next(iter(tampered.model_state))
+        tampered.model_state[name] = tampered.model_state[name] + 1.0
+        # Serialise the original but splice in the tampered arrays by
+        # rebuilding with the original's checksum: easiest equivalent is
+        # verifying from_bytes(to_bytes) is self-consistent and a manual
+        # checksum swap fails.
+        import io as stdio
+        import json
+        import zipfile
+
+        raw = ckpt.to_bytes()
+        with zipfile.ZipFile(stdio.BytesIO(raw)) as archive:
+            names = archive.namelist()
+        assert any(n.startswith("model/") for n in names)
+        # Replace one model entry's bytes with zeros of the same length,
+        # keeping the stored checksum: must be rejected.
+        buffer = stdio.BytesIO()
+        with zipfile.ZipFile(stdio.BytesIO(raw)) as src, \
+                zipfile.ZipFile(buffer, "w") as dst:
+            for name in names:
+                payload = src.read(name)
+                if name.startswith("model/") and name.endswith(".npy"):
+                    # Zero the array body, keep the .npy header intact.
+                    payload = payload[:128] + b"\0" * (len(payload) - 128)
+                dst.writestr(name, payload)
+        with pytest.raises(CorruptCheckpointError):
+            TrainingCheckpoint.from_bytes(buffer.getvalue())
+
+    def test_future_version_refused(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        ckpt = TrainingCheckpoint.capture(model, opt, epoch=0, global_step=0)
+        ckpt.version = CHECKPOINT_VERSION + 1
+        path = tmp_path / "c.npz"
+        ckpt.save(path)
+        with pytest.raises(CorruptCheckpointError, match="version"):
+            TrainingCheckpoint.load(path)
+
+    def test_missing_file_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TrainingCheckpoint.load(tmp_path / "nope.npz")
+
+    def test_atomic_write_leaves_no_temp_files(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        TrainingCheckpoint.capture(model, opt, epoch=0, global_step=0).save(
+            tmp_path / "c.npz")
+        leftovers = [p for p in os.listdir(tmp_path) if p != "c.npz"]
+        assert leftovers == []
+
+
+class TestCheckpointManager:
+    def _save(self, manager, model, opt, epochs):
+        for epoch in epochs:
+            manager.save(TrainingCheckpoint.capture(
+                model, opt, epoch=epoch, global_step=10 * epoch))
+
+    def test_keep_last_k_retention(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        self._save(manager, model, opt, range(5))
+        names = [p.name for p in manager.checkpoints()]
+        assert names == ["ckpt-00000003.npz", "ckpt-00000004.npz"]
+
+    def test_latest_valid_returns_newest(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        self._save(manager, model, opt, range(3))
+        ckpt, path = manager.latest_valid()
+        assert ckpt.epoch == 2
+        assert path.name == "ckpt-00000002.npz"
+
+    def test_corrupt_newest_falls_back(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        self._save(manager, model, opt, range(3))
+        newest = manager.checkpoints()[-1]
+        data = newest.read_bytes()
+        newest.write_bytes(data[: len(data) // 3])
+        reported = []
+        ckpt, path = manager.latest_valid(
+            on_corrupt=lambda p, e: reported.append(p.name))
+        assert ckpt.epoch == 1
+        assert reported == ["ckpt-00000002.npz"]
+
+    def test_all_corrupt_returns_none(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        self._save(manager, model, opt, range(2))
+        for path in manager.checkpoints():
+            path.write_bytes(b"not a checkpoint")
+        assert manager.latest_valid() is None
+
+    def test_empty_directory_returns_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "new").latest_valid() is None
+
+    def test_foreign_files_ignored(self, model_and_opt, tmp_path):
+        model, opt = model_and_opt
+        manager = CheckpointManager(tmp_path, keep_last=3)
+        (tmp_path / "notes.txt").write_text("hello")
+        (tmp_path / "ckpt-xyz.npz").write_text("not numeric")
+        self._save(manager, model, opt, [0])
+        assert [p.name for p in manager.checkpoints()] == ["ckpt-00000000.npz"]
+
+    def test_keep_last_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep_last=0)

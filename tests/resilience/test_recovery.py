@@ -1,0 +1,136 @@
+"""RecoveryPolicy / DivergenceGuard semantics: strikes, rollback, give-up."""
+
+import numpy as np
+import pytest
+
+from repro.models import FNN
+from repro.nn.optim import Adam, SGD
+from repro.obs import EventBus, MemorySink
+from repro.resilience import DivergenceGuard, RecoveryPolicy
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture()
+def guarded(tiny_dataset, rng):
+    model = FNN(tiny_dataset.cardinalities, embed_dim=4, hidden_dims=(8,),
+                rng=rng)
+    opt = Adam(model.parameters(), lr=1e-2)
+    sink = MemorySink()
+    bus = EventBus([sink])
+    return model, opt, sink, bus
+
+
+class TestRecoveryPolicy:
+    def test_defaults_valid(self):
+        policy = RecoveryPolicy()
+        assert policy.max_batch_skips >= 0
+        assert 0 < policy.lr_factor <= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch_skips": -1},
+        {"max_restarts": -1},
+        {"lr_factor": 0.0},
+        {"lr_factor": 1.5},
+    ])
+    def test_invalid_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(**kwargs)
+
+
+class TestDivergenceGuard:
+    def test_loss_and_gradient_checks(self, guarded):
+        model, opt, sink, bus = guarded
+        guard = DivergenceGuard(RecoveryPolicy(), model, opt)
+        assert guard.loss_ok(0.5)
+        assert not guard.loss_ok(float("nan"))
+        assert not guard.loss_ok(float("inf"))
+        assert guard.gradients_ok()  # no grads set
+        params = model.parameters()
+        params[0].grad = np.zeros_like(params[0].data)
+        assert guard.gradients_ok()
+        params[0].grad[...] = np.nan
+        assert not guard.gradients_ok()
+
+    def test_gradient_check_can_be_disabled(self, guarded):
+        model, opt, _, _ = guarded
+        policy = RecoveryPolicy(check_gradients=False)
+        guard = DivergenceGuard(policy, model, opt)
+        params = model.parameters()
+        params[0].grad = np.full_like(params[0].data, np.nan)
+        assert guard.gradients_ok()
+
+    def test_strikes_emit_skip_events(self, guarded):
+        model, opt, sink, bus = guarded
+        guard = DivergenceGuard(RecoveryPolicy(max_batch_skips=5), model, opt,
+                                emit=bus.emit)
+        guard.record_good()
+        guard.strike("non_finite_loss", epoch=0, step=3, loss=float("nan"))
+        guard.strike("non_finite_loss", epoch=0, step=4, loss=float("nan"))
+        events = sink.of_type("recovery")
+        assert [e.payload["action"] for e in events] == ["skip", "skip"]
+        assert events[0].payload["strikes"] == 1
+        assert events[1].payload["strikes"] == 2
+
+    def test_rollback_restores_state_and_halves_lr(self, guarded):
+        model, opt, sink, bus = guarded
+        policy = RecoveryPolicy(max_batch_skips=0, max_restarts=3,
+                                lr_factor=0.5)
+        guard = DivergenceGuard(policy, model, opt, emit=bus.emit)
+        guard.record_good()
+        good = model.state_dict()
+        for param in model.parameters():
+            param.data = param.data + 7.0
+        guard.strike("non_finite_loss", epoch=1, step=9, loss=float("inf"))
+        restored = model.state_dict()
+        for key in good:
+            np.testing.assert_array_equal(restored[key], good[key])
+        assert opt.param_groups[0]["lr"] == pytest.approx(5e-3)
+        actions = [e.payload["action"] for e in sink.of_type("recovery")]
+        assert actions == ["skip", "rollback"]
+
+    def test_rollback_callback_receives_extras(self, guarded):
+        model, opt, _, _ = guarded
+        seen = []
+        guard = DivergenceGuard(RecoveryPolicy(max_batch_skips=0), model, opt,
+                                on_rollback=seen.append)
+        guard.record_good(extras={"global_step": 42})
+        guard.strike("non_finite_loss")
+        assert seen == [{"global_step": 42}]
+
+    def test_gives_up_after_max_restarts(self, guarded):
+        model, opt, _, _ = guarded
+        policy = RecoveryPolicy(max_batch_skips=0, max_restarts=1)
+        guard = DivergenceGuard(policy, model, opt)
+        guard.record_good()
+        guard.strike("non_finite_loss", epoch=0, step=1)  # rollback 1
+        with pytest.raises(RuntimeError, match="did not recover"):
+            guard.strike("non_finite_loss", epoch=0, step=2)
+
+    def test_no_snapshot_raises_immediately(self, guarded):
+        model, opt, _, _ = guarded
+        guard = DivergenceGuard(RecoveryPolicy(max_batch_skips=0), model, opt)
+        with pytest.raises(RuntimeError, match="nothing to roll back"):
+            guard.strike("non_finite_loss")
+
+    def test_multiple_optimizers_roll_back_together(self, guarded):
+        model, _, _, _ = guarded
+        params = model.parameters()
+        opt_a = Adam(params[:1], lr=1e-2)
+        opt_b = SGD(params[1:], lr=1e-1)
+        guard = DivergenceGuard(RecoveryPolicy(max_batch_skips=0), model,
+                                [opt_a, opt_b])
+        guard.record_good()
+        guard.strike("non_finite_loss")
+        assert opt_a.param_groups[0]["lr"] == pytest.approx(5e-3)
+        assert opt_b.param_groups[0]["lr"] == pytest.approx(5e-2)
+
+    def test_record_good_resets_strikes(self, guarded):
+        model, opt, _, _ = guarded
+        guard = DivergenceGuard(RecoveryPolicy(max_batch_skips=2), model, opt)
+        guard.record_good()
+        guard.strike("non_finite_loss")
+        guard.strike("non_finite_loss")
+        assert guard.strikes == 2
+        guard.record_good()
+        assert guard.strikes == 0

@@ -52,6 +52,31 @@ class TestCheckpoint:
         with pytest.raises(ValueError):
             load_checkpoint(other, tmp_path / "m.npz")
 
+    def test_suffix_added_consistently(self, tiny_dataset, tmp_path, rng):
+        """Saving to `ckpt` and loading from `ckpt` must agree.
+
+        np.savez silently appends ``.npz`` on save; the loader used to
+        look for the literal suffix-less path and fail.
+        """
+        model = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=rng)
+        bare = tmp_path / "ckpt"
+        save_checkpoint(model, bare)
+        assert (tmp_path / "ckpt.npz").exists()
+        clone = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=np.random.default_rng(99))
+        load_checkpoint(clone, bare)  # works with the same bare name
+        load_checkpoint(clone, tmp_path / "ckpt.npz")  # and the real one
+        batch = tiny_dataset.full_batch()
+        np.testing.assert_allclose(model(batch).numpy(),
+                                   clone(batch).numpy())
+
+    def test_save_is_atomic(self, tiny_dataset, tmp_path, rng):
+        model = FNN(tiny_dataset.cardinalities, embed_dim=4,
+                    hidden_dims=(8,), rng=rng)
+        save_checkpoint(model, tmp_path / "m.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["m.npz"]
+
     def test_parameterless_model_rejected(self, tmp_path):
         from repro.nn import Module
 
@@ -79,6 +104,10 @@ class TestArchitectureFiles:
         path = tmp_path / "arch.json"
         save_architecture(arch, path)
         assert "memorize" in path.read_text()
+
+    def test_save_is_atomic(self, tmp_path, rng):
+        save_architecture(Architecture.random(5, rng), tmp_path / "a.json")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.json"]
 
 
 class TestResults:
@@ -111,6 +140,16 @@ class TestResults:
     def test_unencodable_rejected(self, tmp_path):
         with pytest.raises(TypeError):
             save_results({"bad": Tensor(np.ones(2))}, tmp_path / "x.json")
+
+    def test_failed_save_leaves_no_partial_file(self, tmp_path):
+        target = tmp_path / "x.json"
+        with pytest.raises(TypeError):
+            save_results({"bad": Tensor(np.ones(2))}, target)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_is_atomic(self, tmp_path):
+        save_results({"auc": 0.8}, tmp_path / "r.json")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["r.json"]
 
 
 class TestSearchRetrainWorkflow:
