@@ -1,0 +1,173 @@
+"""Sparse-vs-dense embedding gradient microbenchmarks → BENCH_perf.json.
+
+Measures backward+optimizer-step time and peak gradient bytes for an
+embedding table of growing size at a fixed batch, on both gradient
+paths.  The point of the sparse path is that its cost tracks the batch
+(touched rows) while the dense path tracks the table, so the headline
+metrics are *relative* — speedup and gradient-bytes ratio — which are
+stable across machines and therefore safe to gate CI on (absolute
+milliseconds are reported but not compared).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sparse_perf.py --out BENCH_perf.json
+    PYTHONPATH=src python benchmarks/sparse_perf.py \
+        --out BENCH_perf.json --baseline benchmarks/BENCH_perf.json
+
+With ``--baseline`` the fresh results are compared against the committed
+JSON: the run fails (exit 1) if any size's speedup falls below
+``tolerance`` × baseline or its sparse gradient grows beyond 1 /
+``tolerance`` × baseline bytes.  ``--quick`` shrinks the size grid for
+use from the pytest wrapper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn import Adam, SparseGrad, Tensor, embedding_lookup
+
+#: (table rows, embedding dim); batch and fields held fixed below.
+SIZES = [(50_000, 16), (200_000, 16), (1_000_000, 16)]
+QUICK_SIZES = [(20_000, 16), (100_000, 16)]
+BATCH = 256
+FIELDS = 10  # lookups per sample, like a memorized cross-feature block
+#: acceptance criterion (ISSUE 3): sparse must beat dense ≥ this at the
+#: largest table.
+REQUIRED_SPEEDUP = 5.0
+
+
+def _time_steps(table: Tensor, indices: np.ndarray, dense_grad: bool,
+                repeats: int) -> tuple:
+    """Median backward+step seconds and peak gradient bytes."""
+    optimizer = Adam([table], lr=1e-3)
+    times: List[float] = []
+    grad_bytes = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = embedding_lookup(table, indices, dense_grad=dense_grad)
+        loss = (out * out).sum() * (1.0 / indices.size)
+        loss.backward()
+        grad = table.grad
+        grad_bytes = (grad.nbytes if isinstance(grad, SparseGrad)
+                      else grad.nbytes)
+        optimizer.step()
+        optimizer.zero_grad()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), int(grad_bytes)
+
+
+def run_benchmarks(quick: bool = False, repeats: int = 5) -> Dict:
+    rng = np.random.default_rng(0)
+    results = []
+    for rows, dim in (QUICK_SIZES if quick else SIZES):
+        indices = rng.integers(0, rows, size=(BATCH, FIELDS))
+        table = Tensor(rng.normal(scale=0.01, size=(rows, dim)),
+                       requires_grad=True)
+        sparse_s, sparse_bytes = _time_steps(
+            table, indices, dense_grad=False, repeats=repeats)
+        dense_s, dense_bytes = _time_steps(
+            table, indices, dense_grad=True,
+            repeats=max(2, repeats - 2))  # dense steps are the slow part
+        results.append({
+            "rows": rows,
+            "dim": dim,
+            "batch": BATCH,
+            "fields": FIELDS,
+            "sparse_step_ms": round(sparse_s * 1e3, 4),
+            "dense_step_ms": round(dense_s * 1e3, 4),
+            "speedup": round(dense_s / sparse_s, 2),
+            "sparse_grad_bytes": sparse_bytes,
+            "dense_grad_bytes": dense_bytes,
+        })
+    return {"batch": BATCH, "fields": FIELDS, "quick": quick,
+            "sizes": results}
+
+
+def check_acceptance(report: Dict) -> List[str]:
+    """The issue's acceptance criteria, as a list of failures."""
+    failures = []
+    largest = max(report["sizes"], key=lambda r: r["rows"])
+    if not report["quick"] and largest["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(
+            f"speedup at {largest['rows']} rows is {largest['speedup']}x, "
+            f"required >= {REQUIRED_SPEEDUP}x")
+    for entry in report["sizes"]:
+        # O(batch) gradient memory: bytes must not scale with the table.
+        cap = BATCH * FIELDS * (entry["dim"] + 1) * 8
+        if entry["sparse_grad_bytes"] > cap:
+            failures.append(
+                f"sparse grad at {entry['rows']} rows holds "
+                f"{entry['sparse_grad_bytes']} bytes, over the O(batch) "
+                f"cap {cap}")
+    return failures
+
+
+def compare_to_baseline(report: Dict, baseline: Dict,
+                        tolerance: float) -> List[str]:
+    """Relative-metric regression check against a committed baseline."""
+    failures = []
+    base_by_rows = {entry["rows"]: entry for entry in baseline["sizes"]}
+    for entry in report["sizes"]:
+        base = base_by_rows.get(entry["rows"])
+        if base is None:
+            continue
+        floor = base["speedup"] * tolerance
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{entry['rows']} rows: speedup {entry['speedup']}x fell "
+                f"below {floor:.1f}x ({tolerance:.0%} of baseline "
+                f"{base['speedup']}x)")
+        cap = base["sparse_grad_bytes"] / tolerance
+        if entry["sparse_grad_bytes"] > cap:
+            failures.append(
+                f"{entry['rows']} rows: sparse grad bytes "
+                f"{entry['sparse_grad_bytes']} exceed {cap:.0f} "
+                f"(baseline {base['sparse_grad_bytes']})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="where to write the fresh report")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_perf.json to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.4,
+                        help="fresh speedup must stay above this fraction "
+                             "of the baseline speedup (default 0.4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller size grid (used by the pytest wrapper)")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+
+    header = f"{'rows':>10} {'sparse ms':>10} {'dense ms':>10} {'speedup':>8} {'grad bytes':>11}"
+    print(header)
+    for entry in report["sizes"]:
+        print(f"{entry['rows']:>10} {entry['sparse_step_ms']:>10.3f} "
+              f"{entry['dense_step_ms']:>10.3f} {entry['speedup']:>7.1f}x "
+              f"{entry['sparse_grad_bytes']:>11}")
+
+    failures = check_acceptance(report)
+    if args.baseline:
+        with open(args.baseline) as f:
+            failures += compare_to_baseline(report, json.load(f),
+                                            args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("ok" if not failures else f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Pytest wrapper for the sparse-gradient microbenchmarks.
+
+Runs the quick size grid and asserts the structural properties that are
+machine-independent (sparse beats dense, gradient bytes are O(batch)).
+The full grid, the committed baseline, and the ≥5× acceptance gate run
+in the CI ``perf`` job via ``benchmarks/sparse_perf.py``.
+"""
+
+from __future__ import annotations
+
+from .sparse_perf import BATCH, FIELDS, check_acceptance, run_benchmarks
+
+
+def test_quick_sparse_benchmarks():
+    report = run_benchmarks(quick=True, repeats=3)
+    assert check_acceptance(report) == []
+    for entry in report["sizes"]:
+        assert entry["speedup"] > 1.0, entry
+        assert entry["sparse_grad_bytes"] < entry["dense_grad_bytes"]
+        # Sparse bytes must not grow with the table.
+        assert entry["sparse_grad_bytes"] <= BATCH * FIELDS * (entry["dim"] + 1) * 8

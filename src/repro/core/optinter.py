@@ -61,6 +61,7 @@ class OptInterModel(CTRModel):
         temperature: float = 1.0,
         factorization: str = "hadamard",
         rng: Optional[np.random.Generator] = None,
+        dense_grad: bool = False,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
@@ -88,13 +89,15 @@ class OptInterModel(CTRModel):
         self.factorization = factorization
         self.architecture = architecture
         self.num_pairs = num_pairs
-        self.embedding = FieldEmbedding(cardinalities, embed_dim, rng=rng)
+        self.embedding = FieldEmbedding(cardinalities, embed_dim, rng=rng,
+                                        dense_grad=dense_grad)
         self._fac_dim = 1 if factorization == "inner" else embed_dim
 
         if architecture is None:
             # Search mode: all candidates alive, padded to a common width.
             self.cross_embedding = CrossEmbedding(cross_cardinalities,
-                                                  cross_embed_dim, rng=rng)
+                                                  cross_embed_dim, rng=rng,
+                                                  dense_grad=dense_grad)
             self.combination = CombinationBlock(num_pairs,
                                                 temperature=temperature,
                                                 rng=rng)
@@ -108,7 +111,8 @@ class OptInterModel(CTRModel):
             self._fac_pairs = architecture.pairs_with(Method.FACTORIZE)
             self.cross_embedding = (
                 CrossEmbedding(cross_cardinalities, cross_embed_dim,
-                               pair_subset=self._mem_pairs, rng=rng)
+                               pair_subset=self._mem_pairs, rng=rng,
+                               dense_grad=dense_grad)
                 if self._mem_pairs else None
             )
             interaction_dim = (len(self._mem_pairs) * cross_embed_dim

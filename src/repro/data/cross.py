@@ -53,8 +53,15 @@ class CrossProductTransform:
                 f"expected [n, {self.schema.num_fields}] id matrix, got {x.shape}"
             )
         if cardinalities is None:
-            cardinalities = [int(x[:, col].max()) + 1 for col in range(x.shape[1])]
+            cardinalities = self.schema.cardinalities
         self._field_cards = list(cardinalities)
+        for col, card in enumerate(self._field_cards):
+            column = x[:, col]
+            if column.size and (column.min() < 0 or column.max() >= card):
+                raise ValueError(
+                    f"field {col} ids must be in [0, {card}); "
+                    f"got min={column.min()}, max={column.max()}"
+                )
         self._kept_keys = []
         for i, j in self.pairs:
             keys = _pair_keys(x, i, j, self._field_cards[j])
@@ -68,6 +75,20 @@ class CrossProductTransform:
         if not self._fitted:
             raise RuntimeError("transform called before fit")
         x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.schema.num_fields:
+            raise ValueError(
+                f"expected [n, {self.schema.num_fields}] id matrix, got {x.shape}"
+            )
+        # Ids outside the fit-time cardinality would alias another pair's
+        # key (key = x_i * card_j + x_j is only injective on the fitted
+        # ranges), silently mapping to a *wrong* cross id — reject them.
+        for col, card in enumerate(self._field_cards):
+            column = x[:, col]
+            if column.size and (column.min() < 0 or column.max() >= card):
+                raise ValueError(
+                    f"field {col} ids must be in [0, {card}) as fitted; "
+                    f"got min={column.min()}, max={column.max()}"
+                )
         out = np.empty((x.shape[0], len(self.pairs)), dtype=np.int64)
         for pair_idx, (i, j) in enumerate(self.pairs):
             kept = self._kept_keys[pair_idx]
@@ -117,8 +138,12 @@ class HashedCrossTransform:
     def fit(self, x: np.ndarray, cardinalities: Optional[Sequence[int]] = None
             ) -> "HashedCrossTransform":
         x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.schema.num_fields:
+            raise ValueError(
+                f"expected [n, {self.schema.num_fields}] id matrix, got {x.shape}"
+            )
         if cardinalities is None:
-            cardinalities = [int(x[:, col].max()) + 1 for col in range(x.shape[1])]
+            cardinalities = self.schema.cardinalities
         self._field_cards = list(cardinalities)
         return self
 

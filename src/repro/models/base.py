@@ -32,12 +32,14 @@ class FieldEmbedding(Module):
     """
 
     def __init__(self, cardinalities: Sequence[int], dim: int,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 dense_grad: bool = False) -> None:
         super().__init__()
         self.cardinalities = list(cardinalities)
         self.dim = dim
         self.offsets = np.concatenate([[0], np.cumsum(self.cardinalities)[:-1]])
-        self.table = Embedding(int(sum(self.cardinalities)), dim, rng=rng)
+        self.table = Embedding(int(sum(self.cardinalities)), dim, rng=rng,
+                               dense_grad=dense_grad)
 
     @property
     def num_fields(self) -> int:
@@ -58,7 +60,8 @@ class CrossEmbedding(Module):
 
     def __init__(self, cross_cardinalities: Sequence[int], dim: int,
                  pair_subset: Optional[Sequence[int]] = None,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 dense_grad: bool = False) -> None:
         super().__init__()
         self.all_cardinalities = list(cross_cardinalities)
         self.pair_subset = (list(range(len(self.all_cardinalities)))
@@ -67,7 +70,8 @@ class CrossEmbedding(Module):
         kept = [self.all_cardinalities[p] for p in self.pair_subset]
         self.offsets = np.concatenate([[0], np.cumsum(kept)[:-1]]) if kept else np.zeros(0, dtype=np.int64)
         # Degenerate but valid: a model may memorize nothing.
-        self.table = Embedding(max(int(sum(kept)), 1), dim, rng=rng)
+        self.table = Embedding(max(int(sum(kept)), 1), dim, rng=rng,
+                               dense_grad=dense_grad)
         self._column_index = np.asarray(self.pair_subset, dtype=np.int64)
 
     @property
@@ -92,10 +96,12 @@ class BagEmbedding(Module):
     """
 
     def __init__(self, vocab_size: int, dim: int,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 dense_grad: bool = False) -> None:
         super().__init__()
         self.dim = dim
-        self.table = Embedding(vocab_size, dim, rng=rng, padding_idx=0)
+        self.table = Embedding(vocab_size, dim, rng=rng, padding_idx=0,
+                               dense_grad=dense_grad)
 
     def forward(self, ids: np.ndarray, lengths: np.ndarray) -> Tensor:
         """Pool ``[n, L]`` bags into ``[n, dim]`` mean embeddings."""

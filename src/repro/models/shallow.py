@@ -43,11 +43,14 @@ class Poly2(CTRModel):
 
     def __init__(self, cardinalities: Sequence[int],
                  cross_cardinalities: Sequence[int],
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 dense_grad: bool = False) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
-        self.weights = FieldEmbedding(cardinalities, 1, rng=rng)
-        self.cross_weights = CrossEmbedding(cross_cardinalities, 1, rng=rng)
+        self.weights = FieldEmbedding(cardinalities, 1, rng=rng,
+                                      dense_grad=dense_grad)
+        self.cross_weights = CrossEmbedding(cross_cardinalities, 1, rng=rng,
+                                            dense_grad=dense_grad)
         self.bias = Parameter(init.zeros((1,)), name="bias")
 
     def forward(self, batch: Batch) -> Tensor:

@@ -5,7 +5,16 @@ autodiff (:mod:`repro.nn.tensor`), modules and layers, Xavier initialisation,
 Adam / SGD / GRDA optimizers and a stable binary cross-entropy loss.
 """
 
-from .tensor import Tensor, concatenate, embedding_lookup, no_grad, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    embedding_lookup,
+    index_select,
+    no_grad,
+    stack,
+    where,
+)
+from .sparse import SparseGrad
 from .module import Module, Parameter
 from .layers import (
     BatchNorm1d,
@@ -46,6 +55,8 @@ __all__ = [
     "stack",
     "where",
     "embedding_lookup",
+    "index_select",
+    "SparseGrad",
     "no_grad",
     "Module",
     "Parameter",

@@ -48,6 +48,12 @@ class Embedding(Module):
 
     ``padding_idx`` rows, when given, are initialised to zero (used for the
     out-of-vocabulary bucket so unseen values start neutral).
+
+    Backward produces a :class:`~repro.nn.sparse.SparseGrad` — one value
+    row per touched table row — so gradient memory and optimizer cost are
+    O(batch) rather than O(num_embeddings).  Pass ``dense_grad=True`` to
+    restore the dense ``[num_embeddings, dim]`` gradient (the escape
+    hatch for consumers that index the gradient arbitrarily).
     """
 
     def __init__(
@@ -57,11 +63,13 @@ class Embedding(Module):
         rng: Optional[np.random.Generator] = None,
         padding_idx: Optional[int] = None,
         scale: Optional[float] = None,
+        dense_grad: bool = False,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
+        self.dense_grad = dense_grad
         if scale is None:
             table = init.xavier_uniform((num_embeddings, embedding_dim), rng)
         else:
@@ -77,7 +85,8 @@ class Embedding(Module):
                 f"embedding index out of range [0, {self.num_embeddings}): "
                 f"got min={indices.min()}, max={indices.max()}"
             )
-        return embedding_lookup(self.weight, indices)
+        return embedding_lookup(self.weight, indices,
+                                dense_grad=self.dense_grad)
 
 
 class LayerNorm(Module):

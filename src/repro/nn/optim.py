@@ -7,6 +7,35 @@ cross-product embedding table and the architecture parameters).
 
 GRDA (generalized regularized dual averaging; Chao et al., 2020) is the
 sparsity-inducing optimizer AutoFIS uses for its interaction gates.
+
+Sparse gradients
+----------------
+
+Every optimizer here also consumes the
+:class:`~repro.nn.sparse.SparseGrad` row-gradients that
+:func:`~repro.nn.tensor.embedding_lookup` emits for embedding tables,
+with **exact dense-equivalent semantics**: the sparse update applies the
+same arithmetic expressions as the dense update to the *active* rows and
+relies on the dense update being a bitwise no-op everywhere else, so a
+sparse training run is bit-for-bit identical to a dense one (asserted in
+``tests/nn/test_sparse_dense_equivalence.py``).  The active set differs
+per rule:
+
+* plain SGD — exactly the rows touched this step;
+* SGD with momentum / Adam — rows ever touched (their velocity/moments
+  keep decaying densely), still independent of the table size;
+* SparseAdam — rows touched this step (its *lazy* moment decay makes
+  that exact by construction);
+* GRDA — rows whose parameters are not yet pinned at zero (dual
+  averaging shrinks every non-zero coordinate every step, so the active
+  set starts at the full table and shrinks as GRDA sparsifies).
+
+Weight decay couples every row through ``grad + wd * param``, so a
+sparse gradient is densified first when ``weight_decay > 0`` — a
+documented escape hatch, not a silent semantics change.  Slot arrays are
+allocated with ``np.zeros`` (lazily paged by the OS), and the active-set
+bookkeeping is derived state: it is rebuilt from the slot arrays after
+``load_state_dict``, so checkpoints are byte-identical across paths.
 """
 
 from __future__ import annotations
@@ -16,9 +45,27 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from .module import Parameter
+from .sparse import SparseGrad
 
 ParamGroup = Dict[str, object]
 SlotTable = Dict[int, np.ndarray]
+
+
+def _nonzero_rows(*slots: np.ndarray) -> np.ndarray:
+    """Rows where any slot array has a non-zero entry (sorted)."""
+    mask = np.zeros(slots[0].shape[0], dtype=bool)
+    for slot in slots:
+        mask |= np.any(slot != 0, axis=tuple(range(1, slot.ndim)))
+    return np.flatnonzero(mask)
+
+
+def _expand_rows(active: np.ndarray, rows: np.ndarray,
+                 values: np.ndarray) -> np.ndarray:
+    """Scatter ``values`` (aligned to ``rows``) into an ``[active, dim]``
+    block of zeros; ``rows`` must be a subset of the sorted ``active``."""
+    out = np.zeros((active.size, values.shape[1]), dtype=values.dtype)
+    out[np.searchsorted(active, rows)] = values
+    return out
 
 
 def _as_groups(
@@ -141,6 +188,15 @@ class Optimizer:
             for slot, value in slots.items():
                 tables[slot][id(param)] = np.array(value, copy=True)
         self._load_extra_state(state.get("extra", {}))
+        self._reset_derived_state()
+
+    def _reset_derived_state(self) -> None:
+        """Drop caches derived from slot arrays (e.g. active-row sets).
+
+        Called after :meth:`load_state_dict`; the caches are rebuilt
+        lazily from the restored slots, so resumed runs stay bit-for-bit
+        identical to uninterrupted ones.
+        """
 
 
 class SGD(Optimizer):
@@ -151,9 +207,39 @@ class SGD(Optimizer):
         super().__init__(params, {"lr": lr, "momentum": momentum,
                                   "weight_decay": weight_decay})
         self._velocity: Dict[int, np.ndarray] = {}
+        self._active: Dict[int, np.ndarray] = {}
 
     def _slot_tables(self) -> Dict[str, SlotTable]:
         return {"velocity": self._velocity}
+
+    def _reset_derived_state(self) -> None:
+        self._active.clear()
+
+    def _sparse_step(self, param: Parameter, grad: SparseGrad, lr: float,
+                     momentum: float) -> None:
+        rows, vals = grad.indices, grad.values
+        key = id(param)
+        if not momentum:
+            param.data[rows] = param.data[rows] - lr * vals
+            return
+        vel = self._velocity.get(key)
+        if vel is None:
+            # Dense first step sets ``vel = grad``: zeros everywhere but
+            # the touched rows, written by assignment (not +=) so signed
+            # zeros match the dense gradient bit-for-bit.
+            vel = np.zeros_like(param.data)
+            vel[rows] = vals
+            self._velocity[key] = vel
+            active = rows
+        else:
+            active = self._active.get(key)
+            if active is None:
+                active = _nonzero_rows(vel)
+            active = np.union1d(active, rows)
+            vel[active] = (momentum * vel[active]
+                           + _expand_rows(active, rows, vals))
+        self._active[key] = active
+        param.data[active] = param.data[active] - lr * vel[active]
 
     def step(self) -> None:
         for group in self.param_groups:
@@ -164,6 +250,15 @@ class SGD(Optimizer):
                 if param.grad is None:
                     continue
                 grad = param.grad
+                if isinstance(grad, SparseGrad):
+                    if weight_decay:
+                        grad = grad.to_dense()  # decay touches every row
+                    else:
+                        self._sparse_step(param, grad, lr, momentum)
+                        continue
+                # A dense step decays velocity on every row, so any
+                # cached active set is stale.
+                self._active.pop(id(param), None)
                 if weight_decay:
                     grad = grad + weight_decay * param.data
                 if momentum:
@@ -189,16 +284,50 @@ class Adam(Optimizer):
         })
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        self._active: Dict[int, np.ndarray] = {}
         self._t = 0
 
     def _slot_tables(self) -> Dict[str, SlotTable]:
         return {"m": self._m, "v": self._v}
+
+    def _reset_derived_state(self) -> None:
+        self._active.clear()
 
     def _extra_state(self) -> Dict[str, Any]:
         return {"t": self._t}
 
     def _load_extra_state(self, extra: Dict[str, Any]) -> None:
         self._t = int(extra.get("t", 0))
+
+    def _sparse_step(self, param: Parameter, grad: SparseGrad, lr: float,
+                     beta1: float, beta2: float, eps: float, t: int) -> None:
+        # Rows with zero moments are bitwise no-ops under dense Adam
+        # (``x - lr * 0 / (0 + eps) == x``), so it suffices to update the
+        # ever-touched rows — tracked incrementally, rebuilt from the
+        # moment arrays after a checkpoint load or an interleaved dense
+        # step.
+        key = id(param)
+        m = self._m.get(key)
+        if m is None:
+            m = self._m[key] = np.zeros_like(param.data)
+            v = self._v[key] = np.zeros_like(param.data)
+            active = grad.indices
+        else:
+            v = self._v[key]
+            active = self._active.get(key)
+            if active is None:
+                active = _nonzero_rows(m, v)
+            active = np.union1d(active, grad.indices)
+        self._active[key] = active
+        g = _expand_rows(active, grad.indices, grad.values)
+        m_a = beta1 * m[active] + (1.0 - beta1) * g
+        v_a = beta2 * v[active] + (1.0 - beta2) * g * g
+        m[active] = m_a
+        v[active] = v_a
+        m_hat = m_a / (1.0 - beta1**t)
+        v_hat = v_a / (1.0 - beta2**t)
+        param.data[active] = (param.data[active]
+                              - lr * m_hat / (np.sqrt(v_hat) + eps))
 
     def step(self) -> None:
         self._t += 1
@@ -212,6 +341,14 @@ class Adam(Optimizer):
                 if param.grad is None:
                     continue
                 grad = param.grad
+                if isinstance(grad, SparseGrad):
+                    if weight_decay:
+                        grad = grad.to_dense()  # decay touches every row
+                    else:
+                        self._sparse_step(param, grad, lr, beta1, beta2,
+                                          eps, t)
+                        continue
+                self._active.pop(id(param), None)
                 if weight_decay:
                     grad = grad + weight_decay * param.data
                 key = id(param)
@@ -282,12 +419,20 @@ class SparseAdam(Optimizer):
                 m, v = self._m[key], self._v[key]
                 if param.data.ndim < 2:
                     rows = slice(None)
+                    grad_rows = grad
                     lag = t - self._last_step[key][0]
                     self._last_step[key][0] = t
                 else:
-                    touched = np.abs(grad).sum(
-                        axis=tuple(range(1, grad.ndim))) != 0.0
-                    rows = np.flatnonzero(touched)
+                    if isinstance(grad, SparseGrad):
+                        # Already coalesced to the non-zero rows — the
+                        # exact set the dense scan below would find.
+                        rows = grad.indices
+                        grad_rows = grad.values
+                    else:
+                        touched = np.abs(grad).sum(
+                            axis=tuple(range(1, grad.ndim))) != 0.0
+                        rows = np.flatnonzero(touched)
+                        grad_rows = grad[rows]
                     if rows.size == 0:
                         continue
                     lag = t - self._last_step[key][rows]
@@ -300,9 +445,9 @@ class SparseAdam(Optimizer):
                 catchup1 = beta1 ** np.reshape(lag - 1, lag_shape)
                 catchup2 = beta2 ** np.reshape(lag - 1, lag_shape)
                 m[rows] = (m[rows] * catchup1 * beta1
-                           + (1.0 - beta1) * grad[rows])
+                           + (1.0 - beta1) * grad_rows)
                 v[rows] = (v[rows] * catchup2 * beta2
-                           + (1.0 - beta2) * grad[rows] ** 2)
+                           + (1.0 - beta2) * grad_rows ** 2)
                 m_hat = m[rows] / (1.0 - beta1**t)
                 v_hat = v[rows] / (1.0 - beta2**t)
                 param.data[rows] = (param.data[rows]
@@ -334,6 +479,8 @@ class Adagrad(Optimizer):
                 if param.grad is None:
                     continue
                 grad = param.grad
+                if isinstance(grad, SparseGrad):
+                    grad = grad.to_dense()  # no sparse fast path (yet)
                 if weight_decay:
                     grad = grad + weight_decay * param.data
                 key = id(param)
@@ -365,6 +512,8 @@ class RMSprop(Optimizer):
                 if param.grad is None:
                     continue
                 grad = param.grad
+                if isinstance(grad, SparseGrad):
+                    grad = grad.to_dense()  # no sparse fast path (yet)
                 if weight_decay:
                     grad = grad + weight_decay * param.data
                 key = id(param)
@@ -406,6 +555,8 @@ class FTRLProximal(Optimizer):
                 if param.grad is None:
                     continue
                 grad = param.grad
+                if isinstance(grad, SparseGrad):
+                    grad = grad.to_dense()  # no sparse fast path (yet)
                 key = id(param)
                 z = self._z.get(key)
                 n = self._n.get(key)
@@ -438,16 +589,45 @@ class GRDA(Optimizer):
         super().__init__(params, {"lr": lr, "c": c, "mu": mu})
         self._accumulator: Dict[int, np.ndarray] = {}
         self._initial: Dict[int, np.ndarray] = {}
+        self._live: Dict[int, np.ndarray] = {}
         self._t = 0
 
     def _slot_tables(self) -> Dict[str, SlotTable]:
         return {"accumulator": self._accumulator, "initial": self._initial}
+
+    def _reset_derived_state(self) -> None:
+        self._live.clear()
 
     def _extra_state(self) -> Dict[str, Any]:
         return {"t": self._t}
 
     def _load_extra_state(self, extra: Dict[str, Any]) -> None:
         self._t = int(extra.get("t", 0))
+
+    def _sparse_step(self, param: Parameter, grad: SparseGrad, lr: float,
+                     threshold: float) -> None:
+        # Dual averaging shrinks every row whose dual is above threshold,
+        # so the rows needing a write are the *live* rows (parameter not
+        # yet pinned at zero) plus this step's touched rows.  Once a row
+        # shrinks to all-zero it can be dropped permanently: its dual is
+        # frozen until touched again and the threshold only grows, so
+        # the dense update would keep rewriting the same zeros.  Note
+        # ``live`` starts at every non-zero row — O(table) until GRDA
+        # actually sparsifies (see docs/performance.md).
+        key = id(param)
+        if key not in self._accumulator:
+            self._accumulator[key] = np.zeros_like(param.data)
+            self._initial[key] = param.data.copy()
+        acc = self._accumulator[key]
+        acc[grad.indices] = acc[grad.indices] - lr * grad.values
+        live = self._live.get(key)
+        if live is None:
+            live = _nonzero_rows(param.data)
+        live = np.union1d(live, grad.indices)
+        dual = self._initial[key][live] + acc[live]
+        new = np.sign(dual) * np.maximum(np.abs(dual) - threshold, 0.0)
+        param.data[live] = new
+        self._live[key] = live[np.any(new != 0, axis=1)]
 
     def step(self) -> None:
         self._t += 1
@@ -460,6 +640,10 @@ class GRDA(Optimizer):
             for param in group["params"]:
                 if param.grad is None:
                     continue
+                if isinstance(param.grad, SparseGrad):
+                    self._sparse_step(param, param.grad, lr, threshold)
+                    continue
+                self._live.pop(id(param), None)
                 key = id(param)
                 if key not in self._accumulator:
                     self._accumulator[key] = np.zeros_like(param.data)

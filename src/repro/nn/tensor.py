@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .sparse import SparseGrad
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
@@ -136,8 +138,13 @@ class Tensor:
     # ------------------------------------------------------------------
     # Graph machinery
     # ------------------------------------------------------------------
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if self.grad is None:
+    def _accumulate(self, grad: Union[np.ndarray, SparseGrad]) -> None:
+        if isinstance(grad, SparseGrad):
+            # Sparse + sparse coalesces; sparse + dense densifies.  Both
+            # orders go through SparseGrad.__add__ so a plain ndarray
+            # never sees the sparse operand.
+            self.grad = grad if self.grad is None else grad + self.grad
+        elif self.grad is None:
             self.grad = grad.copy() if grad.base is not None else grad
         else:
             self.grad = self.grad + grad
@@ -494,22 +501,78 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(out_data, tuple(tensors), backward)
 
 
-def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+def _sparse_grad_eligible(table: Tensor, dense_grad: bool) -> bool:
+    """Sparse row-gradients apply to 2-D *leaf* tables only.
+
+    A non-leaf table (the output of some differentiable op) must keep a
+    dense gradient because its own backward closure expects an ndarray.
+    """
+    return (not dense_grad and table.data.ndim == 2
+            and table._backward is None and not table._prev)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray,
+                     dense_grad: bool = False) -> Tensor:
     """Gather rows of ``table`` (shape ``[vocab, dim]``) at ``indices``.
 
-    The backward pass scatter-adds into the dense gradient of ``table`` via
-    ``np.add.at`` so duplicate indices accumulate correctly.
+    By default the backward pass produces a :class:`~repro.nn.sparse.SparseGrad`
+    holding one coalesced value row per touched table row, so gradient
+    memory and downstream optimizer cost are O(batch) instead of
+    O(vocab).  ``dense_grad=True`` restores the historical behaviour —
+    a full-table ``np.add.at`` scatter — and is also used automatically
+    when ``table`` is not a graph leaf.  Both paths accumulate duplicate
+    indices identically (bit-for-bit; see ``tests/nn/test_sparse_dense_equivalence.py``).
     """
     indices = np.asarray(indices)
     out_data = table.data[indices]
+    sparse = _sparse_grad_eligible(table, dense_grad)
 
     def backward(grad: np.ndarray) -> None:
-        if table.requires_grad:
+        if not table.requires_grad:
+            return
+        rows = indices.reshape(-1)
+        vals = grad.reshape(-1, table.data.shape[-1])
+        if sparse:
+            table._accumulate(SparseGrad.from_rows(table.data.shape, rows, vals))
+        else:
             full = np.zeros_like(table.data)
-            np.add.at(full, indices.reshape(-1), grad.reshape(-1, table.data.shape[-1]))
+            np.add.at(full, rows, vals)
             table._accumulate(full)
 
     return Tensor._make(out_data, (table,), backward)
+
+
+def index_select(x: Tensor, indices: np.ndarray, axis: int = 0,
+                 dense_grad: bool = False) -> Tensor:
+    """Differentiable ``np.take``: select ``indices`` along ``axis``.
+
+    For the common embedding-style case — ``axis=0`` on a 2-D leaf tensor
+    with 1-D indices — the backward pass emits a
+    :class:`~repro.nn.sparse.SparseGrad` exactly like
+    :func:`embedding_lookup`; every other case scatter-adds into a dense
+    gradient (duplicate indices accumulate in both paths).
+    """
+    indices = np.asarray(indices)
+    if indices.ndim != 1:
+        raise ValueError(f"indices must be 1-D, got shape {indices.shape}")
+    if indices.dtype.kind not in "iu":
+        raise TypeError(f"indices must be integers, got dtype {indices.dtype}")
+    axis = axis % x.data.ndim
+    out_data = np.take(x.data, indices, axis=axis)
+    sparse = axis == 0 and _sparse_grad_eligible(x, dense_grad)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        if sparse:
+            x._accumulate(SparseGrad.from_rows(x.data.shape, indices, grad))
+            return
+        full = np.zeros_like(x.data)
+        np.add.at(np.moveaxis(full, axis, 0), indices,
+                  np.moveaxis(grad, axis, 0))
+        x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:

@@ -127,7 +127,10 @@ class GradientPoison:
             if self.param_name is not None and self.param_name not in name:
                 continue
             if param.grad is not None:
-                param.grad = np.full_like(param.grad, self.value)
+                # Poison densely regardless of gradient representation:
+                # the point is to corrupt the update, and a dense array of
+                # the parameter's shape is valid input to every optimizer.
+                param.grad = np.full_like(param.data, self.value)
 
 
 @dataclass

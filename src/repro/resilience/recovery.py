@@ -33,6 +33,7 @@ import numpy as np
 
 from ..nn.module import Module
 from ..nn.optim import Optimizer
+from ..nn.sparse import SparseGrad
 
 Emitter = Callable[..., None]
 
@@ -119,7 +120,13 @@ class DivergenceGuard:
         if not self.policy.check_gradients:
             return True
         for param in self.model.parameters():
-            if param.grad is not None and not np.all(np.isfinite(param.grad)):
+            grad = param.grad
+            if grad is None:
+                continue
+            # Sparse row-gradients: untouched rows are implicitly zero
+            # (finite), so only the stored values need checking.
+            values = grad.values if isinstance(grad, SparseGrad) else grad
+            if not np.all(np.isfinite(values)):
                 return False
         return True
 

@@ -155,7 +155,15 @@ class Trainer:
         self._global_step = int(extras.get("global_step", self._global_step))
 
     def _clip_gradients(self) -> None:
-        """Scale all gradients so their global L2 norm is at most the cap."""
+        """Scale all gradients so their global L2 norm is at most the cap.
+
+        Works for both dense and :class:`~repro.nn.sparse.SparseGrad`
+        gradients: ``g * g`` and scalar scaling are row-local, and a
+        sparse gradient's untouched rows contribute exact zeros to the
+        norm.  The summation *grouping* differs from the dense path, so
+        clipped runs agree mathematically but not bitwise across paths
+        (see docs/performance.md).
+        """
         total = 0.0
         grads = [p.grad for p in self.model.parameters() if p.grad is not None]
         for grad in grads:

@@ -6,7 +6,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.nn import Tensor
+from repro.nn import SparseGrad, Tensor
 
 
 def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor,
@@ -37,8 +37,10 @@ def assert_gradients_close(fn: Callable[[], Tensor],
     out.backward()
     for idx, t in enumerate(tensors):
         assert t.grad is not None, f"tensor {idx} received no gradient"
+        analytic = (t.grad.to_dense() if isinstance(t.grad, SparseGrad)
+                    else t.grad)
         numeric = numeric_gradient(fn, t)
         np.testing.assert_allclose(
-            t.grad, numeric, atol=atol, rtol=rtol,
+            analytic, numeric, atol=atol, rtol=rtol,
             err_msg=f"gradient mismatch for tensor {idx}",
         )

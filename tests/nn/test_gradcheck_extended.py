@@ -1,0 +1,125 @@
+"""Finite-difference gradchecks for previously uncovered cases.
+
+Covers the corners the sparse gradient path makes interesting:
+duplicate / ``padding_idx`` embedding indices (coalescing must sum, not
+overwrite), ``index_select`` backward on both the sparse (axis 0, leaf)
+and dense (inner axis) routes, and LayerNorm driven at inputs whose
+variance is comparable to ``eps``, where the stabiliser term actually
+participates in the gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SparseGrad, Tensor, embedding_lookup, index_select
+from repro.nn.layers import Embedding, LayerNorm
+
+from .gradcheck import assert_gradients_close
+
+
+class TestEmbeddingLookupGradients:
+    def test_duplicate_indices_coalesce(self, rng):
+        table = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        idx = np.array([2, 2, 5, 2, 0, 0])
+        assert_gradients_close(
+            lambda: (embedding_lookup(table, idx) ** 2).sum(), [table])
+
+    def test_duplicate_indices_dense_escape_hatch(self, rng):
+        table = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        idx = np.array([1, 1, 4, 1])
+        assert_gradients_close(
+            lambda: (embedding_lookup(table, idx, dense_grad=True) ** 2).sum(),
+            [table])
+
+    def test_padding_idx_rows_get_correct_gradient(self, rng):
+        emb = Embedding(5, 3, rng=rng, padding_idx=0)
+        idx = np.array([[0, 2], [0, 0], [3, 2]])
+        assert_gradients_close(
+            lambda: (emb(idx) ** 2).sum() + emb(idx).sum(), [emb.weight])
+
+    def test_multi_dim_indices(self, rng):
+        table = Tensor(rng.normal(size=(7, 2)), requires_grad=True)
+        idx = np.array([[1, 6, 1], [0, 6, 3]])
+        assert_gradients_close(
+            lambda: (embedding_lookup(table, idx) ** 3).sum(), [table])
+
+    def test_sparse_grad_type_and_coalescing(self, rng):
+        table = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        idx = np.array([2, 2, 5])
+        embedding_lookup(table, idx).sum().backward()
+        grad = table.grad
+        assert isinstance(grad, SparseGrad)
+        assert grad.indices.tolist() == [2, 5]
+        np.testing.assert_array_equal(grad[2], np.full(4, 2.0))
+        np.testing.assert_array_equal(grad[5], np.full(4, 1.0))
+
+
+class TestIndexSelectGradients:
+    def test_axis0_leaf_sparse(self, rng):
+        x = Tensor(rng.normal(size=(8, 3)), requires_grad=True)
+        idx = np.array([0, 5, 5, 2])
+        assert_gradients_close(
+            lambda: (index_select(x, idx) ** 2).sum(), [x])
+        (index_select(x, idx) ** 2).sum().backward()
+        assert isinstance(x.grad, SparseGrad)
+
+    def test_axis0_dense_escape_hatch(self, rng):
+        x = Tensor(rng.normal(size=(8, 3)), requires_grad=True)
+        idx = np.array([0, 5, 5, 2])
+        assert_gradients_close(
+            lambda: (index_select(x, idx, dense_grad=True) ** 2).sum(), [x])
+        (index_select(x, idx, dense_grad=True) ** 2).sum().backward()
+        assert isinstance(x.grad, np.ndarray)
+
+    def test_inner_axis_dense(self, rng):
+        x = Tensor(rng.normal(size=(4, 6, 2)), requires_grad=True)
+        idx = np.array([5, 0, 0, 3])
+        assert_gradients_close(
+            lambda: (index_select(x, idx, axis=1) ** 2).sum(), [x])
+
+    def test_negative_axis(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        idx = np.array([4, 4, 1])
+        assert_gradients_close(
+            lambda: (index_select(x, idx, axis=-1) ** 2).sum(), [x])
+
+    def test_non_leaf_input_gets_dense_grad(self, rng):
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        idx = np.array([1, 4])
+        assert_gradients_close(
+            lambda: (index_select(x * 2.0, idx) ** 2).sum(), [x])
+
+    def test_rejects_bad_indices(self, rng):
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        with pytest.raises(ValueError):
+            index_select(x, np.array([[0, 1], [2, 3]]))
+        with pytest.raises(TypeError):
+            index_select(x, np.array([0.5, 1.5]))
+
+
+class TestLayerNormEpsScaleGradients:
+    """Inputs whose variance is comparable to ``eps``: the stabiliser is
+    no longer negligible, so a backward that ignored it would pass the
+    usual O(1)-scale gradchecks but fail here."""
+
+    def test_variance_below_eps(self, rng):
+        ln = LayerNorm(6, eps=1e-5)
+        x = Tensor(rng.normal(size=(4, 6)) * 1e-3, requires_grad=True)
+        assert_gradients_close(lambda: (ln(x) ** 2).sum(), [x, ln.gamma],
+                               atol=1e-5, rtol=1e-3)
+
+    def test_variance_near_eps(self, rng):
+        ln = LayerNorm(5, eps=1e-4)
+        x = Tensor(rng.normal(size=(3, 5)) * 1e-2, requires_grad=True)
+        assert_gradients_close(lambda: (ln(x) ** 2).sum(), [x, ln.gamma],
+                               atol=1e-5, rtol=1e-3)
+
+    def test_constant_rows(self, rng):
+        # Zero variance: output is x / sqrt(eps) * gamma + beta exactly.
+        ln = LayerNorm(4, eps=1e-5)
+        x = Tensor(np.full((2, 4), 1e-4), requires_grad=True)
+        assert_gradients_close(lambda: (ln(x) ** 2).sum(),
+                               [x, ln.gamma, ln.beta],
+                               atol=1e-5, rtol=1e-3)
