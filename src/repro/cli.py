@@ -9,6 +9,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro search --arch-out arch.json # search stage, persist result
     python -m repro retrain --arch arch.json --checkpoint model.npz
     python -m repro profile --out BENCH_obs.json  # per-op autodiff timings
+    python -m repro serve --model LR --checkpoint-dir ckpts  # online inference
+    python -m repro predict --model LR < requests.jsonl      # batch scoring
 
 Every subcommand prints the same rows/series the paper reports; ``--out``
 persists the structured results as JSON via :mod:`repro.io`.  The
@@ -89,8 +91,29 @@ def _add_resilience(parser: argparse.ArgumentParser) -> None:
 
 
 def _check_resume(args) -> None:
+    """Fail fast, with actionable one-liners, before any training starts.
+
+    Exit code 2 marks operator errors (bad paths) as distinct from the
+    generic failure exit 1 — scripts wrapping the CLI rely on this.
+    """
+    from pathlib import Path
+
     if getattr(args, "resume", False) and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if checkpoint_dir is None:
+        return
+    path = Path(checkpoint_dir)
+    if path.exists() and not path.is_dir():
+        print(f"error: --checkpoint-dir {path} exists but is not a "
+              f"directory; point it at a directory (it will be created "
+              f"if missing)", file=sys.stderr)
+        raise SystemExit(2)
+    if getattr(args, "resume", False) and not path.exists():
+        print(f"error: --resume requested but checkpoint directory {path} "
+              f"does not exist; run once without --resume to create it, or "
+              f"check the path", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _open_bus(args):
@@ -177,7 +200,79 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the profile as JSON (BENCH_obs.json)")
     _add_trace(profile)
 
+    serve = sub.add_parser(
+        "serve",
+        help="fault-tolerant online inference (JSONL over stdio or TCP)")
+    _add_serving_stack(serve)
+    serve.add_argument("--mode", default="stdio",
+                       choices=("stdio", "socket"),
+                       help="transport: stdin/stdout lines or threaded TCP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="socket mode: bind address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="socket mode: port (0 picks an ephemeral one, "
+                            "printed in the ready line)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="socket mode: scoring worker threads")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="socket mode: bounded queue depth before "
+                            "load shedding")
+    serve.add_argument("--max-wait-ms", type=float, default=None,
+                       help="socket mode: shed when estimated queue wait "
+                            "exceeds this")
+    serve.add_argument("--reload-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="how often to poll --checkpoint-dir for new "
+                            "checkpoints to hot-reload")
+    serve.add_argument("--inject", action="append", default=None,
+                       metavar="KIND:VALUE",
+                       help="chaos injection: flaky:K (first K scores fail), "
+                            "slow:SECONDS (added scoring latency), "
+                            "crash:N (hard-exit after N requests); "
+                            "repeatable")
+    _add_trace(serve)
+
+    predict = sub.add_parser(
+        "predict",
+        help="batch-score a JSONL file of requests through the same stack")
+    _add_serving_stack(predict)
+    predict.add_argument("--input", default=None, metavar="PATH",
+                         help="JSONL requests file (default: stdin)")
+    predict.add_argument("--out", default=None, metavar="PATH",
+                         help="write JSONL responses here (default: stdout)")
+    _add_trace(predict)
+
     return parser
+
+
+def _add_serving_stack(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``serve`` and ``predict`` (stack construction)."""
+    from .serving.server import SERVABLE_MODELS
+
+    parser.add_argument("--model", default="LR", choices=SERVABLE_MODELS,
+                        help="zoo model to instantiate (ignored with --arch)")
+    _add_scale(parser)
+    _add_dataset(parser)
+    parser.add_argument("--samples", type=int, default=None,
+                        help="synthetic rows; must match the training run "
+                             "that produced the weights")
+    parser.add_argument("--arch", default=None,
+                        help="serve a searched architecture JSON instead of "
+                             "a zoo model")
+    parser.add_argument("--weights", default=None,
+                        help="initial weights .npz from `repro retrain "
+                             "--checkpoint`")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="load the newest valid training checkpoint and "
+                             "hot-reload when new ones appear")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="default per-request deadline budget")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        help="consecutive failures before the circuit "
+                             "breaker opens")
+    parser.add_argument("--breaker-cooldown", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="open-state cooldown before a half-open probe")
 
 
 def _cmd_stats(args) -> int:
@@ -339,6 +434,80 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _build_stack_from_args(args, bus):
+    from .serving.server import build_serving_stack
+
+    return build_serving_stack(
+        args.model, args.dataset, args.scale,
+        samples=args.samples,
+        arch_path=args.arch,
+        weights=args.weights,
+        checkpoint_dir=args.checkpoint_dir,
+        deadline_ms=args.deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        reload_interval_s=getattr(args, "reload_interval", 1.0),
+        inject=getattr(args, "inject", None),
+        bus=bus)
+
+
+def _cmd_serve(args) -> int:
+    from .serving.server import serve_socket, serve_stdio
+
+    _check_resume(args)
+    bus = _open_bus(args)
+    try:
+        stack = _build_stack_from_args(args, bus)
+        for note in stack.notes:
+            print(f"# {note}", file=sys.stderr)
+        if args.mode == "socket":
+            return serve_socket(stack, host=args.host, port=args.port,
+                                workers=args.workers,
+                                queue_depth=args.queue_depth,
+                                max_wait_ms=args.max_wait_ms)
+        return serve_stdio(stack)
+    finally:
+        if bus is not None:
+            bus.close()
+
+
+def _cmd_predict(args) -> int:
+    """Batch scoring: JSONL requests in, JSONL responses out.
+
+    Shares the full serving stack (validation, degradation ladder,
+    deadlines) with ``repro serve`` — a file of requests gets exactly
+    the answers the online path would give, one per input line.
+    """
+    import json
+    from .serving.server import handle_request_line
+
+    _check_resume(args)
+    bus = _open_bus(args)
+    try:
+        stack = _build_stack_from_args(args, bus)
+        for note in stack.notes:
+            print(f"# {note}", file=sys.stderr)
+        source = (open(args.input) if args.input else sys.stdin)
+        sink = (open(args.out, "w") if args.out else sys.stdout)
+        try:
+            for line in source:
+                if not line.strip():
+                    continue
+                response, _shutdown = handle_request_line(line, stack.service)
+                if response:
+                    print(json.dumps(response), file=sink, flush=True)
+        finally:
+            if args.input:
+                source.close()
+            if args.out:
+                sink.close()
+                print(f"responses written to {args.out}", file=sys.stderr)
+    finally:
+        if bus is not None:
+            bus.close()
+    return 0
+
+
 def _cmd_report(args) -> int:
     report = generate_report(scale=args.scale, experiments=args.experiments)
     if args.out:
@@ -360,13 +529,28 @@ _COMMANDS = {
     "search": _cmd_search,
     "retrain": _cmd_retrain,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
+    "predict": _cmd_predict,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Corrupt-artifact errors become a one-line message and exit code 2
+    (operator error) instead of a traceback: an unreadable checkpoint
+    is something the caller fixes by pointing at a different file, not
+    a bug in this process.
+    """
+    from .resilience.checkpoint import CorruptCheckpointError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CorruptCheckpointError as exc:
+        print(f"error: {exc}; re-run against an intact checkpoint "
+              f"(or delete the corrupt file and retrain)", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,6 +10,7 @@ it for an independent re-train run, the workflow Algorithm 1/2 implies.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Any, Dict
 
@@ -52,12 +53,26 @@ def load_checkpoint(model: Module, path: PathLike) -> Module:
 
     The model must already have the right architecture; this restores
     values only, mirroring ``Module.load_state_dict`` semantics.
+
+    A truncated, non-zip or otherwise unreadable file raises
+    :class:`~repro.resilience.checkpoint.CorruptCheckpointError` naming
+    the path, so serving and CLI callers catch one typed error instead
+    of whichever of ``zipfile.BadZipFile``/``ValueError``/``OSError``
+    numpy happened to surface.
     """
+    # Imported lazily: repro.resilience pulls in the training stack,
+    # which must not become an import-time dependency of plain io users.
+    from .resilience.checkpoint import CorruptCheckpointError
+
     path = _npz_path(path)
     if not path.exists():
         raise FileNotFoundError(f"no checkpoint at {path}")
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
+    try:
+        with np.load(path) as archive:
+            state = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise CorruptCheckpointError(
+            f"unreadable checkpoint {path}: {exc}") from exc
     model.load_state_dict(state)
     return model
 

@@ -149,6 +149,36 @@ class CTRModel(Module):
         self.train(was_training)
         return probs
 
+    def main_effects_logit(self, batch: Batch) -> Optional[np.ndarray]:
+        """First-order-only logits ``[n]``, or ``None`` when unsupported.
+
+        Models with a per-field first-order head (a ``weights``
+        :class:`FieldEmbedding` of dim 1 — LR, Poly2 and the FM family)
+        can be scored from main effects alone: no cross features, no
+        pairwise terms, no MLP.  The serving degradation ladder uses
+        this as its middle rung, so the answer must come from *trained*
+        weights or not at all — models without such a head return
+        ``None`` and the ladder falls through to the prior constant.
+        """
+        weights = getattr(self, "weights", None)
+        if not isinstance(weights, FieldEmbedding) or weights.dim != 1:
+            return None
+        from ..nn.module import Parameter
+        from ..nn.tensor import no_grad
+
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                logit = weights(batch.x).sum(axis=(1, 2))
+                bias = getattr(self, "bias", None)
+                if isinstance(bias, Parameter):
+                    logit = logit + bias
+                out = logit.numpy().ravel()
+        finally:
+            self.train(was_training)
+        return out
+
 
 def pair_index_arrays(num_fields: int) -> tuple[np.ndarray, np.ndarray]:
     """Index arrays (idx_i, idx_j) enumerating all pairs i < j."""

@@ -36,6 +36,10 @@ EVENT_TYPES = {
     "op_timing",   # profiler output: per-op cumulative timings
     "recovery",    # fault handling: batch skip, rollback, resume, fallback
     "checkpoint",  # a training checkpoint was written (path, epoch, step)
+    "serve_request",  # one serving request resolved (status, latency)
+    "degrade",     # a degraded answer was served (ladder level, reason)
+    "reload",      # hot checkpoint reload attempt (ok/corrupt/rolled back)
+    "shed",        # load shedding dropped a request (queue depth, reason)
 }
 
 
@@ -115,24 +119,32 @@ class JsonlSink(Sink):
     """Appends one JSON line per event to a file, flushing eagerly.
 
     Eager flushing keeps the trace readable while a long run is still in
-    flight (e.g. tailing α convergence during a search).
+    flight (e.g. tailing α convergence during a search).  Writes are
+    serialised under a lock: serving worker threads emit concurrently,
+    and interleaved partial lines would corrupt the trace.
     """
 
     def __init__(self, path: PathLike) -> None:
+        import threading
+
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle: Optional[TextIO] = self.path.open("a")
+        self._lock = threading.Lock()
 
     def emit(self, event: Event) -> None:
-        if self._handle is None:
-            raise RuntimeError(f"JsonlSink({self.path}) is closed")
-        self._handle.write(event.to_json() + "\n")
-        self._handle.flush()
+        line = event.to_json() + "\n"
+        with self._lock:
+            if self._handle is None:
+                raise RuntimeError(f"JsonlSink({self.path}) is closed")
+            self._handle.write(line)
+            self._handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
 
 class ConsoleSink(Sink):

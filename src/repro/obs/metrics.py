@@ -1,7 +1,11 @@
 """Process-local metrics: counters, gauges, streaming histograms, timers.
 
 The registry is deliberately simple — names map to metric objects that
-are cheap to update from hot loops.  Histograms are fixed-bucket
+are cheap to update from hot loops, and every update is thread-safe: the
+serving worker pool increments counters and observes latencies from many
+threads at once, so ``+=`` on a bare attribute (a read-modify-write that
+the interpreter may interleave) is not enough — each metric guards its
+state with a lock.  Histograms are fixed-bucket
 (exponential boundaries by default) so a long training run observes
 millions of values in O(1) memory and fully deterministically: no
 reservoir sampling, hence no RNG interaction with training (a property
@@ -11,6 +15,7 @@ the profiler determinism tests rely on).
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -31,19 +36,22 @@ def default_buckets(start: float = 1e-6, factor: float = 4.0,
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count (thread-safe)."""
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_dict(self) -> Dict[str, float]:
-        return {"value": self.value}
+        with self._lock:
+            return {"value": self.value}
 
 
 class Gauge:
@@ -52,9 +60,11 @@ class Gauge:
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def as_dict(self) -> Dict[str, Optional[float]]:
         return {"value": self.value}
@@ -80,18 +90,20 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     @property
     def mean(self) -> Optional[float]:
@@ -167,19 +179,23 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, kind, factory):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, kind):
-                raise TypeError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, not {kind.__name__}"
-                )
-            return existing
-        metric = factory()
-        self._metrics[name] = metric
-        return metric
+        # One lock for the whole registry: creation is rare, and lookup
+        # under an uncontended lock is cheap enough for hot paths.
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, Counter, lambda: Counter(name))
@@ -197,15 +213,19 @@ class MetricsRegistry:
         return Timer(self.histogram(name))
 
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """All metrics rendered to plain dicts (JSON-ready)."""
-        return {name: metric.as_dict()
-                for name, metric in sorted(self._metrics.items())}
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.as_dict() for name, metric in items}
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()

@@ -1,0 +1,97 @@
+"""``repro.serving`` — fault-tolerant online inference.
+
+The training side of this repo (PR 2) survives crashes, divergence and
+corrupt artifacts; this package gives the *serving* side the same
+treatment, organised around one invariant: **every request gets a typed
+answer inside its deadline**.  Six cooperating pieces:
+
+* :mod:`repro.serving.validation` — schema validation with per-field
+  error reports; missing/None/out-of-vocabulary values fold to the
+  reserved OOV id exactly like the training pipeline.
+* :mod:`repro.serving.degradation` — the answer ladder (full model →
+  main-effects-only → calibrated prior CTR) stepped down by a
+  closed/open/half-open circuit breaker.
+* :mod:`repro.serving.queue` — bounded priority queue that sheds
+  lowest-priority work with typed 503-style responses.
+* :mod:`repro.serving.reload` — hot checkpoint reload: retry-with-
+  backoff reads, integrity checks, golden-request validation, atomic
+  swap, rollback on any failure.
+* :mod:`repro.serving.service` — the request path tying it together,
+  with deadline budgeting and full metrics/event instrumentation
+  (``serve_request`` / ``degrade`` / ``reload`` / ``shed``).
+* :mod:`repro.serving.faults` — serving-side fault injectors mirroring
+  :mod:`repro.resilience.faults`, driving the chaos suite.
+
+``repro serve`` (stdio or threaded socket JSONL) and ``repro predict``
+(batch scoring) expose it from the CLI; see ``docs/serving.md``.
+"""
+
+from .backoff import backoff_delays, retry_with_backoff
+from .degradation import (
+    CircuitBreaker,
+    DegradationLadder,
+    LEVEL_FULL,
+    LEVEL_MAIN_EFFECTS,
+    LEVEL_PRIOR,
+    LEVELS,
+)
+from .errors import (
+    DeadlineExceededError,
+    InvalidRequestError,
+    ModelUnavailableError,
+    OverloadedError,
+    ServingError,
+)
+from .queue import BoundedRequestQueue
+from .reload import GoldenSet, HotReloader
+from .server import (
+    SERVABLE_MODELS,
+    ServingStack,
+    SocketServer,
+    build_serving_stack,
+    handle_request_line,
+    serve_socket,
+    serve_stdio,
+)
+from .service import (
+    PredictionResponse,
+    PredictionService,
+    STATUS_DEGRADED,
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_SHED,
+)
+from .validation import RequestValidator
+
+__all__ = [
+    "ServingError",
+    "InvalidRequestError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "ModelUnavailableError",
+    "RequestValidator",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "LEVELS",
+    "LEVEL_FULL",
+    "LEVEL_MAIN_EFFECTS",
+    "LEVEL_PRIOR",
+    "BoundedRequestQueue",
+    "GoldenSet",
+    "HotReloader",
+    "PredictionService",
+    "PredictionResponse",
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_INVALID",
+    "STATUS_SHED",
+    "backoff_delays",
+    "retry_with_backoff",
+    "SERVABLE_MODELS",
+    "ServingStack",
+    "SocketServer",
+    "build_serving_stack",
+    "handle_request_line",
+    "serve_stdio",
+    "serve_socket",
+]

@@ -1,0 +1,76 @@
+"""Retry with exponential backoff and jitter for transient I/O faults.
+
+Checkpoint reads during hot reload (and initial model loading) can hit
+transient ``OSError``s — NFS hiccups, a file mid-replace on another
+host, momentary permission races.  :func:`retry_with_backoff` retries
+those with capped exponential delays and multiplicative jitter so a
+fleet of replicas does not hammer shared storage in lockstep.  Both the
+sleeper and the RNG are injectable, so tests run instantly and
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def backoff_delays(retries: int, base_delay: float = 0.05,
+                   factor: float = 2.0, max_delay: float = 2.0,
+                   jitter: float = 0.5,
+                   rng: Optional[np.random.Generator] = None):
+    """Yield ``retries`` delays: capped exponential, jittered.
+
+    Delay ``i`` is ``min(base * factor**i, max_delay)`` scaled by a
+    uniform factor in ``[1 - jitter, 1 + jitter]``.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    rng = rng or np.random.default_rng()
+    for attempt in range(retries):
+        delay = min(base_delay * factor ** attempt, max_delay)
+        if jitter:
+            delay *= 1.0 + jitter * (2.0 * float(rng.random()) - 1.0)
+        yield delay
+
+
+def retry_with_backoff(fn: Callable[[], T], *,
+                       retries: int = 4,
+                       base_delay: float = 0.05,
+                       factor: float = 2.0,
+                       max_delay: float = 2.0,
+                       jitter: float = 0.5,
+                       retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+                       sleep: Callable[[float], None] = time.sleep,
+                       rng: Optional[np.random.Generator] = None,
+                       on_retry: Optional[Callable[[int, BaseException], None]]
+                       = None) -> T:
+    """Call ``fn`` with up to ``retries`` retries on ``retry_on`` errors.
+
+    The first call is free; each retry sleeps one backoff delay first.
+    ``on_retry(attempt, error)`` fires before each sleep — the reloader
+    uses it to emit a ``reload`` event per transient failure.  The last
+    error re-raises unchanged once the budget is spent, so callers keep
+    the original typed exception.
+    """
+    delays = backoff_delays(retries, base_delay=base_delay, factor=factor,
+                            max_delay=max_delay, jitter=jitter, rng=rng)
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            try:
+                delay = next(delays)
+            except StopIteration:
+                raise exc from None
+            attempt += 1
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(delay)

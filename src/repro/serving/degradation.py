@@ -1,0 +1,178 @@
+"""Graceful degradation: circuit breaker + the three-rung answer ladder.
+
+A CTR service must answer *something* inside its deadline: a slightly
+worse prediction loses a little revenue, a 500 or a blocked socket loses
+the whole request (the deployment argument of OptInter §I).  Two pieces
+implement that policy:
+
+* :class:`CircuitBreaker` — classic closed → open → half-open automaton
+  over consecutive scoring failures/timeouts.  While open, requests skip
+  the full model entirely (no latency spent on a model that is failing);
+  after a cooldown one probe request is let through to test recovery.
+* :class:`DegradationLadder` — where degraded answers come from:
+  **full model** → **main-effects-only logit** (per-field weights + bias,
+  no cross features, no MLP — cheap and deadline-safe) → **calibrated
+  prior CTR** (the training positive ratio).  Models without a
+  first-order head simply skip the middle rung.
+
+Every degraded answer is tagged with its rung and reason, counted on the
+metrics registry and emitted as a ``degrade`` event, so an incident
+timeline reconstructs from the trace alone.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import Batch
+from ..models.base import CTRModel
+from ..obs.events import EventBus
+from ..obs.metrics import MetricsRegistry
+
+#: Ladder rungs, best first.
+LEVEL_FULL = "full"
+LEVEL_MAIN_EFFECTS = "main_effects"
+LEVEL_PRIOR = "prior"
+LEVELS = (LEVEL_FULL, LEVEL_MAIN_EFFECTS, LEVEL_PRIOR)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    States: ``closed`` (all traffic to the full model), ``open`` (all
+    traffic degraded until ``cooldown_s`` passes), ``half_open`` (exactly
+    one probe request may try the full model; its outcome closes or
+    re-opens the circuit).  Thread-safe; the clock is injectable so
+    tests control time.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 5, cooldown_s: float = 30.0,
+                 clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        """Current state with the open→half-open clock edge applied."""
+        if (self._state == self.OPEN and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.cooldown_s):
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May this request try the full model?
+
+        Closed: yes.  Open: no.  Half-open: yes for exactly one caller
+        (the probe); everyone else stays degraded until it resolves.
+        """
+        with self._lock:
+            state = self._peek_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probe_in_flight:
+                self._state = self.HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A full-model answer landed; close the circuit."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A scoring failure/timeout; open on threshold or failed probe."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                # Failed probe: straight back to open, restart cooldown.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+
+def _sigmoid(logit: float) -> float:
+    if logit >= 0:
+        return 1.0 / (1.0 + math.exp(-logit))
+    exp = math.exp(logit)
+    return exp / (1.0 + exp)
+
+
+class DegradationLadder:
+    """Produces the degraded answer for a request the full model missed.
+
+    ``prior_ctr`` is the calibrated constant fallback — the positive
+    ratio of the training split, i.e. the best zero-information estimate
+    of the click probability.
+    """
+
+    def __init__(self, prior_ctr: float,
+                 bus: Optional[EventBus] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if not 0.0 < prior_ctr < 1.0:
+            raise ValueError(f"prior_ctr must be in (0, 1), got {prior_ctr}")
+        self.prior_ctr = float(prior_ctr)
+        self.bus = bus
+        self.metrics = metrics
+
+    def fallback(self, model: Optional[CTRModel], batch: Optional[Batch],
+                 reason: str,
+                 request_id: Optional[str] = None) -> Tuple[float, str]:
+        """Step down the ladder; returns ``(probability, level)``.
+
+        ``model``/``batch`` may be ``None`` (e.g. validation produced no
+        batch, or no model is loaded) — the ladder then answers from the
+        prior.  A main-effects scoring error falls through to the prior
+        rather than surfacing: the ladder is the code path that must not
+        fail.
+        """
+        probability: Optional[float] = None
+        level = LEVEL_PRIOR
+        if model is not None and batch is not None:
+            try:
+                logit = model.main_effects_logit(batch)
+            except Exception:
+                logit = None
+            if logit is not None and np.all(np.isfinite(logit)):
+                probability = _sigmoid(float(np.asarray(logit).ravel()[0]))
+                level = LEVEL_MAIN_EFFECTS
+        if probability is None:
+            probability = self.prior_ctr
+        if self.metrics is not None:
+            self.metrics.counter("serve.degraded").inc()
+            self.metrics.counter(f"serve.degraded.{level}").inc()
+        if self.bus is not None:
+            self.bus.emit("degrade", reason=reason, level=level,
+                          request_id=request_id)
+        return probability, level

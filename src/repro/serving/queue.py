@@ -1,0 +1,150 @@
+"""Load shedding: a bounded, priority-aware request queue.
+
+Under overload the worst policy is the implicit one — unbounded queues
+that convert excess traffic into unbounded latency for *everyone*.  The
+:class:`BoundedRequestQueue` makes the policy explicit: depth is capped,
+estimated wait (queue depth × a caller-supplied latency estimate) is
+capped, and when either limit trips the *lowest-priority* work is shed
+with a typed :class:`OverloadedError` — a 503-style answer the client
+gets immediately instead of a timeout it discovers late.
+
+Shedding prefers queued low-priority entries over an incoming
+high-priority one: an arriving priority-9 request evicts a waiting
+priority-0 request rather than being dropped itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import OverloadedError
+
+
+class BoundedRequestQueue:
+    """Priority queue with hard depth and estimated-wait limits.
+
+    Parameters
+    ----------
+    max_depth:
+        Hard cap on queued entries.
+    max_wait_s:
+        Shed when ``depth * latency_estimate()`` would exceed this.
+        ``None`` disables the wait-based limit.
+    latency_estimate:
+        Zero-arg callable returning the current per-request service-time
+        estimate in seconds (the service's scoring EWMA); ``None``
+        disables wait estimation.
+    on_shed:
+        Callback ``(item, error)`` invoked for every shed entry — the
+        server uses it to write the 503 response and emit the ``shed``
+        event.  Called for evicted *queued* entries too, which is why it
+        is a callback and not just an exception at ``put`` time.
+    """
+
+    def __init__(self, max_depth: int = 64,
+                 max_wait_s: Optional[float] = None,
+                 latency_estimate: Optional[Callable[[], float]] = None,
+                 on_shed: Optional[Callable[[Any, OverloadedError], None]]
+                 = None) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.max_wait_s = max_wait_s
+        self.latency_estimate = latency_estimate
+        self.on_shed = on_shed
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        # Min-heap on (priority, seq): lowest priority pops for shedding.
+        # Workers take the *highest* priority entry.
+        self._entries: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def estimated_wait_s(self) -> Optional[float]:
+        """Depth × latency estimate, or ``None`` without an estimator."""
+        if self.latency_estimate is None:
+            return None
+        with self._lock:
+            depth = len(self._entries)
+        return depth * max(float(self.latency_estimate()), 0.0)
+
+    def _shed(self, item: Any, error: OverloadedError) -> None:
+        if self.on_shed is not None:
+            self.on_shed(item, error)
+
+    def put(self, item: Any, priority: int = 0) -> bool:
+        """Enqueue ``item``; returns True if it was accepted.
+
+        A rejected (or evicted) entry goes through ``on_shed`` with a
+        typed :class:`OverloadedError`; ``put`` itself never raises for
+        overload, so reader threads keep draining the socket.
+        """
+        shed_victim: Optional[Tuple[Any, OverloadedError]] = None
+        accepted = True
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            depth = len(self._entries)
+            wait = (None if self.latency_estimate is None
+                    else depth * max(float(self.latency_estimate()), 0.0))
+            if (self.max_wait_s is not None and wait is not None
+                    and wait > self.max_wait_s):
+                shed_victim = (item, OverloadedError(
+                    "estimated wait exceeds limit", depth=depth,
+                    estimated_wait_s=wait))
+                accepted = False
+            elif depth >= self.max_depth:
+                lowest = self._entries[0]
+                if lowest[0] < priority:
+                    # Evict the waiting lowest-priority entry instead.
+                    heapq.heappop(self._entries)
+                    shed_victim = (lowest[2], OverloadedError(
+                        "evicted by higher-priority request", depth=depth,
+                        estimated_wait_s=wait))
+                    heapq.heappush(self._entries,
+                                   (priority, next(self._seq), item))
+                    self._not_empty.notify()
+                else:
+                    shed_victim = (item, OverloadedError(
+                        "queue depth limit", depth=depth,
+                        estimated_wait_s=wait))
+                    accepted = False
+            else:
+                heapq.heappush(self._entries,
+                               (priority, next(self._seq), item))
+                self._not_empty.notify()
+        if shed_victim is not None:
+            self._shed(*shed_victim)
+        return accepted
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Highest-priority entry (FIFO within a priority), or ``None``
+        on timeout / after :meth:`close` drains."""
+        with self._not_empty:
+            while not self._entries:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            # Max-priority: scan is O(n) but n <= max_depth (small by
+            # design); the heap keeps *shedding* O(log n), the hot path
+            # under overload.
+            best = max(range(len(self._entries)),
+                       key=lambda i: (self._entries[i][0],
+                                      -self._entries[i][1]))
+            entry = self._entries.pop(best)
+            heapq.heapify(self._entries)
+            return entry[2]
+
+    def close(self) -> None:
+        """Wake all waiting getters; subsequent puts raise."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()

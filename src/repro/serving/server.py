@@ -1,0 +1,462 @@
+"""The ``repro serve`` process: JSONL protocol, probes, threaded socket.
+
+One line-oriented protocol serves both transports:
+
+* **stdio mode** — one JSON request per stdin line, one JSON response
+  per stdout line; the simplest thing a sidecar or test can drive.
+* **socket mode** — a threaded TCP server: reader threads parse lines
+  into the bounded priority queue, a worker pool scores them, and
+  responses (tagged with ``request_id``) stream back per connection.
+  Probes (``{"op": "health"}`` / ``{"op": "ready"}``) are answered in
+  the reader thread, *bypassing* the queue — a probe must succeed even
+  when the queue is saturated, that is what probes are for.
+
+Request envelope (all fields except ``features`` optional)::
+
+    {"features": {"field_0": 3, ...}, "request_id": "r1",
+     "priority": 5, "deadline_ms": 50}
+
+A bare feature mapping (no ``features`` key) is accepted too.  Responses
+are :meth:`PredictionResponse.as_dict` JSON.  ``build_serving_stack``
+assembles the service + hot reloader exactly the way the CLI does, so
+tests and the CLI share one construction path.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.cross import CrossProductTransform
+from ..obs.events import EventBus
+from ..resilience.checkpoint import CheckpointManager
+from .degradation import CircuitBreaker
+from .errors import OverloadedError
+from .faults import FlakyModel, ServeCrash, SlowModel, valid_requests
+from .queue import BoundedRequestQueue
+from .reload import GoldenSet, HotReloader
+from .service import PredictionService, PredictionResponse, STATUS_INVALID
+from .validation import RequestValidator
+
+#: zoo models `repro serve --model` can instantiate without a search stage.
+SERVABLE_MODELS = ("LR", "FNN", "FM", "FwFM", "FmFM", "IPNN", "OPNN",
+                   "DeepFM", "PIN", "Poly2", "WideDeep", "FFM", "DCN")
+
+
+# ----------------------------------------------------------------------
+# Stack construction (shared by CLI `serve` / `predict` and tests)
+# ----------------------------------------------------------------------
+@dataclass
+class ServingStack:
+    """Everything a serving process runs: service, reloader, metadata."""
+
+    service: PredictionService
+    reloader: Optional[HotReloader]
+    model_name: str
+    dataset: str
+    notes: List[str] = field(default_factory=list)
+
+
+def parse_injections(specs: Optional[List[str]]) -> Dict[str, float]:
+    """Parse ``--inject kind:value`` chaos specs (flaky / slow / crash)."""
+    parsed: Dict[str, float] = {}
+    for spec in specs or []:
+        kind, _, value = spec.partition(":")
+        if kind not in ("flaky", "slow", "crash") or not value:
+            raise ValueError(
+                f"bad --inject spec {spec!r}; expected flaky:K, slow:SECONDS "
+                "or crash:N")
+        parsed[kind] = float(value)
+    return parsed
+
+
+def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
+                        *,
+                        samples: Optional[int] = None,
+                        arch_path: Optional[str] = None,
+                        weights: Optional[str] = None,
+                        checkpoint_dir: Optional[str] = None,
+                        deadline_ms: Optional[float] = None,
+                        breaker_threshold: int = 5,
+                        breaker_cooldown_s: float = 5.0,
+                        golden_requests: int = 8,
+                        reload_interval_s: float = 1.0,
+                        inject: Optional[List[str]] = None,
+                        bus: Optional[EventBus] = None) -> ServingStack:
+    """Assemble the full serving stack the way ``repro serve`` does.
+
+    The dataset/scale/samples triple must match the training run that
+    produced the weights — the synthetic pipeline is deterministic, so
+    equal configs yield identical schemas, vocabularies and cross
+    cardinalities.
+    """
+    from ..experiments import default_config, prepare_dataset
+    from ..experiments.runner import _build_plain_model
+    from ..io import load_architecture
+
+    from dataclasses import replace
+
+    config = default_config(dataset, scale)
+    if samples is not None:
+        config = replace(config, n_samples=samples)
+    bundle = prepare_dataset(config)
+    notes: List[str] = []
+
+    architecture = None
+    if arch_path is not None:
+        architecture = load_architecture(arch_path)
+
+    def model_factory():
+        rng = np.random.default_rng(config.seed)
+        if architecture is not None:
+            from ..core.retrain import build_fixed_model
+
+            return build_fixed_model(architecture, bundle.train,
+                                     config.retrain_config(), rng=rng)
+        return _build_plain_model(model_name, bundle.train, config, rng)
+
+    model = model_factory()
+
+    # Cross features: re-fit the deterministic transform on the full
+    # split so serve-time cross ids equal train-time ones exactly.
+    cross_transform = None
+    if model.needs_cross:
+        sync_config = config.make_dataset_config()
+        cross_transform = CrossProductTransform(
+            bundle.full.schema, min_count=sync_config.cross_min_count)
+        cross_transform.fit(bundle.full.x, bundle.full.cardinalities)
+        if cross_transform.cardinalities != bundle.full.cross_cardinalities:
+            raise RuntimeError(
+                "re-fitted cross transform disagrees with the dataset; "
+                "dataset/scale/samples must match the training run")
+
+    # Initial weights: explicit .npz beats checkpoint dir beats random.
+    manager = None
+    loaded_epoch: Optional[int] = None
+    if weights is not None:
+        from ..io import load_checkpoint
+
+        load_checkpoint(model, weights)
+        notes.append(f"weights loaded from {weights}")
+    if checkpoint_dir is not None:
+        manager = CheckpointManager(checkpoint_dir)
+        if weights is None:
+            loaded = manager.latest_valid()
+            if loaded is not None:
+                checkpoint, path = loaded
+                model.load_state_dict(checkpoint.model_state)
+                loaded_epoch = checkpoint.epoch
+                notes.append(f"checkpoint loaded from {path}")
+            else:
+                notes.append(
+                    f"no valid checkpoint in {checkpoint_dir} yet; serving "
+                    "initial weights until one appears")
+    if weights is None and manager is None:
+        notes.append("serving randomly-initialised weights (no --weights / "
+                     "--checkpoint-dir)")
+
+    # Chaos injection wrappers (outermost wins the scoring call).
+    injections = parse_injections(inject)
+    crash: Optional[ServeCrash] = None
+    if "slow" in injections:
+        model = SlowModel(model, delay_s=injections["slow"])
+        notes.append(f"injected slow scoring: +{injections['slow']}s")
+    if "flaky" in injections:
+        model = FlakyModel(model, fail_first=int(injections["flaky"]))
+        notes.append(f"injected flaky scoring: first "
+                     f"{int(injections['flaky'])} calls fail")
+    if "crash" in injections:
+        crash = ServeCrash(at_request=int(injections["crash"]))
+        notes.append(f"injected crash after {int(injections['crash'])} "
+                     "requests")
+
+    service = PredictionService(
+        model, bundle.full.schema,
+        validator=RequestValidator(bundle.full.schema),
+        cross_transform=cross_transform,
+        prior_ctr=max(min(bundle.train.positive_ratio, 1.0 - 1e-6), 1e-6),
+        deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+        breaker=CircuitBreaker(failure_threshold=breaker_threshold,
+                               cooldown_s=breaker_cooldown_s),
+        bus=bus,
+        model_version=("initial" if loaded_epoch is None
+                       else f"epoch-{loaded_epoch:08d}"))
+    service._crash = crash  # picked up by the protocol loop
+
+    reloader = None
+    if manager is not None:
+        golden = GoldenSet(list(valid_requests(bundle.full.schema,
+                                               count=golden_requests)))
+        reloader = HotReloader(service, manager, model_factory,
+                               golden=golden, interval_s=reload_interval_s,
+                               bus=bus)
+        reloader._loaded_epoch = loaded_epoch
+    return ServingStack(service=service, reloader=reloader,
+                        model_name=model_name, dataset=dataset, notes=notes)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+def handle_request_line(line: str, service: PredictionService
+                        ) -> Tuple[Dict[str, Any], bool]:
+    """One protocol line → ``(response dict, is_shutdown)``.
+
+    Never raises: unparseable JSON and envelope errors become
+    ``invalid`` responses, matching the validator's contract.
+    """
+    line = line.strip()
+    if not line:
+        return {}, False
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return (PredictionResponse(
+            status=STATUS_INVALID,
+            error={"code": "invalid_request",
+                   "message": f"unparseable JSON: {exc}"}).as_dict(), False)
+    if isinstance(payload, dict) and "op" in payload:
+        op = payload["op"]
+        if op == "health":
+            return service.health(), False
+        if op == "ready":
+            return service.readiness(), False
+        if op == "metrics":
+            return service.metrics.snapshot(), False
+        if op == "shutdown":
+            return {"status": "shutting_down"}, True
+        return (PredictionResponse(
+            status=STATUS_INVALID,
+            error={"code": "invalid_request",
+                   "message": f"unknown op {op!r}"}).as_dict(), False)
+    features, request_id, priority, deadline_s = split_envelope(payload)
+    crash = getattr(service, "_crash", None)
+    if crash is not None:
+        crash()
+    response = service.predict(features, deadline_s=deadline_s,
+                               request_id=request_id)
+    return response.as_dict(), False
+
+
+def split_envelope(payload: Any
+                   ) -> Tuple[Any, Optional[str], int, Optional[float]]:
+    """Extract ``(features, request_id, priority, deadline_s)``."""
+    request_id = None
+    priority = 0
+    deadline_s = None
+    features = payload
+    if isinstance(payload, dict):
+        if "features" in payload:
+            features = payload["features"]
+        raw_id = payload.get("request_id")
+        if raw_id is not None:
+            request_id = str(raw_id)
+        try:
+            priority = int(payload.get("priority", 0) or 0)
+        except (TypeError, ValueError):
+            priority = 0
+        raw_deadline = payload.get("deadline_ms")
+        if isinstance(raw_deadline, (int, float)) and raw_deadline > 0:
+            deadline_s = float(raw_deadline) / 1e3
+    return features, request_id, priority, deadline_s
+
+
+def serve_stdio(stack: ServingStack, stdin=None, stdout=None) -> int:
+    """Blocking stdin/stdout JSONL loop (sequential, no queue)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    if stack.reloader is not None:
+        stack.reloader.start()
+    print(json.dumps({"status": "ready",
+                      "model": stack.model_name,
+                      "dataset": stack.dataset,
+                      "notes": stack.notes}), file=stdout, flush=True)
+    try:
+        for line in stdin:
+            if stack.reloader is not None and stack.reloader._thread is None:
+                stack.reloader.poll_once()
+            response, shutdown = handle_request_line(line, stack.service)
+            if response:
+                print(json.dumps(response), file=stdout, flush=True)
+            if shutdown:
+                break
+    finally:
+        if stack.reloader is not None:
+            stack.reloader.stop()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Threaded socket server
+# ----------------------------------------------------------------------
+class SocketServer:
+    """Threaded TCP JSONL server with bounded-queue load shedding."""
+
+    def __init__(self, stack: ServingStack, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 4,
+                 queue_depth: int = 64,
+                 max_wait_ms: Optional[float] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.stack = stack
+        self.service = stack.service
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue = BoundedRequestQueue(
+            max_depth=queue_depth,
+            max_wait_s=None if max_wait_ms is None else max_wait_ms / 1e3,
+            latency_estimate=self.service.latency,
+            on_shed=self._on_shed)
+        self._sock: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- queue plumbing -------------------------------------------------
+    def _on_shed(self, item, error: OverloadedError) -> None:
+        write, _line, request_id = item
+        response = self.service.shed_response(error, request_id=request_id)
+        write(response.as_dict())
+
+    def _worker(self) -> None:
+        while True:
+            item = self.queue.get(timeout=0.2)
+            if item is None:
+                if self._stop.is_set():
+                    return
+                continue
+            write, line, _request_id = item
+            try:
+                response, _shutdown = handle_request_line(line, self.service)
+            except Exception as exc:  # noqa: BLE001 — workers must survive
+                response = {"status": "error",
+                            "error": {"code": "internal",
+                                      "message": str(exc)}}
+            if response:
+                write(response)
+
+    # -- connection plumbing --------------------------------------------
+    def _handle_connection(self, conn: socket.socket) -> None:
+        wlock = threading.Lock()
+        rfile = conn.makefile("r", encoding="utf-8")
+        wfile = conn.makefile("w", encoding="utf-8")
+
+        def write(response: Dict[str, Any]) -> None:
+            try:
+                with wlock:
+                    wfile.write(json.dumps(response) + "\n")
+                    wfile.flush()
+            except (OSError, ValueError):
+                pass  # client went away; nothing to answer
+
+        try:
+            for line in rfile:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                payload = _safe_json(stripped)
+                if isinstance(payload, dict) and "op" in payload:
+                    # Probes bypass the queue: they must answer under load.
+                    response, shutdown = handle_request_line(
+                        stripped, self.service)
+                    if response:
+                        write(response)
+                    if shutdown:
+                        self._stop.set()
+                        self.queue.close()
+                        break
+                    continue
+                _features, request_id, priority, _deadline = split_envelope(
+                    payload)
+                self.queue.put((write, stripped, request_id),
+                               priority=priority)
+        except (OSError, ValueError):
+            pass
+        finally:
+            for handle in (rfile, wfile, conn):
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+
+    def _acceptor(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(target=self._handle_connection,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, spin up workers + acceptor; returns ``(host, port)``."""
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((self.host, self.port))
+        self._sock.listen(128)
+        self.port = self._sock.getsockname()[1]
+        for i in range(self.workers):
+            thread = threading.Thread(target=self._worker,
+                                      name=f"serve-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        acceptor = threading.Thread(target=self._acceptor, name="serve-accept",
+                                    daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+        if self.stack.reloader is not None:
+            self.stack.reloader.start()
+        return self.host, self.port
+
+    def wait(self) -> None:
+        """Block until a shutdown op arrives."""
+        while not self._stop.wait(timeout=0.2):
+            pass
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        self.queue.close()
+        if self.stack.reloader is not None:
+            self.stack.reloader.stop()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+
+def _safe_json(line: str) -> Any:
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError:
+        return None
+
+
+def serve_socket(stack: ServingStack, host: str, port: int, workers: int,
+                 queue_depth: int, max_wait_ms: Optional[float],
+                 stdout=None) -> int:
+    """Run the socket server until ``{"op": "shutdown"}`` arrives."""
+    stdout = stdout if stdout is not None else sys.stdout
+    server = SocketServer(stack, host=host, port=port, workers=workers,
+                          queue_depth=queue_depth, max_wait_ms=max_wait_ms)
+    host, port = server.start()
+    print(json.dumps({"status": "ready", "host": host, "port": port,
+                      "model": stack.model_name, "dataset": stack.dataset,
+                      "notes": stack.notes}), file=stdout, flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0

@@ -1,0 +1,351 @@
+"""The fault-tolerant prediction service: one request in, one answer out.
+
+:class:`PredictionService` wraps any trained :class:`~repro.models.base.
+CTRModel` (zoo baselines, a retrained OptInter architecture, ...) and
+guarantees that every request gets a typed answer:
+
+* validation failures → an ``invalid`` response carrying the per-field
+  report (never a traceback);
+* scoring failures and deadline misses → a ``degraded`` response from
+  the :class:`~repro.serving.degradation.DegradationLadder`, stepped
+  down by the circuit breaker;
+* overload → a ``shed`` response (produced by the server's queue, see
+  :mod:`repro.serving.queue` — the service itself never queues).
+
+Deadline semantics: each request carries a budget in seconds.  The
+service will not *start* a full-model scoring it estimates (EWMA of past
+scorings) cannot finish in the remaining budget — it answers from the
+ladder instead of blocking.  A scoring that finishes late still counts
+as a breaker failure (so repeated slowness opens the circuit) and the
+late answer is discarded in favour of the ladder's, keeping the latency
+contract honest.
+
+The model reference is swappable under a lock (:meth:`swap_model`),
+which is what the hot reloader uses; in-flight requests finish on the
+model they started with.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import Batch
+from ..data.schema import Schema
+from ..models.base import CTRModel
+from ..obs.events import EventBus
+from ..obs.metrics import MetricsRegistry
+from .degradation import CircuitBreaker, DegradationLadder, LEVEL_FULL
+from .errors import (InvalidRequestError, ModelUnavailableError,
+                     OverloadedError)
+from .validation import RequestValidator
+
+#: Response statuses — every request resolves to exactly one.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_INVALID = "invalid"
+STATUS_SHED = "shed"
+
+
+@dataclass
+class PredictionResponse:
+    """What the service answers; JSON-ready via :meth:`as_dict`."""
+
+    status: str
+    probability: Optional[float] = None
+    served_by: Optional[str] = None
+    model_version: Optional[str] = None
+    request_id: Optional[str] = None
+    latency_ms: Optional[float] = None
+    degraded_reason: Optional[str] = None
+    error: Optional[Dict[str, Any]] = None
+
+    @property
+    def answered(self) -> bool:
+        """True when the response carries a usable probability."""
+        return self.probability is not None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"status": self.status}
+        for key in ("probability", "served_by", "model_version",
+                    "request_id", "latency_ms", "degraded_reason", "error"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass
+class _EwmaLatency:
+    """Exponentially weighted scoring-latency estimate (thread-safe)."""
+
+    alpha: float = 0.2
+    value: Optional[float] = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            if self.value is None:
+                self.value = seconds
+            else:
+                self.value += self.alpha * (seconds - self.value)
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self.value if self.value is not None else 0.0
+
+
+class PredictionService:
+    """See module docstring.
+
+    Parameters
+    ----------
+    model:
+        The trained model to serve; ``None`` starts the service not
+        ready (e.g. while the first checkpoint loads).
+    schema:
+        Field layout requests are validated against.
+    cross_transform:
+        Fitted :class:`~repro.data.cross.CrossProductTransform`,
+        required when ``model.needs_cross``.
+    prior_ctr:
+        Calibrated constant fallback (training positive ratio).
+    deadline_s:
+        Default per-request budget; ``None`` means no deadline unless a
+        request carries one.
+    """
+
+    def __init__(self, model: Optional[CTRModel], schema: Schema, *,
+                 validator: Optional[RequestValidator] = None,
+                 cross_transform=None,
+                 prior_ctr: float = 0.5,
+                 deadline_s: Optional[float] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 bus: Optional[EventBus] = None,
+                 model_version: str = "initial",
+                 clock=time.monotonic) -> None:
+        self.schema = schema
+        self.validator = validator or RequestValidator(schema)
+        self.cross_transform = cross_transform
+        self.deadline_s = deadline_s
+        self.breaker = breaker or CircuitBreaker()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bus = bus
+        self.ladder = DegradationLadder(prior_ctr, bus=bus,
+                                        metrics=self.metrics)
+        self.latency = _EwmaLatency()
+        self._clock = clock
+        self._model_lock = threading.Lock()
+        self._model = model
+        self._model_version = model_version
+        self._ready = threading.Event()
+        if model is not None:
+            if model.needs_cross and cross_transform is None:
+                raise ValueError(
+                    f"{type(model).__name__} needs cross features; "
+                    "provide a fitted cross_transform")
+            self._ready.set()
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> Optional[CTRModel]:
+        with self._model_lock:
+            return self._model
+
+    @property
+    def model_version(self) -> str:
+        with self._model_lock:
+            return self._model_version
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set()
+
+    def swap_model(self, model: CTRModel, version: str) -> str:
+        """Atomically replace the served model; returns the old version."""
+        if model.needs_cross and self.cross_transform is None:
+            raise ValueError(
+                f"{type(model).__name__} needs cross features; the service "
+                "has no cross_transform")
+        with self._model_lock:
+            old = self._model_version
+            self._model = model
+            self._model_version = version
+        self._ready.set()
+        return old
+
+    # ------------------------------------------------------------------
+    # Scoring internals
+    # ------------------------------------------------------------------
+    def _build_batch(self, row: np.ndarray,
+                     model: CTRModel) -> Batch:
+        x = row.reshape(1, -1)
+        x_cross = None
+        if model.needs_cross:
+            if self.cross_transform is None:
+                raise ModelUnavailableError(
+                    "model needs cross features but none are configured")
+            x_cross = self.cross_transform.transform(x)
+        return Batch(x=x, x_cross=x_cross, y=np.zeros(1))
+
+    def _score_full(self, model: CTRModel, batch: Batch) -> float:
+        started = self._clock()
+        try:
+            probability = float(model.predict_proba(batch)[0])
+        finally:
+            self.latency.observe(self._clock() - started)
+        if not np.isfinite(probability):
+            raise ValueError(f"model produced a non-finite probability "
+                             f"{probability!r}")
+        return probability
+
+    def _finish(self, response: PredictionResponse, started: float,
+                deadline_s: Optional[float]) -> PredictionResponse:
+        response.latency_ms = (self._clock() - started) * 1e3
+        self.metrics.counter("serve.requests").inc()
+        self.metrics.counter(f"serve.{response.status}").inc()
+        self.metrics.histogram("serve.latency_s").observe(
+            response.latency_ms / 1e3)
+        if self.bus is not None:
+            self.bus.emit("serve_request",
+                          request_id=response.request_id,
+                          status=response.status,
+                          served_by=response.served_by,
+                          latency_ms=response.latency_ms,
+                          deadline_ms=(None if deadline_s is None
+                                       else deadline_s * 1e3),
+                          model_version=response.model_version)
+        return response
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def predict(self, features: Any, *,
+                deadline_s: Optional[float] = None,
+                request_id: Optional[str] = None) -> PredictionResponse:
+        """Answer one request; never raises for per-request faults."""
+        started = self._clock()
+        if deadline_s is None:
+            deadline_s = self.deadline_s
+        with self._model_lock:
+            model = self._model
+            version = self._model_version
+
+        # 1. Validate — a malformed request is the client's fault and is
+        #    reported field by field, not degraded around.
+        try:
+            row = self.validator.validate(features)
+        except InvalidRequestError as exc:
+            return self._finish(PredictionResponse(
+                status=STATUS_INVALID, request_id=request_id,
+                model_version=version, error=exc.as_payload()),
+                started, deadline_s)
+
+        if model is None:
+            # Not ready yet: the ladder still owes the caller a number.
+            probability, level = self.ladder.fallback(
+                None, None, reason="model_unavailable",
+                request_id=request_id)
+            return self._finish(PredictionResponse(
+                status=STATUS_DEGRADED, probability=probability,
+                served_by=level, model_version=version,
+                request_id=request_id,
+                degraded_reason="model_unavailable"), started, deadline_s)
+
+        # 2. Build the model input (cross features included).  A failure
+        #    here is a scoring failure, not a client error.
+        try:
+            batch = self._build_batch(row, model)
+        except Exception:
+            self.breaker.record_failure()
+            self.metrics.counter("serve.model_errors").inc()
+            probability, level = self.ladder.fallback(
+                None, None, reason="feature_error", request_id=request_id)
+            return self._finish(PredictionResponse(
+                status=STATUS_DEGRADED, probability=probability,
+                served_by=level, model_version=version,
+                request_id=request_id, degraded_reason="feature_error"),
+                started, deadline_s)
+
+        main_effects_batch = Batch(x=batch.x, x_cross=None, y=batch.y)
+
+        def degraded(reason: str) -> PredictionResponse:
+            probability, level = self.ladder.fallback(
+                model, main_effects_batch, reason=reason,
+                request_id=request_id)
+            return self._finish(PredictionResponse(
+                status=STATUS_DEGRADED, probability=probability,
+                served_by=level, model_version=version,
+                request_id=request_id, degraded_reason=reason),
+                started, deadline_s)
+
+        # 3. Circuit breaker: an open circuit answers degraded without
+        #    spending latency on a model that is currently failing.
+        if not self.breaker.allow():
+            return degraded("breaker_open")
+
+        # 4. Deadline pre-check: don't start a scoring we estimate can't
+        #    finish inside the remaining budget.
+        if deadline_s is not None:
+            remaining = deadline_s - (self._clock() - started)
+            if remaining <= self.latency():
+                self.metrics.counter("serve.deadline_misses").inc()
+                self.breaker.record_failure()
+                return degraded("deadline")
+
+        # 5. Score.  Failures and late finishes feed the breaker.
+        try:
+            probability = self._score_full(model, batch)
+        except Exception:
+            self.breaker.record_failure()
+            self.metrics.counter("serve.model_errors").inc()
+            return degraded("model_error")
+        if (deadline_s is not None
+                and self._clock() - started > deadline_s):
+            self.metrics.counter("serve.deadline_misses").inc()
+            self.breaker.record_failure()
+            return degraded("deadline")
+        self.breaker.record_success()
+        return self._finish(PredictionResponse(
+            status=STATUS_OK, probability=probability,
+            served_by=LEVEL_FULL, model_version=version,
+            request_id=request_id), started, deadline_s)
+
+    def shed_response(self, error: OverloadedError,
+                      request_id: Optional[str] = None
+                      ) -> PredictionResponse:
+        """The 503-style answer for a request the queue shed."""
+        if self.bus is not None:
+            self.bus.emit("shed", request_id=request_id,
+                          reason=error.reason, depth=error.depth)
+        response = PredictionResponse(
+            status=STATUS_SHED, request_id=request_id,
+            model_version=self.model_version, error=error.as_payload())
+        return self._finish(response, self._clock(), None)
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Liveness + a compact operational snapshot."""
+        snapshot = self.metrics.snapshot()
+        requests = snapshot.get("serve.requests", {}).get("value", 0.0)
+        return {
+            "status": "ok",
+            "ready": self.ready,
+            "model_version": self.model_version,
+            "breaker": self.breaker.state,
+            "requests": requests,
+            "latency_ewma_ms": self.latency() * 1e3,
+        }
+
+    def readiness(self) -> Dict[str, Any]:
+        """Readiness probe: may this replica take traffic?"""
+        return {"ready": self.ready, "model_version": self.model_version}

@@ -1,0 +1,148 @@
+"""Request validation: feature dicts in, model-ready id rows out.
+
+A serving request is a flat mapping ``{field_name: value}``.  Validation
+checks it against the dataset :class:`~repro.data.schema.Schema` and
+produces the ``[M]`` int64 id row every model consumes:
+
+* **unknown fields are rejected** — a typo'd field name is a client bug
+  the service must surface, not silently ignore;
+* **missing fields, ``None`` and NaN map to the reserved OOV id** (0),
+  mirroring how the training pipeline folds rare/unseen values;
+* **raw values** go through per-field :class:`~repro.data.vocabulary.
+  Vocabulary` lookups when vocabularies are attached; without them the
+  request must already carry integer ids, and ids outside
+  ``[0, cardinality)`` fold to OOV exactly like an unseen raw value;
+* anything else (unhashable values, non-integral ids, booleans) lands in
+  the per-field report of a typed :class:`InvalidRequestError` — never
+  a raw traceback.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.schema import Schema
+from ..data.vocabulary import OOV_ID, FieldVocabularies
+from .errors import InvalidRequestError
+
+
+def _is_missing(value: Any) -> bool:
+    """Missing-value convention: absent, ``None`` or a float NaN."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, np.floating) and np.isnan(value):
+        return True
+    return False
+
+
+class RequestValidator:
+    """Validates feature dicts against a schema and encodes them as ids.
+
+    Parameters
+    ----------
+    schema:
+        Field names and cardinalities the model was trained against.
+    vocabularies:
+        Optional per-field :class:`FieldVocabularies` fitted at training
+        time.  When given, request values are raw feature values and are
+        mapped through ``Vocabulary.map``; when absent, values must be
+        integer ids already.
+    reserved_keys:
+        Envelope keys (request id, priority, ...) tolerated in the
+        feature mapping and skipped rather than rejected.
+    """
+
+    RESERVED_KEYS = ("request_id", "priority", "deadline_ms")
+
+    def __init__(self, schema: Schema,
+                 vocabularies: Optional[FieldVocabularies] = None,
+                 reserved_keys: Sequence[str] = RESERVED_KEYS) -> None:
+        if vocabularies is not None and (
+                len(vocabularies.vocabularies) != schema.num_fields):
+            raise ValueError(
+                f"{len(vocabularies.vocabularies)} vocabularies for "
+                f"{schema.num_fields} schema fields")
+        self.schema = schema
+        self.vocabularies = vocabularies
+        self.reserved_keys = frozenset(reserved_keys)
+        self._field_index = {f.name: i for i, f in enumerate(schema.fields)}
+
+    # ------------------------------------------------------------------
+    def _encode_field(self, index: int, value: Any) -> Tuple[int, Optional[str]]:
+        """Id for one field value, or ``(OOV, reason)`` on a type error."""
+        spec = self.schema.fields[index]
+        if _is_missing(value):
+            return OOV_ID, None
+        if self.vocabularies is not None:
+            vocab = self.vocabularies.vocabularies[index]
+            try:
+                return vocab.lookup(value), None
+            except TypeError:
+                return OOV_ID, (f"unhashable value of type "
+                                f"{type(value).__name__}")
+        # Id mode: the request must carry integer ids.
+        if isinstance(value, bool):
+            return OOV_ID, "booleans are not feature ids"
+        if isinstance(value, (int, np.integer)):
+            ivalue = int(value)
+        elif isinstance(value, (float, np.floating)) and float(value).is_integer():
+            ivalue = int(value)
+        else:
+            return OOV_ID, (f"expected an integer id, got "
+                            f"{type(value).__name__} {value!r}")
+        if 0 <= ivalue < spec.cardinality:
+            return ivalue, None
+        # Out-of-range ids are out-of-vocabulary, not client errors.
+        return OOV_ID, None
+
+    def validate(self, features: Any) -> np.ndarray:
+        """Encode one request into an ``[M]`` int64 id row.
+
+        Raises :class:`InvalidRequestError` with a per-field report on
+        unknown fields, malformed values or a non-mapping request.
+        """
+        if not isinstance(features, Mapping):
+            raise InvalidRequestError(
+                {"__request__": f"features must be a mapping, got "
+                                f"{type(features).__name__}"})
+        errors: Dict[str, str] = {}
+        for key in features:
+            if not isinstance(key, str):
+                errors[repr(key)] = "field names must be strings"
+            elif key not in self._field_index and key not in self.reserved_keys:
+                errors[key] = "unknown field"
+        row = np.full(self.schema.num_fields, OOV_ID, dtype=np.int64)
+        for name, index in self._field_index.items():
+            value = features.get(name)
+            encoded, reason = self._encode_field(index, value)
+            if reason is not None:
+                errors[name] = reason
+            else:
+                row[index] = encoded
+        if errors:
+            raise InvalidRequestError(errors)
+        return row
+
+    def validate_batch(self, requests: Sequence[Any]
+                       ) -> Tuple[np.ndarray, List[Optional[InvalidRequestError]]]:
+        """Encode many requests; invalid ones report instead of aborting.
+
+        Returns ``(ids [n, M], errors)`` where ``errors[i]`` is ``None``
+        for valid rows (invalid rows encode as all-OOV placeholders the
+        caller must not score).
+        """
+        rows = np.full((len(requests), self.schema.num_fields), OOV_ID,
+                       dtype=np.int64)
+        errors: List[Optional[InvalidRequestError]] = []
+        for i, request in enumerate(requests):
+            try:
+                rows[i] = self.validate(request)
+                errors.append(None)
+            except InvalidRequestError as exc:
+                errors.append(exc)
+        return rows, errors

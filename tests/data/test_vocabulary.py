@@ -144,3 +144,50 @@ class TestStreamingVocabulary:
 
         with pytest.raises(ValueError):
             StreamingVocabulary(min_count=0)
+
+
+class TestOOVEdgeCases:
+    """Serving-path edge cases: None/NaN/empty values must fold to OOV
+    and never change the output dtype (the embedding lookup is int64)."""
+
+    def test_none_maps_to_oov(self):
+        vocab = Vocabulary().fit(["a", "b"])
+        out = vocab.transform([None, "a"])
+        assert out.dtype == np.int64
+        assert out[0] == OOV_ID
+        assert out[1] == vocab.lookup("a")
+
+    def test_nan_maps_to_oov(self):
+        vocab = Vocabulary().fit(["a"])
+        out = vocab.transform([float("nan")])
+        assert out.dtype == np.int64
+        assert out[0] == OOV_ID
+
+    def test_empty_string_is_a_value_not_missing(self):
+        # "" seen at fit time is an ordinary value; unseen "" is OOV.
+        fitted = Vocabulary().fit(["", "", "a"])
+        assert fitted.lookup("") != OOV_ID
+        unfitted = Vocabulary().fit(["a"])
+        assert unfitted.transform([""])[0] == OOV_ID
+
+    def test_map_on_empty_iterable_keeps_int64(self):
+        vocab = Vocabulary().fit(["a", "b"])
+        out = vocab.map([])
+        assert out.dtype == np.int64
+        assert out.shape == (0,)
+
+    def test_map_on_empty_generator_keeps_int64(self):
+        vocab = Vocabulary().fit(["a"])
+        out = vocab.map(v for v in ())
+        assert out.dtype == np.int64
+        assert len(out) == 0
+
+    def test_map_is_the_transform_alias(self):
+        vocab = Vocabulary().fit([1, 2, 3])
+        np.testing.assert_array_equal(vocab.map([1, 9, 3]),
+                                      vocab.transform([1, 9, 3]))
+
+    def test_none_in_fit_is_an_ordinary_value(self):
+        vocab = Vocabulary().fit([None, None, "a"])
+        assert vocab.lookup(None) != OOV_ID
+        assert vocab.transform([None])[0] == vocab.lookup(None)

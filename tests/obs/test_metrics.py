@@ -130,3 +130,64 @@ class TestRegistry:
         registry.counter("a")
         registry.reset()
         assert registry.names() == []
+
+
+class TestThreadSafety:
+    """Serving worker threads update metrics concurrently; no update may
+    be lost to an interleaved read-modify-write and nothing may raise."""
+
+    N_THREADS = 8
+    PER_THREAD = 2000
+
+    def _run_in_threads(self, target):
+        import threading
+
+        errors = []
+
+        def wrapped():
+            try:
+                target()
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=wrapped)
+                   for _ in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_counter_loses_no_increments(self):
+        counter = Counter("hits")
+        self._run_in_threads(
+            lambda: [counter.inc() for _ in range(self.PER_THREAD)])
+        assert counter.value == self.N_THREADS * self.PER_THREAD
+
+    def test_histogram_loses_no_observations(self):
+        histogram = Histogram("latency", buckets=[0.5, 1.0])
+        self._run_in_threads(
+            lambda: [histogram.observe(0.25) for _ in range(self.PER_THREAD)])
+        total = self.N_THREADS * self.PER_THREAD
+        assert histogram.count == total
+        assert histogram.counts[0] == total
+        assert histogram.total == pytest.approx(0.25 * total)
+
+    def test_registry_creates_one_metric_per_name(self):
+        registry = MetricsRegistry()
+        seen = []
+        self._run_in_threads(
+            lambda: seen.append(registry.counter("shared")))
+        assert len(set(map(id, seen))) == 1
+
+    def test_concurrent_snapshot_during_updates(self):
+        registry = MetricsRegistry()
+
+        def mixed():
+            for i in range(500):
+                registry.counter("c").inc()
+                registry.histogram("h").observe(float(i))
+                registry.snapshot()
+
+        self._run_in_threads(mixed)
+        assert registry.counter("c").value == self.N_THREADS * 500

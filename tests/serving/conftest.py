@@ -1,0 +1,44 @@
+"""Shared serving fixtures: a small schema, an LR model, a service maker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import make_schema
+from repro.models.shallow import LogisticRegression
+from repro.obs.events import EventBus, MemorySink
+from repro.serving import PredictionService
+
+
+@pytest.fixture
+def schema():
+    return make_schema([8, 6, 10], positive_ratio=0.3)
+
+
+@pytest.fixture
+def lr_model(schema):
+    return LogisticRegression(schema.cardinalities,
+                              rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def mem_sink():
+    """(bus, sink) pair capturing every emitted event in memory."""
+    bus = EventBus()
+    sink = bus.add_sink(MemorySink())
+    return bus, sink
+
+
+@pytest.fixture
+def make_service(schema, lr_model, mem_sink):
+    """Factory for services over the small LR model with a memory bus."""
+    bus, _ = mem_sink
+
+    def _make(model="lr", **kwargs):
+        kwargs.setdefault("prior_ctr", 0.3)
+        kwargs.setdefault("bus", bus)
+        return PredictionService(lr_model if model == "lr" else model,
+                                 schema, **kwargs)
+
+    return _make

@@ -1,0 +1,90 @@
+"""Retry/backoff: delay shapes, retry budgets, error propagation."""
+
+import numpy as np
+import pytest
+
+from repro.serving import backoff_delays, retry_with_backoff
+
+
+class TestBackoffDelays:
+    def test_exponential_without_jitter(self):
+        delays = list(backoff_delays(4, base_delay=0.1, factor=2.0,
+                                     max_delay=10.0, jitter=0.0))
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_cap_applies(self):
+        delays = list(backoff_delays(5, base_delay=1.0, factor=10.0,
+                                     max_delay=3.0, jitter=0.0))
+        assert delays == pytest.approx([1.0, 3.0, 3.0, 3.0, 3.0])
+
+    def test_jitter_stays_in_band(self):
+        rng = np.random.default_rng(0)
+        for delay in backoff_delays(50, base_delay=1.0, factor=1.0,
+                                    max_delay=1.0, jitter=0.5, rng=rng):
+            assert 0.5 <= delay <= 1.5
+
+    def test_deterministic_under_seeded_rng(self):
+        a = list(backoff_delays(5, rng=np.random.default_rng(7)))
+        b = list(backoff_delays(5, rng=np.random.default_rng(7)))
+        assert a == b
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            list(backoff_delays(-1))
+        with pytest.raises(ValueError):
+            list(backoff_delays(1, jitter=1.0))
+
+
+class TestRetryWithBackoff:
+    def test_success_needs_no_sleep(self):
+        sleeps = []
+        assert retry_with_backoff(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        sleeps = []
+        result = retry_with_backoff(flaky, retries=4, sleep=sleeps.append,
+                                    rng=np.random.default_rng(0))
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_budget_exhausted_reraises_original(self):
+        def always_fails():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            retry_with_backoff(always_fails, retries=2,
+                               sleep=lambda _d: None)
+
+    def test_non_retryable_error_raises_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise KeyError("logic bug")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(broken, retries=5, sleep=lambda _d: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_sees_each_attempt(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("again")
+            return True
+
+        retry_with_backoff(flaky, retries=3, sleep=lambda _d: None,
+                           on_retry=lambda attempt, exc: seen.append(
+                               (attempt, str(exc))))
+        assert [a for a, _ in seen] == [1, 2]

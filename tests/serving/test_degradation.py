@@ -1,0 +1,193 @@
+"""Circuit breaker state machine and the degradation ladder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Batch
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import (
+    CircuitBreaker,
+    DegradationLadder,
+    LEVEL_MAIN_EFFECTS,
+    LEVEL_PRIOR,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_s=10.0, clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_opens_on_consecutive_failures(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(0.2)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else stays degraded
+
+    def test_successful_probe_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(9.0)  # cooldown restarted at the failed probe
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(2.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0.0)
+
+
+class TestDegradationLadder:
+    def test_prior_must_be_a_probability(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(0.0)
+        with pytest.raises(ValueError):
+            DegradationLadder(1.0)
+
+    def test_lr_answers_from_main_effects(self, lr_model):
+        ladder = DegradationLadder(0.3)
+        batch = Batch(x=np.array([[1, 2, 3]]), x_cross=None, y=np.zeros(1))
+        probability, level = ladder.fallback(lr_model, batch,
+                                             reason="model_error")
+        assert level == LEVEL_MAIN_EFFECTS
+        logit = float(lr_model.main_effects_logit(batch)[0])
+        assert probability == pytest.approx(1.0 / (1.0 + math.exp(-logit)))
+
+    def test_no_model_answers_from_prior(self):
+        ladder = DegradationLadder(0.3)
+        probability, level = ladder.fallback(None, None, reason="unavailable")
+        assert (probability, level) == (0.3, LEVEL_PRIOR)
+
+    def test_model_without_main_effects_falls_to_prior(self):
+        class NoHead:
+            def main_effects_logit(self, batch):
+                return None
+
+        ladder = DegradationLadder(0.25)
+        batch = Batch(x=np.array([[0, 0, 0]]), x_cross=None, y=np.zeros(1))
+        probability, level = ladder.fallback(NoHead(), batch, reason="x")
+        assert (probability, level) == (0.25, LEVEL_PRIOR)
+
+    def test_main_effects_exception_falls_to_prior(self):
+        class Broken:
+            def main_effects_logit(self, batch):
+                raise RuntimeError("boom")
+
+        ladder = DegradationLadder(0.4)
+        batch = Batch(x=np.array([[0, 0, 0]]), x_cross=None, y=np.zeros(1))
+        probability, level = ladder.fallback(Broken(), batch, reason="x")
+        assert (probability, level) == (0.4, LEVEL_PRIOR)
+
+    def test_non_finite_main_effects_falls_to_prior(self):
+        class NaNHead:
+            def main_effects_logit(self, batch):
+                return np.array([float("nan")])
+
+        ladder = DegradationLadder(0.4)
+        batch = Batch(x=np.array([[0, 0, 0]]), x_cross=None, y=np.zeros(1))
+        _, level = ladder.fallback(NaNHead(), batch, reason="x")
+        assert level == LEVEL_PRIOR
+
+    def test_counts_and_events(self, lr_model, mem_sink):
+        bus, sink = mem_sink
+        metrics = MetricsRegistry()
+        ladder = DegradationLadder(0.3, bus=bus, metrics=metrics)
+        batch = Batch(x=np.array([[1, 1, 1]]), x_cross=None, y=np.zeros(1))
+        ladder.fallback(lr_model, batch, reason="deadline", request_id="r9")
+        assert metrics.counter("serve.degraded").value == 1
+        assert metrics.counter("serve.degraded.main_effects").value == 1
+        events = sink.of_type("degrade")
+        assert len(events) == 1
+        assert events[0].payload["reason"] == "deadline"
+        assert events[0].payload["request_id"] == "r9"
+
+
+class TestMainEffectsLogit:
+    def test_deep_model_reports_unsupported(self, schema, rng):
+        from repro.models import FNN
+
+        model = FNN(schema.cardinalities, embed_dim=4, hidden_dims=(8,),
+                    rng=rng)
+        batch = Batch(x=np.array([[0, 0, 0]]), x_cross=None, y=np.zeros(1))
+        assert model.main_effects_logit(batch) is None
+
+    def test_lr_matches_forward(self, schema, lr_model):
+        batch = Batch(x=np.array([[2, 3, 4], [1, 0, 5]]), x_cross=None,
+                      y=np.zeros(2))
+        logit = lr_model.main_effects_logit(batch)
+        np.testing.assert_allclose(logit, lr_model(batch).numpy().ravel())
+
+    def test_poly2_drops_cross_terms(self, schema, rng):
+        from repro.models.shallow import Poly2
+
+        model = Poly2(schema.cardinalities, [4] * schema.num_pairs, rng=rng)
+        batch = Batch(x=np.array([[1, 2, 3]]), x_cross=None, y=np.zeros(1))
+        logit = model.main_effects_logit(batch)
+        assert logit is not None and np.all(np.isfinite(logit))
+
+    def test_training_mode_is_restored(self, lr_model):
+        batch = Batch(x=np.array([[0, 0, 0]]), x_cross=None, y=np.zeros(1))
+        lr_model.train(True)
+        lr_model.main_effects_logit(batch)
+        assert lr_model.training

@@ -1,0 +1,114 @@
+"""Bounded priority queue: ordering, shedding, eviction, close."""
+
+import threading
+
+import pytest
+
+from repro.serving import BoundedRequestQueue, OverloadedError
+
+
+@pytest.fixture
+def shed_log():
+    return []
+
+
+@pytest.fixture
+def queue(shed_log):
+    return BoundedRequestQueue(
+        max_depth=3,
+        on_shed=lambda item, error: shed_log.append((item, error)))
+
+
+class TestOrdering:
+    def test_fifo_within_a_priority(self, queue):
+        for item in "abc":
+            assert queue.put(item)
+        assert [queue.get(timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_higher_priority_served_first(self, queue):
+        queue.put("low", priority=0)
+        queue.put("high", priority=9)
+        queue.put("mid", priority=5)
+        assert queue.get(timeout=0.1) == "high"
+        assert queue.get(timeout=0.1) == "mid"
+        assert queue.get(timeout=0.1) == "low"
+
+    def test_get_times_out_empty(self, queue):
+        assert queue.get(timeout=0.01) is None
+
+
+class TestShedding:
+    def test_depth_limit_sheds_incoming(self, queue, shed_log):
+        for item in "abc":
+            queue.put(item)
+        assert not queue.put("overflow")
+        assert len(queue) == 3
+        (item, error), = shed_log
+        assert item == "overflow"
+        assert isinstance(error, OverloadedError)
+        assert error.depth == 3
+        assert error.as_payload()["code"] == "overloaded"
+
+    def test_high_priority_evicts_queued_low(self, queue, shed_log):
+        queue.put("keep", priority=5)
+        queue.put("victim", priority=0)
+        queue.put("keep2", priority=5)
+        assert queue.put("vip", priority=9)
+        (item, error), = shed_log
+        assert item == "victim"
+        assert "evicted" in error.reason
+        assert queue.get(timeout=0.1) == "vip"
+
+    def test_equal_priority_does_not_evict(self, queue, shed_log):
+        for item in "abc":
+            queue.put(item, priority=1)
+        assert not queue.put("late", priority=1)
+        assert shed_log[0][0] == "late"
+
+    def test_wait_limit_sheds(self, shed_log):
+        queue = BoundedRequestQueue(
+            max_depth=100, max_wait_s=0.5,
+            latency_estimate=lambda: 0.2,
+            on_shed=lambda item, error: shed_log.append((item, error)))
+        assert queue.put("a")
+        assert queue.put("b")
+        assert queue.put("c")       # wait = 2 * 0.2 <= 0.5, accepted
+        assert not queue.put("d")   # wait = 3 * 0.2 > 0.5, shed
+        assert shed_log[0][0] == "d"
+        assert shed_log[0][1].estimated_wait_s == pytest.approx(0.6)
+
+    def test_estimated_wait_reporting(self):
+        queue = BoundedRequestQueue(max_depth=10,
+                                    latency_estimate=lambda: 0.1)
+        assert queue.estimated_wait_s() == 0.0
+        queue.put("a")
+        queue.put("b")
+        assert queue.estimated_wait_s() == pytest.approx(0.2)
+        assert BoundedRequestQueue(max_depth=2).estimated_wait_s() is None
+
+
+class TestLifecycle:
+    def test_close_wakes_blocked_getter(self, queue):
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(queue.get(timeout=5.0)))
+        thread.start()
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_put_after_close_raises(self, queue):
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put("x")
+
+    def test_close_drains_remaining_entries(self, queue):
+        queue.put("a")
+        queue.close()
+        assert queue.get(timeout=0.1) == "a"
+        assert queue.get(timeout=0.1) is None
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(max_depth=0)

@@ -1,0 +1,194 @@
+"""Hot reload: promotion, corruption rollback, golden-set vetoes."""
+
+import numpy as np
+import pytest
+
+from repro.models.shallow import LogisticRegression
+from repro.resilience.checkpoint import CheckpointManager
+from repro.serving import GoldenSet, HotReloader
+from repro.serving.faults import CheckpointSwapper
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return CheckpointManager(tmp_path / "ckpts")
+
+
+@pytest.fixture
+def swapper(manager):
+    return CheckpointSwapper(manager)
+
+
+@pytest.fixture
+def reload_stack(schema, make_service, manager, mem_sink):
+    """(service, reloader, sink) with a deterministic model factory."""
+    _, sink = mem_sink
+    bus, _ = mem_sink
+    service = make_service()
+
+    def factory():
+        return LogisticRegression(schema.cardinalities,
+                                  rng=np.random.default_rng(123))
+
+    reloader = HotReloader(service, manager, factory, bus=bus,
+                           sleep=lambda _d: None)
+    return service, reloader, sink
+
+
+class TestPromotion:
+    def test_empty_directory_is_a_noop(self, reload_stack):
+        service, reloader, _ = reload_stack
+        assert reloader.poll_once() is False
+        assert service.model_version == "initial"
+
+    def test_valid_checkpoint_promotes(self, schema, reload_stack, swapper):
+        service, reloader, sink = reload_stack
+        new_model = LogisticRegression(schema.cardinalities,
+                                       rng=np.random.default_rng(77))
+        swapper.write_valid(new_model)
+        old_ref = service.model
+
+        assert reloader.poll_once() is True
+        assert service.model_version == "epoch-00000001"
+        assert service.model is not old_ref  # fresh instance, atomic swap
+        event, = sink.of_type("reload")
+        assert event.payload["status"] == "ok"
+        assert event.payload["previous_version"] == "initial"
+
+    def test_promoted_weights_match_the_checkpoint(self, schema,
+                                                   reload_stack, swapper):
+        service, reloader, _ = reload_stack
+        new_model = LogisticRegression(schema.cardinalities,
+                                       rng=np.random.default_rng(77))
+        swapper.write_valid(new_model)
+        reloader.poll_once()
+        for name, value in new_model.state_dict().items():
+            np.testing.assert_array_equal(
+                service.model.state_dict()[name], value)
+
+    def test_older_epochs_are_not_reloaded(self, schema, reload_stack,
+                                           swapper):
+        service, reloader, _ = reload_stack
+        swapper.write_valid(service.model)
+        reloader.poll_once()
+        assert reloader.poll_once() is False  # same epoch, nothing newer
+
+    def test_in_flight_traffic_survives_a_swap(self, reload_stack, swapper):
+        service, reloader, _ = reload_stack
+        assert service.predict({"field_0": 1}).status == "ok"
+        swapper.write_valid(service.model)
+        reloader.poll_once()
+        assert service.predict({"field_0": 1}).status == "ok"
+
+
+class TestRollback:
+    @pytest.mark.parametrize("kind", ["truncated", "garbage"])
+    def test_corrupt_checkpoint_rolls_back(self, reload_stack, swapper, kind):
+        service, reloader, sink = reload_stack
+        swapper.write_corrupt(kind)
+        assert reloader.poll_once() is False
+        assert service.model_version == "initial"
+        event, = sink.of_type("reload")
+        assert event.payload["status"] == "corrupt"
+
+    def test_bad_file_is_not_retried_every_poll(self, reload_stack, swapper):
+        service, reloader, sink = reload_stack
+        swapper.write_corrupt("truncated")
+        reloader.poll_once()
+        reloader.poll_once()
+        reloader.poll_once()
+        assert len(sink.of_type("reload")) == 1  # remembered as bad
+
+    def test_rewritten_bad_file_gets_a_fresh_chance(self, schema,
+                                                    reload_stack, swapper,
+                                                    manager):
+        import os
+
+        service, reloader, _ = reload_stack
+        path = swapper.write_corrupt("truncated")
+        reloader.poll_once()
+        # Replace the corrupt file with a valid checkpoint at the same
+        # epoch and bump its mtime: the reloader must try again.
+        good = LogisticRegression(schema.cardinalities,
+                                  rng=np.random.default_rng(5))
+        from repro.nn.optim import SGD
+        from repro.resilience.checkpoint import TrainingCheckpoint
+
+        checkpoint = TrainingCheckpoint.capture(
+            good, SGD(good.parameters(), lr=0.0), epoch=1, global_step=0)
+        manager.save(checkpoint)
+        stat = os.stat(path)
+        os.utime(path, (stat.st_atime, stat.st_mtime + 10))
+        assert reloader.poll_once() is True
+        assert service.model_version == "epoch-00000001"
+
+    def test_architecture_mismatch_rolls_back(self, reload_stack, manager):
+        service, reloader, sink = reload_stack
+        wrong = LogisticRegression([3, 3], rng=np.random.default_rng(0))
+        CheckpointSwapper(manager).write_valid(wrong)
+        assert reloader.poll_once() is False
+        assert service.model_version == "initial"
+        event, = sink.of_type("reload")
+        assert event.payload["status"] == "corrupt"
+
+
+class TestGoldenSet:
+    def test_healthy_model_passes(self, schema, make_service, lr_model):
+        service = make_service()
+        golden = GoldenSet([{"field_0": 1}, {"field_1": 2}])
+        assert golden.check(service, lr_model) is None
+
+    def test_drifted_model_fails(self, schema, make_service, lr_model):
+        service = make_service()
+        golden = GoldenSet([{"field_0": 1}], expected=[0.999],
+                           tolerance=1e-6)
+        reason = golden.check(service, lr_model)
+        assert reason is not None and "drifted" in reason
+
+    def test_record_pins_current_answers(self, make_service, lr_model):
+        service = make_service()
+        golden = GoldenSet.record(service, [{"field_0": 1}, {"field_1": 3}])
+        assert golden.check(service, lr_model) is None
+
+    def test_golden_failure_vetoes_promotion(self, schema, reload_stack,
+                                             swapper, manager, make_service):
+        service, _, sink = reload_stack
+
+        def factory():
+            return LogisticRegression(schema.cardinalities,
+                                      rng=np.random.default_rng(123))
+
+        golden = GoldenSet([{"field_0": 1}], expected=[0.999],
+                           tolerance=1e-6)
+        reloader = HotReloader(service, manager, factory, golden=golden,
+                               sleep=lambda _d: None)
+        swapper.write_valid(service.model)
+        assert reloader.poll_once() is False
+        assert service.model_version == "initial"
+        assert service.metrics.counter("serve.reload.golden_failed").value == 1
+
+    def test_mismatched_expected_length_rejected(self):
+        with pytest.raises(ValueError):
+            GoldenSet([{"a": 1}], expected=[0.5, 0.5])
+
+
+class TestBackgroundThread:
+    def test_start_stop_polls_in_the_background(self, schema, reload_stack,
+                                                swapper):
+        service, reloader, _ = reload_stack
+        reloader.interval_s = 0.02
+        reloader.start()
+        try:
+            swapper.write_valid(
+                LogisticRegression(schema.cardinalities,
+                                   rng=np.random.default_rng(9)))
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while (service.model_version == "initial"
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+        finally:
+            reloader.stop()
+        assert service.model_version == "epoch-00000001"
+        assert reloader._thread is None

@@ -1,0 +1,122 @@
+"""Request validation: OOV folding, per-field reports, typed rejection."""
+
+import numpy as np
+import pytest
+
+from repro.data.vocabulary import OOV_ID, FieldVocabularies
+from repro.serving import InvalidRequestError, RequestValidator
+
+
+@pytest.fixture
+def validator(schema):
+    return RequestValidator(schema)
+
+
+class TestValidRequests:
+    def test_full_request_encodes_ids(self, validator):
+        row = validator.validate({"field_0": 3, "field_1": 1, "field_2": 9})
+        assert row.dtype == np.int64
+        assert row.tolist() == [3, 1, 9]
+
+    def test_missing_field_folds_to_oov(self, validator):
+        row = validator.validate({"field_0": 3})
+        assert row[1] == OOV_ID
+        assert row[2] == OOV_ID
+
+    def test_none_folds_to_oov(self, validator):
+        row = validator.validate({"field_0": None, "field_1": 2})
+        assert row[0] == OOV_ID
+
+    def test_nan_folds_to_oov(self, validator):
+        row = validator.validate({"field_0": float("nan")})
+        assert row[0] == OOV_ID
+
+    def test_out_of_range_id_folds_to_oov(self, validator):
+        # Cardinality 8, so id 8 and beyond are unseen values, not errors.
+        row = validator.validate({"field_0": 8})
+        assert row[0] == OOV_ID
+        row = validator.validate({"field_0": 10**12})
+        assert row[0] == OOV_ID
+
+    def test_negative_id_folds_to_oov(self, validator):
+        assert validator.validate({"field_0": -1})[0] == OOV_ID
+
+    def test_integral_float_accepted(self, validator):
+        assert validator.validate({"field_0": 3.0})[0] == 3
+
+    def test_numpy_integer_accepted(self, validator):
+        assert validator.validate({"field_0": np.int64(5)})[0] == 5
+
+    def test_reserved_envelope_keys_skipped(self, validator):
+        row = validator.validate({"field_0": 2, "request_id": "r1",
+                                  "priority": 9, "deadline_ms": 25})
+        assert row[0] == 2
+
+
+class TestRejectedRequests:
+    @pytest.mark.parametrize("payload", ["text", 42, None, ["a"], (1,)])
+    def test_non_mapping_rejected(self, validator, payload):
+        with pytest.raises(InvalidRequestError) as info:
+            validator.validate(payload)
+        assert "__request__" in info.value.field_errors
+
+    def test_unknown_field_rejected(self, validator):
+        with pytest.raises(InvalidRequestError) as info:
+            validator.validate({"field_0": 1, "no_such_field": 2})
+        assert info.value.field_errors == {"no_such_field": "unknown field"}
+
+    def test_non_string_key_rejected(self, validator):
+        with pytest.raises(InvalidRequestError) as info:
+            validator.validate({123: 4})
+        assert "123" in info.value.field_errors
+
+    @pytest.mark.parametrize("value", ["str", 3.5, True, [1], {"x": 1}])
+    def test_bad_value_types_rejected(self, validator, value):
+        with pytest.raises(InvalidRequestError) as info:
+            validator.validate({"field_0": value})
+        assert "field_0" in info.value.field_errors
+
+    def test_error_payload_is_json_shaped(self, validator):
+        with pytest.raises(InvalidRequestError) as info:
+            validator.validate({"field_0": "oops", "mystery": 1})
+        payload = info.value.as_payload()
+        assert payload["code"] == "invalid_request"
+        assert set(payload["field_errors"]) == {"field_0", "mystery"}
+
+
+class TestVocabularyMode:
+    def test_raw_values_map_through_vocabularies(self, schema):
+        raw = np.array([["a", "x", "p"], ["b", "x", "q"], ["a", "y", "p"]],
+                       dtype=object)
+        vocabs = FieldVocabularies(min_count=1).fit(raw)
+        validator = RequestValidator(schema, vocabularies=vocabs)
+        row = validator.validate({"field_0": "a", "field_1": "never-seen"})
+        assert row[0] == vocabs.vocabularies[0].lookup("a")
+        assert row[1] == OOV_ID
+
+    def test_unhashable_raw_value_rejected(self, schema):
+        raw = np.array([["a", "x", "p"]], dtype=object)
+        vocabs = FieldVocabularies(min_count=1).fit(raw)
+        validator = RequestValidator(schema, vocabularies=vocabs)
+        with pytest.raises(InvalidRequestError) as info:
+            validator.validate({"field_0": ["un", "hashable"]})
+        assert "field_0" in info.value.field_errors
+
+    def test_vocabulary_count_must_match_schema(self, schema):
+        raw = np.array([["a", "x"]], dtype=object)  # 2 fields, schema has 3
+        vocabs = FieldVocabularies(min_count=1).fit(raw)
+        with pytest.raises(ValueError):
+            RequestValidator(schema, vocabularies=vocabs)
+
+
+class TestValidateBatch:
+    def test_mixed_batch_reports_per_row(self, validator):
+        rows, errors = validator.validate_batch([
+            {"field_0": 1},
+            {"bad_field": 1},
+            {"field_1": 2},
+        ])
+        assert rows.shape == (3, 3)
+        assert rows.dtype == np.int64
+        assert errors[0] is None and errors[2] is None
+        assert isinstance(errors[1], InvalidRequestError)

@@ -165,3 +165,69 @@ class TestObservability:
 
         assert main(["profile", "--samples", "1200", "--epochs", "1"]) == 0
         assert not hasattr(Tensor.__mul__, "_obs_original")
+
+
+class TestOperatorErrorExitCodes:
+    """Bad paths exit 2 with a one-line actionable message, no traceback."""
+
+    def test_checkpoint_dir_that_is_a_file(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(SystemExit) as info:
+            main(["train", "LR", "--checkpoint-dir", str(blocker)])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert "not a directory" in err
+
+    def test_resume_with_missing_checkpoint_dir(self, tmp_path, capsys):
+        missing = tmp_path / "never_created"
+        with pytest.raises(SystemExit) as info:
+            main(["search", "--checkpoint-dir", str(missing), "--resume"])
+        assert info.value.code == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "without --resume" in err  # tells the operator what to do
+
+    def test_resume_guard_applies_to_retrain(self, tmp_path):
+        missing = tmp_path / "gone"
+        with pytest.raises(SystemExit) as info:
+            main(["retrain", "--arch", "whatever.json",
+                  "--checkpoint-dir", str(missing), "--resume"])
+        assert info.value.code == 2
+
+    def test_resume_still_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["train", "LR", "--resume"])
+
+    def test_corrupt_weights_exit_code_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"\x00" * 32)
+        code = main(["serve", "--model", "LR", "--samples", "1500",
+                     "--weights", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unreadable checkpoint" in err
+        assert str(bad) in err
+
+
+class TestServingParser:
+    def test_serve_mode_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--mode", "carrier-pigeon"])
+
+    def test_serve_model_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--model", "BERT"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.mode == "stdio"
+        assert args.model == "LR"
+        assert args.breaker_threshold == 5
+
+    def test_predict_accepts_io_paths(self):
+        args = build_parser().parse_args(
+            ["predict", "--input", "in.jsonl", "--out", "out.jsonl"])
+        assert args.input == "in.jsonl"
+        assert args.out == "out.jsonl"

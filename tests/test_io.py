@@ -180,3 +180,50 @@ class TestSearchRetrainWorkflow:
         a = evaluate_model(model, test)
         b = evaluate_model(clone, test)
         assert a["auc"] == pytest.approx(b["auc"])
+
+
+class TestCorruptCheckpoint:
+    """Unreadable .npz files surface one typed error naming the path."""
+
+    def _model(self, tiny_dataset, rng):
+        return FNN(tiny_dataset.cardinalities, embed_dim=4,
+                   hidden_dims=(8,), rng=rng)
+
+    def test_truncated_archive_raises_typed_error(self, tiny_dataset,
+                                                  tmp_path, rng):
+        from repro.resilience.checkpoint import CorruptCheckpointError
+
+        path = tmp_path / "truncated.npz"
+        path.write_bytes(b"PK\x03\x04 not a complete zip archive")
+        with pytest.raises(CorruptCheckpointError) as info:
+            load_checkpoint(self._model(tiny_dataset, rng), path)
+        assert str(path) in str(info.value)
+
+    def test_garbage_bytes_raise_typed_error(self, tiny_dataset, tmp_path,
+                                             rng):
+        from repro.resilience.checkpoint import CorruptCheckpointError
+
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(CorruptCheckpointError) as info:
+            load_checkpoint(self._model(tiny_dataset, rng), path)
+        assert str(path) in str(info.value)
+
+    def test_truncated_valid_checkpoint_raises_typed_error(self, tiny_dataset,
+                                                           tmp_path, rng):
+        from repro.resilience.checkpoint import CorruptCheckpointError
+
+        model = self._model(tiny_dataset, rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(CorruptCheckpointError):
+            load_checkpoint(model, path)
+
+    def test_missing_file_still_raises_file_not_found(self, tiny_dataset,
+                                                      tmp_path, rng):
+        # Absence is not corruption: callers distinguish the two.
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(self._model(tiny_dataset, rng),
+                            tmp_path / "never_written.npz")

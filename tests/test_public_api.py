@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.training",
     "repro.analysis",
     "repro.experiments",
+    "repro.serving",
 ]
 
 
