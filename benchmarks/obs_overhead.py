@@ -1,0 +1,185 @@
+"""Span-tracing overhead microbenchmark → BENCH_obs_overhead.json.
+
+Times the full serving path — :class:`PredictionService.predict` over a
+small LR model — twice: once with tracing disabled (no event bus, the
+tracer hands out no-op spans) and once with a tracer publishing to a
+discarding sink.  The headline metric is *relative*: traced time over
+untraced time per request, which is stable across machines and therefore
+safe to gate CI on (absolute microseconds are reported but not
+compared).  A second pair of numbers times bare span enter/exit so the
+per-span cost is visible independently of model scoring.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead.py --out BENCH_obs_overhead.json
+    PYTHONPATH=src python benchmarks/obs_overhead.py \
+        --out BENCH_obs_overhead.json \
+        --baseline benchmarks/BENCH_obs_overhead.json
+
+The run fails (exit 1) if tracing slows serving beyond ``--max-overhead``
+(fraction, default 1.0 = 2x), or — with ``--baseline`` — if the fresh
+overhead exceeds the committed one by more than the slack factor
+``1 / tolerance``.  ``--quick`` shrinks the request counts for use from
+CI smoke steps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data.schema import make_schema
+from repro.models.shallow import LogisticRegression
+from repro.obs import Event, EventBus
+from repro.obs.tracing import Tracer
+from repro.serving import PredictionService
+from repro.serving.faults import valid_requests
+
+CARDINALITIES = [1000, 1000, 500, 100, 100, 50, 20, 10]
+REQUESTS = 2000
+QUICK_REQUESTS = 400
+TRIALS = 5
+#: acceptance ceiling — tracing may not double request latency.
+MAX_OVERHEAD = 1.0
+
+
+class _DiscardSink:
+    """Sink interface with the cheapest possible emit."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+def _build_service(traced: bool) -> PredictionService:
+    schema = make_schema(CARDINALITIES, positive_ratio=0.3)
+    model = LogisticRegression(schema.cardinalities,
+                               rng=np.random.default_rng(0))
+    if traced:
+        bus = EventBus([_DiscardSink()])
+        return PredictionService(model, schema, bus=bus,
+                                 tracer=Tracer(bus=bus))
+    return PredictionService(model, schema)
+
+
+def _time_requests(service: PredictionService, requests: List[Dict],
+                   trials: int) -> float:
+    """Median seconds per request across ``trials`` full passes."""
+    for features in requests[:32]:  # warm caches / validator paths
+        service.predict(features)
+    times = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        for features in requests:
+            service.predict(features, queued_at=start)
+        times.append((time.perf_counter() - start) / len(requests))
+    return float(np.median(times))
+
+
+def _time_bare_spans(tracer: Tracer, spans: int, trials: int) -> float:
+    """Median seconds per enter/exit of a leaf span under a request."""
+    times = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        with tracer.span("bench.request"):
+            for _ in range(spans):
+                with tracer.span("bench.leaf", hot=True):
+                    pass
+        times.append((time.perf_counter() - start) / spans)
+    return float(np.median(times))
+
+
+def run_benchmarks(quick: bool = False, trials: int = TRIALS) -> Dict:
+    n_requests = QUICK_REQUESTS if quick else REQUESTS
+    schema = make_schema(CARDINALITIES, positive_ratio=0.3)
+    requests = list(valid_requests(schema, count=n_requests,
+                                   rng=np.random.default_rng(1)))
+
+    plain_s = _time_requests(_build_service(traced=False), requests, trials)
+    traced_s = _time_requests(_build_service(traced=True), requests, trials)
+
+    spans = 2000 if quick else 10_000
+    noop_span_s = _time_bare_spans(Tracer(), spans, trials)
+    live_span_s = _time_bare_spans(Tracer(bus=EventBus([_DiscardSink()])),
+                                   spans, trials)
+
+    return {
+        "requests": n_requests,
+        "trials": trials,
+        "quick": quick,
+        "plain_us_per_request": round(plain_s * 1e6, 3),
+        "traced_us_per_request": round(traced_s * 1e6, 3),
+        "relative_overhead": round(traced_s / plain_s - 1.0, 4),
+        "noop_span_ns": round(noop_span_s * 1e9, 1),
+        "live_span_ns": round(live_span_s * 1e9, 1),
+    }
+
+
+def check_acceptance(report: Dict, max_overhead: float) -> List[str]:
+    """The issue's acceptance criterion, as a list of failures."""
+    failures = []
+    if report["relative_overhead"] > max_overhead:
+        failures.append(
+            f"tracing overhead {report['relative_overhead']:.1%} exceeds "
+            f"the {max_overhead:.0%} ceiling")
+    return failures
+
+
+def compare_to_baseline(report: Dict, baseline: Dict,
+                        tolerance: float) -> List[str]:
+    """Relative-metric regression check against a committed baseline.
+
+    Overhead ratios are noisy on shared runners, so the committed number
+    only anchors the order of magnitude: the fresh overhead may exceed
+    it by at most ``1 / tolerance`` (and is never failed while under the
+    absolute ceiling floor of 25%).
+    """
+    failures = []
+    base = max(baseline["relative_overhead"], 0.25)
+    if report["relative_overhead"] > base / tolerance:
+        failures.append(
+            f"relative overhead {report['relative_overhead']:.1%} vs "
+            f"baseline {baseline['relative_overhead']:.1%} "
+            f"(allowed {base / tolerance:.1%})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="write the report JSON here")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="baseline slack factor (overhead may grow "
+                             "to baseline / tolerance)")
+    parser.add_argument("--max-overhead", type=float, default=MAX_OVERHEAD,
+                        help="absolute relative-overhead ceiling")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller request counts for smoke runs")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick)
+    print(json.dumps(report, indent=2))
+
+    failures = check_acceptance(report, args.max_overhead)
+    if args.baseline:
+        with open(args.baseline) as handle:
+            failures += compare_to_baseline(report, json.load(handle),
+                                            args.tolerance)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro profile --out BENCH_obs.json  # per-op autodiff timings
     python -m repro serve --model LR --checkpoint-dir ckpts  # online inference
     python -m repro predict --model LR < requests.jsonl      # batch scoring
+    python -m repro obs summarize trace.jsonl   # span latency table
+    python -m repro obs tree trace.jsonl        # ASCII span tree
+    python -m repro obs drift --shift           # drift-detection demo
 
 Every subcommand prints the same rows/series the paper reports; ``--out``
 persists the structured results as JSON via :mod:`repro.io`.  The
@@ -242,6 +245,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write JSONL responses here (default: stdout)")
     _add_trace(predict)
 
+    obs = sub.add_parser(
+        "obs",
+        help="observability tooling: span traces and drift analysis")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="per-span-name latency percentiles from a JSONL trace")
+    summarize.add_argument("trace_file", help="JSONL trace written by "
+                                              "--trace")
+
+    tree = obs_sub.add_parser(
+        "tree", help="render one trace's span tree from a JSONL trace")
+    tree.add_argument("trace_file", help="JSONL trace written by --trace")
+    tree.add_argument("--trace-id", default=None,
+                      help="which trace to render (default: the last one "
+                           "in the file)")
+    tree.add_argument("--list", action="store_true", dest="list_traces",
+                      help="list trace ids in the file instead")
+
+    drift = obs_sub.add_parser(
+        "drift",
+        help="offline drift check: fit a reference on the train split, "
+             "replay the test split through the monitor")
+    drift.add_argument("--model", default="LR",
+                       help="zoo model whose scores feed score-drift "
+                            "(default LR)")
+    _add_scale(drift)
+    _add_dataset(drift)
+    drift.add_argument("--samples", type=int, default=None,
+                       help="synthetic rows (default: scale preset)")
+    drift.add_argument("--window", type=int, default=256,
+                       help="served rows per drift evaluation window")
+    drift.add_argument("--shift", action="store_true",
+                       help="inject covariate shift into the replay "
+                            "(remaps ids in half the fields) to "
+                            "demonstrate detection")
+    drift.add_argument("--out", default=None, metavar="PATH",
+                       help="write the per-window reports as JSON")
+
     return parser
 
 
@@ -273,6 +316,11 @@ def _add_serving_stack(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--breaker-cooldown", type=float, default=5.0,
                         metavar="SECONDS",
                         help="open-state cooldown before a half-open probe")
+    parser.add_argument("--drift-window", type=int, default=None,
+                        metavar="N",
+                        help="enable drift monitoring: compare every N "
+                             "served requests against the train-split "
+                             "reference (PSI/KL per field + score drift)")
 
 
 def _cmd_stats(args) -> int:
@@ -448,6 +496,7 @@ def _build_stack_from_args(args, bus):
         breaker_cooldown_s=args.breaker_cooldown,
         reload_interval_s=getattr(args, "reload_interval", 1.0),
         inject=getattr(args, "inject", None),
+        drift_window=getattr(args, "drift_window", None),
         bus=bus)
 
 
@@ -508,6 +557,134 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_obs_summarize(args) -> int:
+    """Per-span-name latency percentiles from a ``--trace`` JSONL file."""
+    from .obs import spans_from_trace, summarize_spans
+
+    spans = spans_from_trace(args.trace_file)
+    if not spans:
+        print("no span events in trace")
+        return 0
+    summary = summarize_spans(spans)
+    header = (f"{'span':<24} {'count':>6} {'errors':>6} {'p50 ms':>10} "
+              f"{'p90 ms':>10} {'p99 ms':>10} {'total s':>9}")
+    print(header)
+    print("-" * len(header))
+    for name, row in summary.items():
+        print(f"{name:<24} {row['count']:>6} {row['errors']:>6} "
+              f"{row['p50_s'] * 1e3:>10.3f} {row['p90_s'] * 1e3:>10.3f} "
+              f"{row['p99_s'] * 1e3:>10.3f} {row['total_s']:>9.3f}")
+    return 0
+
+
+def _cmd_obs_tree(args) -> int:
+    """Render (or list) span trees from a ``--trace`` JSONL file."""
+    from .obs import render_span_tree, spans_from_trace
+    from .obs.tracing import trace_ids
+
+    spans = spans_from_trace(args.trace_file)
+    if not spans:
+        print("no span events in trace")
+        return 0
+    if args.list_traces:
+        for tid in trace_ids(spans):
+            members = [s for s in spans if s.trace_id == tid]
+            roots = sorted({s.name for s in members if s.parent_id is None})
+            print(f"{tid}  {len(members)} spans"
+                  f"  roots: {', '.join(roots) or '?'}")
+        return 0
+    print(render_span_tree(spans, trace_id=args.trace_id))
+    return 0
+
+
+def _cmd_obs_drift(args) -> int:
+    """Offline drift check: train-split reference, test-split replay.
+
+    With ``--shift`` the replayed ids in every other field are folded
+    into the first quarter of the vocabulary — a covariate shift the
+    monitor must flag; without it the i.i.d. replay should stay quiet.
+    """
+    import numpy as np
+
+    from .data.dataset import Batch
+    from .experiments.runner import _build_plain_model
+    from .obs import DriftMonitor
+
+    from dataclasses import replace
+
+    config = default_config(args.dataset, args.scale)
+    if args.samples is not None:
+        config = replace(config, n_samples=args.samples)
+    bundle = prepare_dataset(config)
+    rng = np.random.default_rng(config.seed)
+    model = _build_plain_model(args.model, bundle.train, config, rng)
+    if model.needs_cross:
+        print(f"# {args.model} needs cross features; score drift is "
+              f"skipped (covariate drift only)", file=sys.stderr)
+
+    def score(x):
+        if model.needs_cross:
+            return None
+        out = []
+        for start in range(0, len(x), 1024):
+            chunk = x[start:start + 1024]
+            out.append(model.predict_proba(
+                Batch(x=chunk, x_cross=None, y=np.zeros(len(chunk)))))
+        return np.concatenate(out) if out else None
+
+    monitor = DriftMonitor(field_names=bundle.full.schema.field_names,
+                           window=args.window)
+    monitor.fit_reference(bundle.train.x, scores=score(bundle.train.x),
+                          cardinalities=bundle.full.cardinalities)
+
+    x_replay = bundle.test.x.copy()
+    shifted = []
+    if args.shift:
+        cards = bundle.full.cardinalities
+        for i in range(0, x_replay.shape[1], 2):
+            x_replay[:, i] %= max(cards[i] // 4, 1)
+            shifted.append(bundle.full.schema.field_names[i])
+        print(f"# injected covariate shift into: {', '.join(shifted)}",
+              file=sys.stderr)
+    replay_scores = score(x_replay)
+
+    reports = []
+    for idx in range(len(x_replay)):
+        s = None if replay_scores is None else float(replay_scores[idx])
+        report = monitor.observe(x_replay[idx], s)
+        if report is not None:
+            reports.append(report)
+
+    print(f"replayed {len(x_replay)} test rows → {len(reports)} windows "
+          f"of {args.window}")
+    for i, report in enumerate(reports):
+        worst = report.worst_field()
+        worst_psi = report.field_psi.get(worst, 0.0) if worst else 0.0
+        score_part = ("-" if report.score_psi is None
+                      else f"{report.score_psi:.3f}")
+        print(f"window {i}: worst field {worst or '-'} "
+              f"psi={worst_psi:.3f}  score psi={score_part}  "
+              f"alerts={len(report.alerts)}")
+        for alert in report.alerts:
+            print(f"  alert: {alert}")
+    drifted = any(report.drifted for report in reports)
+    print(f"verdict: {'DRIFT DETECTED' if drifted else 'stable'}")
+    if args.out:
+        save_results({"dataset": args.dataset, "window": args.window,
+                      "shift": bool(args.shift),
+                      "shifted_fields": shifted,
+                      "drifted": drifted,
+                      "reports": [r.as_dict() for r in reports]}, args.out)
+        print(f"reports written to {args.out}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    return {"summarize": _cmd_obs_summarize,
+            "tree": _cmd_obs_tree,
+            "drift": _cmd_obs_drift}[args.obs_command](args)
+
+
 def _cmd_report(args) -> int:
     report = generate_report(scale=args.scale, experiments=args.experiments)
     if args.out:
@@ -531,6 +708,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "serve": _cmd_serve,
     "predict": _cmd_predict,
+    "obs": _cmd_obs,
 }
 
 

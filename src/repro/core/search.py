@@ -24,6 +24,7 @@ from ..fsutil import PathLike
 from ..nn.losses import binary_cross_entropy_with_logits
 from ..nn.optim import Adam
 from ..obs.events import ConsoleSink, EventBus
+from ..obs.tracing import Tracer
 from ..resilience.checkpoint import CheckpointManager, TrainingCheckpoint
 from ..resilience.recovery import DivergenceGuard, RecoveryPolicy
 from ..training.history import EpochRecord, History
@@ -161,7 +162,8 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
                     recovery: Optional[RecoveryPolicy] = None,
                     checkpoint_dir: Optional[PathLike] = None,
                     resume: bool = False,
-                    keep_last: int = 3) -> SearchResult:
+                    keep_last: int = 3,
+                    tracer: Optional[Tracer] = None) -> SearchResult:
     """Algorithm 1: joint gradient descent on (Θ, α) over training batches.
 
     ``bus`` receives one ``search_alpha`` + ``epoch_end`` event pair per
@@ -209,45 +211,61 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
         guard = DivergenceGuard(recovery, model, optimizer, emit=emit,
                                 on_rollback=_rewind)
         guard.record_good(extras={"step": step})
-    for epoch in range(start_epoch, config.epochs):
-        temperature = _annealed_temperature(config, epoch)
-        model.combination.set_temperature(temperature)
-        model.train()
-        losses: List[float] = []
-        for batch in train.iter_batches(config.batch_size, shuffle=True, rng=rng):
-            optimizer.zero_grad()
-            loss = binary_cross_entropy_with_logits(model(batch), batch.y)
-            value = loss.item()
+    if tracer is None:
+        tracer = Tracer(emit=emit) if buses else Tracer()
+    with tracer.span("search.run", stage="search",
+                     epochs=config.epochs) as run_span:
+        for epoch in range(start_epoch, config.epochs):
+            temperature = _annealed_temperature(config, epoch)
+            model.combination.set_temperature(temperature)
+            model.train()
+            losses: List[float] = []
+            with tracer.span("search.epoch", epoch=epoch,
+                             temperature=temperature) as epoch_span:
+                for batch in train.iter_batches(config.batch_size,
+                                                shuffle=True, rng=rng):
+                    optimizer.zero_grad()
+                    loss = binary_cross_entropy_with_logits(model(batch),
+                                                            batch.y)
+                    value = loss.item()
+                    if guard is not None:
+                        if not guard.loss_ok(value):
+                            guard.strike("non_finite_loss", stage="search",
+                                         epoch=epoch, step=step, loss=value)
+                            continue
+                        loss.backward()
+                        if not guard.gradients_ok():
+                            guard.strike("non_finite_gradient",
+                                         stage="search", epoch=epoch,
+                                         step=step, loss=value)
+                            continue
+                    else:
+                        loss.backward()
+                    optimizer.step()
+                    losses.append(value)
+                    step += 1
+                record = EpochRecord(epoch=epoch,
+                                     train_loss=float(np.mean(losses)))
+                if val is not None and len(val) > 0:
+                    metrics = evaluate_model(model, val)
+                    record.val_auc = metrics["auc"]
+                    record.val_log_loss = metrics["log_loss"]
+                history.append(record)
+                # The α snapshot is the search's decision step — its own
+                # span so a trace shows where selection time goes.
+                with tracer.span("search.alpha_update", epoch=epoch):
+                    _emit_search_epoch(buses, model, record, temperature,
+                                       stage="search")
+                epoch_span.set_attr("train_loss", record.train_loss)
+            if manager is not None:
+                path = manager.save(TrainingCheckpoint.capture(
+                    model, optimizer, epoch=epoch, global_step=step, rng=rng,
+                    history=history))
+                emit("checkpoint", epoch=epoch, global_step=step,
+                     path=str(path))
             if guard is not None:
-                if not guard.loss_ok(value):
-                    guard.strike("non_finite_loss", stage="search",
-                                 epoch=epoch, step=step, loss=value)
-                    continue
-                loss.backward()
-                if not guard.gradients_ok():
-                    guard.strike("non_finite_gradient", stage="search",
-                                 epoch=epoch, step=step, loss=value)
-                    continue
-            else:
-                loss.backward()
-            optimizer.step()
-            losses.append(value)
-            step += 1
-        record = EpochRecord(epoch=epoch, train_loss=float(np.mean(losses)))
-        if val is not None and len(val) > 0:
-            metrics = evaluate_model(model, val)
-            record.val_auc = metrics["auc"]
-            record.val_log_loss = metrics["log_loss"]
-        history.append(record)
-        _emit_search_epoch(buses, model, record, temperature, stage="search")
-        if manager is not None:
-            path = manager.save(TrainingCheckpoint.capture(
-                model, optimizer, epoch=epoch, global_step=step, rng=rng,
-                history=history))
-            emit("checkpoint", epoch=epoch, global_step=step,
-                 path=str(path))
-        if guard is not None:
-            guard.record_good(extras={"step": step})
+                guard.record_good(extras={"step": step})
+        run_span.set_attr("steps", step)
     return SearchResult(
         architecture=model.derive_architecture(),
         alpha=model.combination.alpha.data.copy(),
@@ -259,7 +277,8 @@ def search_optinter(train: CTRDataset, val: Optional[CTRDataset],
 def search_bilevel(train: CTRDataset, val: CTRDataset,
                    config: SearchConfig,
                    bus: Optional[EventBus] = None,
-                   recovery: Optional[RecoveryPolicy] = None) -> SearchResult:
+                   recovery: Optional[RecoveryPolicy] = None,
+                   tracer: Optional[Tracer] = None) -> SearchResult:
     """DARTS-style bi-level ablation: Θ on train batches, α on val batches.
 
     The two parameter families alternate instead of sharing one update;
@@ -292,56 +311,70 @@ def search_bilevel(train: CTRDataset, val: CTRDataset,
         guard = DivergenceGuard(recovery, model, [theta_opt, alpha_opt],
                                 emit=emit)
         guard.record_good()
-    for epoch in range(config.epochs):
-        temperature = _annealed_temperature(config, epoch)
-        model.combination.set_temperature(temperature)
-        model.train()
-        losses: List[float] = []
-        for batch in train.iter_batches(config.batch_size, shuffle=True, rng=rng):
-            # Lower level: network weights on the training batch.
-            model.zero_grad()
-            loss = binary_cross_entropy_with_logits(model(batch), batch.y)
-            value = loss.item()
-            if guard is not None and not guard.loss_ok(value):
-                guard.strike("non_finite_loss", stage="bilevel",
-                             level="theta", epoch=epoch, step=step,
-                             loss=value)
-            else:
-                loss.backward()
-                if guard is not None and not guard.gradients_ok():
-                    guard.strike("non_finite_gradient", stage="bilevel",
-                                 level="theta", epoch=epoch, step=step,
-                                 loss=value)
-                else:
-                    theta_opt.step()
-                    losses.append(value)
-            # Upper level: architecture parameters on a validation batch.
-            val_batch = next(val_stream)
-            model.zero_grad()
-            val_loss = binary_cross_entropy_with_logits(model(val_batch),
-                                                        val_batch.y)
-            val_value = val_loss.item()
-            if guard is not None and not guard.loss_ok(val_value):
-                guard.strike("non_finite_loss", stage="bilevel",
-                             level="alpha", epoch=epoch, step=step,
-                             loss=val_value)
-            else:
-                val_loss.backward()
-                if guard is not None and not guard.gradients_ok():
-                    guard.strike("non_finite_gradient", stage="bilevel",
-                                 level="alpha", epoch=epoch, step=step,
-                                 loss=val_value)
-                else:
-                    alpha_opt.step()
-            step += 1
-        record = EpochRecord(epoch=epoch, train_loss=float(np.mean(losses)))
-        metrics = evaluate_model(model, val)
-        record.val_auc = metrics["auc"]
-        record.val_log_loss = metrics["log_loss"]
-        history.append(record)
-        _emit_search_epoch(buses, model, record, temperature, stage="bilevel")
-        if guard is not None:
-            guard.record_good()
+    if tracer is None:
+        tracer = Tracer(emit=emit) if buses else Tracer()
+    with tracer.span("search.run", stage="bilevel",
+                     epochs=config.epochs):
+        for epoch in range(config.epochs):
+            temperature = _annealed_temperature(config, epoch)
+            model.combination.set_temperature(temperature)
+            model.train()
+            losses: List[float] = []
+            with tracer.span("search.epoch", epoch=epoch,
+                             temperature=temperature) as epoch_span:
+                for batch in train.iter_batches(config.batch_size,
+                                                shuffle=True, rng=rng):
+                    # Lower level: network weights on the training batch.
+                    model.zero_grad()
+                    loss = binary_cross_entropy_with_logits(model(batch),
+                                                            batch.y)
+                    value = loss.item()
+                    if guard is not None and not guard.loss_ok(value):
+                        guard.strike("non_finite_loss", stage="bilevel",
+                                     level="theta", epoch=epoch, step=step,
+                                     loss=value)
+                    else:
+                        loss.backward()
+                        if guard is not None and not guard.gradients_ok():
+                            guard.strike("non_finite_gradient",
+                                         stage="bilevel", level="theta",
+                                         epoch=epoch, step=step, loss=value)
+                        else:
+                            theta_opt.step()
+                            losses.append(value)
+                    # Upper level: architecture parameters on a validation
+                    # batch.
+                    val_batch = next(val_stream)
+                    model.zero_grad()
+                    val_loss = binary_cross_entropy_with_logits(
+                        model(val_batch), val_batch.y)
+                    val_value = val_loss.item()
+                    if guard is not None and not guard.loss_ok(val_value):
+                        guard.strike("non_finite_loss", stage="bilevel",
+                                     level="alpha", epoch=epoch, step=step,
+                                     loss=val_value)
+                    else:
+                        val_loss.backward()
+                        if guard is not None and not guard.gradients_ok():
+                            guard.strike("non_finite_gradient",
+                                         stage="bilevel", level="alpha",
+                                         epoch=epoch, step=step,
+                                         loss=val_value)
+                        else:
+                            alpha_opt.step()
+                    step += 1
+                record = EpochRecord(epoch=epoch,
+                                     train_loss=float(np.mean(losses)))
+                metrics = evaluate_model(model, val)
+                record.val_auc = metrics["auc"]
+                record.val_log_loss = metrics["log_loss"]
+                history.append(record)
+                with tracer.span("search.alpha_update", epoch=epoch):
+                    _emit_search_epoch(buses, model, record, temperature,
+                                       stage="bilevel")
+                epoch_span.set_attr("train_loss", record.train_loss)
+            if guard is not None:
+                guard.record_good()
     return SearchResult(
         architecture=model.derive_architecture(),
         alpha=model.combination.alpha.data.copy(),

@@ -15,6 +15,17 @@ Three cooperating layers, all optional and zero-cost when unused:
   time, call counts and array bytes to individual ops.  The hooks are
   installed only inside ``with Profiler(...):`` — the disabled path is
   the unmodified hot path.
+* :mod:`repro.obs.tracing` — span tracing over the event bus: nested
+  ``Tracer``/``Span`` pairs give every training run, search and serving
+  request a ``trace_id`` that follows it end to end; ``repro obs
+  summarize``/``tree`` reconstruct latency tables and span trees from a
+  trace file.
+* :mod:`repro.obs.export` — Prometheus/OpenMetrics text exposition of
+  the metrics registry (cumulative histogram ``_bucket``/``_sum``/
+  ``_count`` series), served from the ``repro serve`` metrics probe.
+* :mod:`repro.obs.monitor` — drift monitoring: PSI/KL per field plus
+  score-distribution and calibration drift against a reference window,
+  publishing ``drift.*`` gauges and typed ``alert`` events.
 """
 
 from .events import (
@@ -27,8 +38,24 @@ from .events import (
     read_trace,
     register_event_type,
 )
+from .export import (
+    CONTENT_TYPE,
+    parse_prometheus_text,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .monitor import DriftMonitor, DriftReport, kl_divergence, psi
 from .profiler import ModuleStat, OpStat, Profiler
+from .tracing import (
+    Span,
+    Tracer,
+    render_span_tree,
+    sequential_ids,
+    span_tree,
+    spans_from_trace,
+    summarize_spans,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -47,4 +74,19 @@ __all__ = [
     "Profiler",
     "OpStat",
     "ModuleStat",
+    "Span",
+    "Tracer",
+    "sequential_ids",
+    "spans_from_trace",
+    "summarize_spans",
+    "span_tree",
+    "render_span_tree",
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
+    "DriftMonitor",
+    "DriftReport",
+    "psi",
+    "kl_divergence",
 ]

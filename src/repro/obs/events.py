@@ -19,7 +19,8 @@ import sys
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+from typing import (Any, Callable, Dict, Iterable, List, Optional, TextIO,
+                    Union)
 
 import numpy as np
 
@@ -40,6 +41,8 @@ EVENT_TYPES = {
     "degrade",     # a degraded answer was served (ladder level, reason)
     "reload",      # hot checkpoint reload attempt (ok/corrupt/rolled back)
     "shed",        # load shedding dropped a request (queue depth, reason)
+    "span",        # one finished tracing span (trace/span/parent ids, timing)
+    "alert",       # a monitor threshold tripped (drift kind, value, threshold)
 }
 
 
@@ -179,15 +182,27 @@ class EventBus:
     A bus with no sinks is a cheap no-op, so instrumented code can emit
     unconditionally through ``bus.emit(...)`` guarded only by
     ``if bus is not None``.
+
+    ``clock`` stamps every event built by :meth:`emit` and defaults to
+    ``time.time``; tests inject a fake so event ordering and span
+    durations are deterministic (pre-built events passed to
+    :meth:`publish` keep the stamp they carry).
     """
 
-    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
+    def __init__(self, sinks: Iterable[Sink] = (),
+                 clock: Callable[[], float] = _time.time) -> None:
         self._sinks: List[Sink] = list(sinks)
+        self._clock = clock
 
     @classmethod
-    def to_jsonl(cls, path: PathLike) -> "EventBus":
+    def to_jsonl(cls, path: PathLike,
+                 clock: Callable[[], float] = _time.time) -> "EventBus":
         """A bus writing straight to a JSONL trace file."""
-        return cls([JsonlSink(path)])
+        return cls([JsonlSink(path)], clock=clock)
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._clock
 
     def add_sink(self, sink: Sink) -> Sink:
         self._sinks.append(sink)
@@ -204,7 +219,7 @@ class EventBus:
                 f"unknown event type {event_type!r}; registered types are "
                 f"{sorted(EVENT_TYPES)} (use register_event_type to extend)"
             )
-        event = Event(type=event_type, payload=payload)
+        event = Event(type=event_type, payload=payload, time=self._clock())
         for sink in self._sinks:
             sink.emit(event)
         return event

@@ -1,0 +1,180 @@
+"""Prometheus/OpenMetrics text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot()
+<repro.obs.metrics.MetricsRegistry.snapshot>` into the text format every
+Prometheus-compatible scraper ingests::
+
+    # TYPE repro_serve_requests_total counter
+    repro_serve_requests_total 42
+    # TYPE repro_serve_latency_s histogram
+    repro_serve_latency_s_bucket{le="0.001"} 3
+    repro_serve_latency_s_bucket{le="+Inf"} 10
+    repro_serve_latency_s_sum 0.8193
+    repro_serve_latency_s_count 10
+
+Conventions implemented:
+
+* **names are sanitised** — dots and any other character outside
+  ``[a-zA-Z0-9_:]`` become ``_``; a leading digit is prefixed.
+* **counters get the ``_total`` suffix** (added when missing).
+* **histograms expose cumulative ``_bucket`` series** with ``le`` label
+  upper bounds, a ``+Inf`` bucket, and exact ``_sum`` / ``_count``
+  series straight from ``Histogram.as_dict()``.
+* **unset gauges are skipped** — Prometheus has no "no value yet".
+
+:func:`parse_prometheus_text` is the minimal inverse used by tests and
+the CI scrape check: it validates line shapes and returns sample values
+keyed by name + labels.  It is *not* a general client — just enough to
+prove the exposition parses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["sanitize_metric_name", "render_prometheus",
+           "parse_prometheus_text", "CONTENT_TYPE"]
+
+#: The content type a scrape endpoint should advertise for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal metric name to a valid Prometheus one."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Prometheus number formatting: integers bare, floats via repr."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_counter(name: str, data: Mapping[str, object],
+                    lines: List[str]) -> None:
+    if not name.endswith("_total"):
+        name += "_total"
+    lines.append(f"# TYPE {name} counter")
+    lines.append(f"{name} {_format_value(data.get('value', 0.0))}")
+
+
+def _render_gauge(name: str, data: Mapping[str, object],
+                  lines: List[str]) -> None:
+    value = data.get("value")
+    if value is None:
+        return  # never set; there is nothing truthful to expose
+    lines.append(f"# TYPE {name} gauge")
+    lines.append(f"{name} {_format_value(value)}")
+
+
+def _render_histogram(name: str, data: Mapping[str, object],
+                      lines: List[str]) -> None:
+    bounds = list(data.get("bounds", []))
+    bucket_counts = list(data.get("bucket_counts", []))
+    count = int(data.get("count", 0))
+    total = float(data.get("sum", 0.0))
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for bound, bucket_count in zip(bounds, bucket_counts):
+        cumulative += int(bucket_count)
+        lines.append(f'{name}_bucket{{le="{_format_value(bound)}"}} '
+                     f"{cumulative}")
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{name}_sum {_format_value(total)}")
+    lines.append(f"{name}_count {count}")
+
+
+_RENDERERS = {
+    "counter": _render_counter,
+    "gauge": _render_gauge,
+    "histogram": _render_histogram,
+}
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping[str, object]],
+                      namespace: str = "repro") -> str:
+    """Prometheus text exposition of a registry snapshot.
+
+    ``snapshot`` is exactly what ``MetricsRegistry.snapshot()`` returns:
+    each metric dict carries a ``type`` tag plus its series data.
+    Unknown types are skipped rather than fatal — a trace produced by a
+    newer writer should still mostly expose.
+    """
+    lines: List[str] = []
+    prefix = f"{sanitize_metric_name(namespace)}_" if namespace else ""
+    for raw_name in sorted(snapshot):
+        data = snapshot[raw_name]
+        renderer = _RENDERERS.get(str(data.get("type", "")))
+        if renderer is None:
+            continue
+        renderer(prefix + sanitize_metric_name(raw_name), data, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str
+                          ) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                                    float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Raises ``ValueError`` on any malformed line — that is the point:
+    CI feeds the scrape output through this to prove a real scraper
+    would accept it.  ``labels`` is a sorted tuple of ``(key, value)``
+    pairs; ``+Inf``/``-Inf``/``NaN`` parse to the matching floats.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] not in ("TYPE", "HELP"):
+                raise ValueError(
+                    f"line {line_number}: malformed comment {line!r}")
+            if parts[1] == "TYPE" and parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(
+                    f"line {line_number}: unknown metric type {parts[3]!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        labels: List[Tuple[str, str]] = []
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for part in raw_labels.split(","):
+                label_match = _LABEL.match(part.strip())
+                if label_match is None:
+                    raise ValueError(
+                        f"line {line_number}: malformed label {part!r}")
+                labels.append((label_match.group("key"),
+                               label_match.group("value")))
+        raw_value = match.group("value")
+        try:
+            if raw_value == "+Inf":
+                value = math.inf
+            elif raw_value == "-Inf":
+                value = -math.inf
+            else:
+                value = float(raw_value)
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: unparseable value {raw_value!r}")
+        samples[(match.group("name"), tuple(sorted(labels)))] = value
+    return samples

@@ -49,9 +49,9 @@ class Counter:
         with self._lock:
             self.value += amount
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, object]:
         with self._lock:
-            return {"value": self.value}
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
@@ -66,8 +66,8 @@ class Gauge:
         with self._lock:
             self.value = float(value)
 
-    def as_dict(self) -> Dict[str, Optional[float]]:
-        return {"value": self.value}
+    def as_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
 
 
 class Histogram:
@@ -109,34 +109,51 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def _bucket_upper(self, i: int) -> float:
+        """Upper bound of bucket ``i``; the overflow bucket has no finite
+        bound, so the observed max stands in for ``+Inf``."""
+        if i < len(self.bounds):
+            return self.bounds[i]
+        return self.max if self.max is not None else self.bounds[-1]
+
     def quantile(self, q: float) -> Optional[float]:
-        """Approximate ``q``-quantile (0 <= q <= 1) from bucket counts."""
+        """Approximate ``q``-quantile (0 <= q <= 1) from bucket counts.
+
+        The estimate is computed from bucket bounds alone — linear
+        interpolation inside the bucket containing the target rank —
+        so it matches what ``histogram_quantile`` computes from the
+        scraped Prometheus ``_bucket`` series.  The edge cases answer
+        with a bucket upper bound consistently: ``q=0`` is the upper
+        bound of the first occupied bucket, ``q=1`` the upper bound of
+        the last occupied bucket, and a single-observation histogram
+        answers its sole occupied bucket's upper bound for every ``q``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return None
+        occupied = [i for i, c in enumerate(self.counts) if c]
+        if q == 0.0:
+            return self._bucket_upper(occupied[0])
+        if q == 1.0 or self.count == 1:
+            return self._bucket_upper(occupied[-1])
         target = q * self.count
         cumulative = 0
-        for i, bucket_count in enumerate(self.counts):
-            if bucket_count == 0:
-                continue
+        for i in occupied:
+            bucket_count = self.counts[i]
             if cumulative + bucket_count >= target:
                 lower = 0.0 if i == 0 else self.bounds[i - 1]
-                upper = self.bounds[i] if i < len(self.bounds) else (
-                    self.max if self.max is not None else self.bounds[-1])
+                upper = self._bucket_upper(i)
                 fraction = (target - cumulative) / bucket_count
-                estimate = lower + (upper - lower) * max(fraction, 0.0)
-                # Exact extremes beat bucket interpolation at the tails.
-                if self.min is not None:
-                    estimate = max(estimate, self.min) if q > 0 else self.min
-                if self.max is not None:
-                    estimate = min(estimate, self.max)
-                return estimate
+                return lower + (upper - lower) * max(fraction, 0.0)
             cumulative += bucket_count
-        return self.max
+        return self._bucket_upper(occupied[-1])
 
     def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self.counts)
         return {
+            "type": "histogram",
             "count": self.count,
             "sum": self.total,
             "min": self.min,
@@ -144,6 +161,10 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.5),
             "p99": self.quantile(0.99),
+            # Per-bucket occupancy, overflow last — everything the
+            # Prometheus ``_bucket``/``_sum``/``_count`` series need.
+            "bounds": list(self.bounds),
+            "bucket_counts": counts,
         }
 
 

@@ -1,0 +1,370 @@
+"""Drift monitoring: is online traffic still the data we trained on?
+
+A CTR model is only as good as the match between its training
+distribution and live traffic; the search stage is even more exposed —
+an architecture selected on one distribution silently degrades when the
+interaction statistics move.  :class:`DriftMonitor` makes that failure
+mode observable:
+
+* **fit time** — fingerprint a reference window: per-field categorical
+  frequency vectors and a fixed-bin histogram of prediction scores.
+* **serve time** — every answered request feeds ``observe(row, score)``;
+  when a window fills, the monitor computes
+  - **PSI per field** (population stability index — the standard
+    covariate-shift score; > 0.25 is conventionally "major shift"),
+  - **KL divergence per field** (reference ‖ window),
+  - **score-distribution PSI** over the prediction histogram,
+  - **calibration drift**: |mean online score − mean reference score|,
+  publishes each as a ``drift.*`` gauge and, past thresholds, emits a
+  typed ``alert`` event — so an alarm correlates, by trace file, with
+  the exact requests that tripped it.
+
+Smoothed probabilities (additive ``smoothing`` per category) keep both
+PSI and KL finite when a category appears on only one side, which is
+precisely the interesting case.  Thread-safe: serving workers call
+``observe`` concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .events import EventBus
+from .metrics import MetricsRegistry
+
+__all__ = ["DriftMonitor", "DriftReport", "psi", "kl_divergence"]
+
+#: Conventional PSI reading: < 0.1 stable, 0.1–0.25 moderate, > 0.25 major.
+DEFAULT_PSI_THRESHOLD = 0.25
+
+
+def _smoothed(counts: np.ndarray, smoothing: float) -> np.ndarray:
+    """Counts → probabilities with additive smoothing (always > 0)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum() + smoothing * counts.size
+    if total <= 0:
+        raise ValueError("cannot smooth an empty distribution")
+    return (counts + smoothing) / total
+
+
+def psi(reference_counts: np.ndarray, window_counts: np.ndarray,
+        smoothing: float = 0.5) -> float:
+    """Population stability index between two count vectors."""
+    p = _smoothed(reference_counts, smoothing)
+    q = _smoothed(window_counts, smoothing)
+    return float(np.sum((q - p) * np.log(q / p)))
+
+
+def kl_divergence(reference_counts: np.ndarray, window_counts: np.ndarray,
+                  smoothing: float = 0.5) -> float:
+    """KL(reference ‖ window) between two count vectors."""
+    p = _smoothed(reference_counts, smoothing)
+    q = _smoothed(window_counts, smoothing)
+    return float(np.sum(p * np.log(p / q)))
+
+
+@dataclass
+class DriftReport:
+    """One evaluated window; JSON-ready via :meth:`as_dict`."""
+
+    window_n: int
+    field_psi: Dict[str, float] = field(default_factory=dict)
+    field_kl: Dict[str, float] = field(default_factory=dict)
+    score_psi: Optional[float] = None
+    calibration_delta: Optional[float] = None
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.alerts)
+
+    def worst_field(self) -> Optional[str]:
+        if not self.field_psi:
+            return None
+        return max(self.field_psi, key=lambda k: self.field_psi[k])
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "window_n": self.window_n,
+            "field_psi": dict(self.field_psi),
+            "field_kl": dict(self.field_kl),
+            "score_psi": self.score_psi,
+            "calibration_delta": self.calibration_delta,
+            "alerts": list(self.alerts),
+        }
+
+
+class DriftMonitor:
+    """Reference-window fingerprint + online windowed drift scoring.
+
+    Parameters
+    ----------
+    field_names:
+        Names for the per-field gauges/alerts; defaults to
+        ``field_0..field_{F-1}`` at fit time.
+    window:
+        Online observations per evaluation; each full window is scored
+        against the reference and then cleared.
+    psi_threshold / score_psi_threshold / calibration_threshold:
+        Alert trip points for per-field PSI, score-distribution PSI and
+        |Δ mean score| respectively.
+    score_bins:
+        Fixed histogram bins over [0, 1] for the score distribution.
+    max_categories:
+        Per-field drift bins.  A window of a few hundred rows compared
+        against a vocabulary of thousands of ids has a large
+        small-sample PSI bias (roughly ``K / window``), so fields wider
+        than this are folded to their ``max_categories - 1`` most
+        frequent reference ids plus one shared rare/novel bin.  The
+        frequent ids carry the PSI signal; a flood of previously-rare
+        or unseen ids shows up as mass moving into the shared bin.
+    smoothing:
+        Additive count smoothing; keeps divergences finite.
+    metrics / bus:
+        Published ``drift.*`` gauges and typed ``alert`` events land
+        here; both optional.
+    """
+
+    def __init__(self, *, field_names: Optional[Sequence[str]] = None,
+                 window: int = 256,
+                 psi_threshold: float = DEFAULT_PSI_THRESHOLD,
+                 score_psi_threshold: float = DEFAULT_PSI_THRESHOLD,
+                 calibration_threshold: float = 0.10,
+                 score_bins: int = 10,
+                 max_categories: int = 20,
+                 smoothing: float = 0.5,
+                 metrics: Optional[MetricsRegistry] = None,
+                 bus: Optional[EventBus] = None) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if score_bins < 2:
+            raise ValueError(f"score_bins must be >= 2, got {score_bins}")
+        if max_categories < 2:
+            raise ValueError(
+                f"max_categories must be >= 2, got {max_categories}")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be > 0, got {smoothing}")
+        self.field_names = list(field_names) if field_names else None
+        self.window = window
+        self.psi_threshold = psi_threshold
+        self.score_psi_threshold = score_psi_threshold
+        self.calibration_threshold = calibration_threshold
+        self.score_edges = np.linspace(0.0, 1.0, score_bins + 1)
+        self.max_categories = max_categories
+        self.smoothing = smoothing
+        self.metrics = metrics
+        self.bus = bus
+        self._lock = threading.Lock()
+        self._fitted = False
+        # Reference fingerprint.
+        self._ref_field_counts: List[np.ndarray] = []
+        self._fold_maps: List[np.ndarray] = []
+        self._ref_score_counts: Optional[np.ndarray] = None
+        self._ref_score_mean: Optional[float] = None
+        # Current online window.
+        self._win_field_counts: List[np.ndarray] = []
+        self._win_score_counts: Optional[np.ndarray] = None
+        self._win_score_sum = 0.0
+        self._win_score_n = 0
+        self._win_n = 0
+        self.windows_evaluated = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    def fit_reference(self, x: np.ndarray,
+                      scores: Optional[np.ndarray] = None,
+                      cardinalities: Optional[Sequence[int]] = None
+                      ) -> "DriftMonitor":
+        """Fingerprint the reference window (training-time traffic).
+
+        ``x`` is the ``[n, F]`` integer id matrix the data pipeline
+        produces; ``scores`` the model's predictions on it (optional —
+        without them only covariate drift is monitored).
+        ``cardinalities`` sizes the per-field count vectors; defaults to
+        ``max id + 1`` per field.
+        """
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ValueError(f"need a non-empty [n, F] id matrix, got shape "
+                             f"{x.shape}")
+        n, num_fields = x.shape
+        if self.field_names is None:
+            self.field_names = [f"field_{i}" for i in range(num_fields)]
+        if len(self.field_names) != num_fields:
+            raise ValueError(
+                f"{len(self.field_names)} field names for {num_fields} "
+                "fields")
+        with self._lock:
+            self._ref_field_counts = []
+            self._fold_maps = []
+            for i in range(num_fields):
+                column = x[:, i].astype(np.int64)
+                if column.min() < 0:
+                    raise ValueError(f"negative category id in field {i}")
+                size = (int(cardinalities[i]) if cardinalities is not None
+                        else int(column.max()) + 1)
+                raw = np.bincount(column, minlength=size).astype(np.float64)
+                fold, n_bins = self._build_fold(raw)
+                self._fold_maps.append(fold)
+                binned = np.zeros(n_bins, dtype=np.float64)
+                np.add.at(binned, fold, raw)
+                self._ref_field_counts.append(binned)
+            if scores is not None:
+                scores = np.asarray(scores, dtype=np.float64).ravel()
+                if scores.size != n:
+                    raise ValueError(
+                        f"{scores.size} scores for {n} rows")
+                self._ref_score_counts = np.histogram(
+                    np.clip(scores, 0.0, 1.0), bins=self.score_edges
+                )[0].astype(np.float64)
+                self._ref_score_mean = float(scores.mean())
+            else:
+                self._ref_score_counts = None
+                self._ref_score_mean = None
+            self._reset_window_locked()
+            self._fitted = True
+        return self
+
+    def _build_fold(self, raw_counts: np.ndarray) -> tuple:
+        """Raw id → drift-bin map for one field (see ``max_categories``).
+
+        Narrow fields keep one bin per id plus an extra bin reserved
+        for ids never seen at reference time; wide fields keep the
+        ``max_categories - 1`` most frequent ids and fold everything
+        else — rare *and* novel — into the final shared bin.
+        """
+        size = raw_counts.size
+        if size < self.max_categories:
+            return np.arange(size, dtype=np.int64), size + 1
+        keep = np.argsort(raw_counts)[::-1][:self.max_categories - 1]
+        fold = np.full(size, self.max_categories - 1, dtype=np.int64)
+        fold[keep] = np.arange(keep.size, dtype=np.int64)
+        return fold, self.max_categories
+
+    def _reset_window_locked(self) -> None:
+        self._win_field_counts = [np.zeros_like(c)
+                                  for c in self._ref_field_counts]
+        self._win_score_counts = (
+            np.zeros(len(self.score_edges) - 1, dtype=np.float64)
+            if self._ref_score_counts is not None else None)
+        self._win_score_sum = 0.0
+        self._win_score_n = 0
+        self._win_n = 0
+
+    # ------------------------------------------------------------------
+    # Online feeding
+    # ------------------------------------------------------------------
+    def observe(self, row: np.ndarray,
+                score: Optional[float] = None) -> Optional[DriftReport]:
+        """Feed one served request; returns a report when a window fills.
+
+        Ids beyond the reference cardinality count into the shared
+        rare/novel bin — an entirely new id *is* drift signal and must
+        not be dropped.
+        """
+        if not self._fitted:
+            raise RuntimeError("DriftMonitor.observe before fit_reference")
+        row = np.asarray(row).ravel()
+        with self._lock:
+            if row.size != len(self._win_field_counts):
+                raise ValueError(
+                    f"row has {row.size} fields, reference has "
+                    f"{len(self._win_field_counts)}")
+            for i, value in enumerate(row):
+                counts = self._win_field_counts[i]
+                fold = self._fold_maps[i]
+                index = int(value)
+                bin_index = (int(fold[index]) if 0 <= index < fold.size
+                             else counts.size - 1)
+                counts[bin_index] += 1.0
+            if score is not None and self._win_score_counts is not None:
+                clipped = min(max(float(score), 0.0), 1.0)
+                bin_index = min(
+                    int(np.searchsorted(self.score_edges, clipped,
+                                        side="right")) - 1,
+                    self._win_score_counts.size - 1)
+                self._win_score_counts[max(bin_index, 0)] += 1.0
+                self._win_score_sum += float(score)
+                self._win_score_n += 1
+            self._win_n += 1
+            if self._win_n < self.window:
+                return None
+            report = self._evaluate_locked()
+            self._reset_window_locked()
+        self._publish(report)
+        return report
+
+    def evaluate(self) -> Optional[DriftReport]:
+        """Score the current (possibly partial) window without clearing it.
+
+        Returns ``None`` when fewer than 2 observations are pending —
+        there is no distribution to compare yet.
+        """
+        with self._lock:
+            if not self._fitted or self._win_n < 2:
+                return None
+            report = self._evaluate_locked()
+        self._publish(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _evaluate_locked(self) -> DriftReport:
+        report = DriftReport(window_n=self._win_n)
+        for name, ref, win in zip(self.field_names,
+                                  self._ref_field_counts,
+                                  self._win_field_counts):
+            value = psi(ref, win, smoothing=self.smoothing)
+            report.field_psi[name] = value
+            report.field_kl[name] = kl_divergence(ref, win,
+                                                  smoothing=self.smoothing)
+            if value > self.psi_threshold:
+                report.alerts.append({
+                    "kind": "covariate_drift", "field": name,
+                    "metric": "psi", "value": value,
+                    "threshold": self.psi_threshold})
+        if (self._ref_score_counts is not None and self._win_score_n >= 2):
+            score_value = psi(self._ref_score_counts, self._win_score_counts,
+                              smoothing=self.smoothing)
+            report.score_psi = score_value
+            if score_value > self.score_psi_threshold:
+                report.alerts.append({
+                    "kind": "score_drift", "metric": "psi",
+                    "value": score_value,
+                    "threshold": self.score_psi_threshold})
+            delta = abs(self._win_score_sum / self._win_score_n
+                        - self._ref_score_mean)
+            report.calibration_delta = delta
+            if delta > self.calibration_threshold:
+                report.alerts.append({
+                    "kind": "calibration_drift", "metric": "mean_delta",
+                    "value": delta,
+                    "threshold": self.calibration_threshold})
+        self.windows_evaluated += 1
+        return report
+
+    def _publish(self, report: DriftReport) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("drift.windows").inc()
+            for name, value in report.field_psi.items():
+                self.metrics.gauge(f"drift.psi.{name}").set(value)
+            if report.score_psi is not None:
+                self.metrics.gauge("drift.score_psi").set(report.score_psi)
+            if report.calibration_delta is not None:
+                self.metrics.gauge("drift.calibration").set(
+                    report.calibration_delta)
+            if report.alerts:
+                self.metrics.counter("drift.alerts").inc(len(report.alerts))
+        if self.bus is not None and report.alerts:
+            for alert in report.alerts:
+                self.bus.emit("alert", window_n=report.window_n, **alert)

@@ -162,10 +162,22 @@ class HotReloader:
         return None
 
     def poll_once(self) -> bool:
-        """One reload attempt; True iff a new model was promoted."""
+        """One reload attempt; True iff a new model was promoted.
+
+        When a candidate exists the whole read→integrity→golden→swap
+        pipeline runs inside a ``serve.reload`` span (idle polls stay
+        span-free, so traces only show reloads that did work).
+        """
         candidate = self._newest_candidate()
         if candidate is None:
             return False
+        with self.service.tracer.span("serve.reload",
+                                      path=candidate) as span:
+            promoted = self._attempt_reload(candidate, span)
+            span.set_attr("promoted", promoted)
+        return promoted
+
+    def _attempt_reload(self, candidate: str, span) -> bool:
         from pathlib import Path
 
         path = Path(candidate)
@@ -186,6 +198,7 @@ class HotReloader:
                     error=str(exc)))
         except OSError as exc:
             self._emit("error", path=str(path), error=str(exc))
+            span.mark_error(exc)
             return False
 
         # 2. Integrity.
@@ -194,6 +207,7 @@ class HotReloader:
         except CorruptCheckpointError as exc:
             _mark_bad()
             self._emit("corrupt", path=str(path), error=str(exc))
+            span.set_attr("outcome", "corrupt")
             return False
 
         # 3. Load into a fresh instance + golden validation.
@@ -203,6 +217,7 @@ class HotReloader:
         except Exception as exc:  # mismatched architecture, bad shapes...
             _mark_bad()
             self._emit("corrupt", path=str(path), error=str(exc))
+            span.set_attr("outcome", "corrupt")
             return False
         if self.golden is not None:
             reason = self.golden.check(self.service, candidate_model)
@@ -210,6 +225,7 @@ class HotReloader:
                 _mark_bad()
                 self._emit("golden_failed", path=str(path), error=reason,
                            epoch=checkpoint.epoch)
+                span.set_attr("outcome", "golden_failed")
                 return False
 
         # 4. Swap.
@@ -218,6 +234,8 @@ class HotReloader:
         self._loaded_epoch = checkpoint.epoch
         self._emit("ok", path=str(path), epoch=checkpoint.epoch,
                    version=version, previous_version=previous)
+        span.set_attr("outcome", "ok")
+        span.set_attr("version", version)
         return True
 
     # ------------------------------------------------------------------

@@ -34,7 +34,11 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..data.cross import CrossProductTransform
+from ..data.dataset import Batch
 from ..obs.events import EventBus
+from ..obs.export import CONTENT_TYPE, render_prometheus
+from ..obs.metrics import MetricsRegistry
+from ..obs.monitor import DriftMonitor
 from ..resilience.checkpoint import CheckpointManager
 from .degradation import CircuitBreaker
 from .errors import OverloadedError
@@ -88,6 +92,7 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
                         golden_requests: int = 8,
                         reload_interval_s: float = 1.0,
                         inject: Optional[List[str]] = None,
+                        drift_window: Optional[int] = None,
                         bus: Optional[EventBus] = None) -> ServingStack:
     """Assemble the full serving stack the way ``repro serve`` does.
 
@@ -161,6 +166,25 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
         notes.append("serving randomly-initialised weights (no --weights / "
                      "--checkpoint-dir)")
 
+    # Drift monitoring (opt-in): the reference fingerprint is the train
+    # split's feature distribution plus the *loaded* model's scores over
+    # it — computed before chaos wrappers so injected faults can't
+    # poison the baseline.
+    metrics = MetricsRegistry()
+    drift = None
+    if drift_window is not None:
+        sample = bundle.train.x[:4096]
+        x_cross = (cross_transform.transform(sample)
+                   if cross_transform is not None else None)
+        scores = model.predict_proba(
+            Batch(x=sample, x_cross=x_cross, y=np.zeros(len(sample))))
+        drift = DriftMonitor(field_names=bundle.full.schema.field_names,
+                             window=drift_window, metrics=metrics, bus=bus)
+        drift.fit_reference(sample, scores=np.asarray(scores),
+                            cardinalities=bundle.full.cardinalities)
+        notes.append(f"drift monitoring on (window={drift_window}, "
+                     f"reference={len(sample)} train rows)")
+
     # Chaos injection wrappers (outermost wins the scoring call).
     injections = parse_injections(inject)
     crash: Optional[ServeCrash] = None
@@ -184,7 +208,9 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
         deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
         breaker=CircuitBreaker(failure_threshold=breaker_threshold,
                                cooldown_s=breaker_cooldown_s),
+        metrics=metrics,
         bus=bus,
+        drift=drift,
         model_version=("initial" if loaded_epoch is None
                        else f"epoch-{loaded_epoch:08d}"))
     service._crash = crash  # picked up by the protocol loop
@@ -204,12 +230,15 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
 # ----------------------------------------------------------------------
 # Protocol
 # ----------------------------------------------------------------------
-def handle_request_line(line: str, service: PredictionService
+def handle_request_line(line: str, service: PredictionService,
+                        queued_at: Optional[float] = None
                         ) -> Tuple[Dict[str, Any], bool]:
     """One protocol line → ``(response dict, is_shutdown)``.
 
     Never raises: unparseable JSON and envelope errors become
     ``invalid`` responses, matching the validator's contract.
+    ``queued_at`` (tracer-clock timestamp of when the transport accepted
+    the line) flows into the request trace as a ``serve.queue`` span.
     """
     line = line.strip()
     if not line:
@@ -228,7 +257,20 @@ def handle_request_line(line: str, service: PredictionService
         if op == "ready":
             return service.readiness(), False
         if op == "metrics":
+            if payload.get("format") == "prometheus":
+                return {"content_type": CONTENT_TYPE,
+                        "body": render_prometheus(
+                            service.metrics.snapshot())}, False
             return service.metrics.snapshot(), False
+        if op == "drift":
+            report = (None if service.drift is None
+                      else service.drift.evaluate())
+            if service.drift is None:
+                return {"drift": "disabled"}, False
+            if report is None:
+                return {"drift": "pending",
+                        "window": service.drift.window}, False
+            return report.as_dict(), False
         if op == "shutdown":
             return {"status": "shutting_down"}, True
         return (PredictionResponse(
@@ -240,7 +282,7 @@ def handle_request_line(line: str, service: PredictionService
     if crash is not None:
         crash()
     response = service.predict(features, deadline_s=deadline_s,
-                               request_id=request_id)
+                               request_id=request_id, queued_at=queued_at)
     return response.as_dict(), False
 
 
@@ -279,9 +321,11 @@ def serve_stdio(stack: ServingStack, stdin=None, stdout=None) -> int:
                       "notes": stack.notes}), file=stdout, flush=True)
     try:
         for line in stdin:
+            queued_at = stack.service.tracer.clock()
             if stack.reloader is not None and stack.reloader._thread is None:
                 stack.reloader.poll_once()
-            response, shutdown = handle_request_line(line, stack.service)
+            response, shutdown = handle_request_line(line, stack.service,
+                                                     queued_at=queued_at)
             if response:
                 print(json.dumps(response), file=stdout, flush=True)
             if shutdown:
@@ -320,7 +364,7 @@ class SocketServer:
 
     # -- queue plumbing -------------------------------------------------
     def _on_shed(self, item, error: OverloadedError) -> None:
-        write, _line, request_id = item
+        write, _line, request_id, _queued_at = item
         response = self.service.shed_response(error, request_id=request_id)
         write(response.as_dict())
 
@@ -331,9 +375,10 @@ class SocketServer:
                 if self._stop.is_set():
                     return
                 continue
-            write, line, _request_id = item
+            write, line, _request_id, queued_at = item
             try:
-                response, _shutdown = handle_request_line(line, self.service)
+                response, _shutdown = handle_request_line(
+                    line, self.service, queued_at=queued_at)
             except Exception as exc:  # noqa: BLE001 — workers must survive
                 response = {"status": "error",
                             "error": {"code": "internal",
@@ -374,8 +419,10 @@ class SocketServer:
                     continue
                 _features, request_id, priority, _deadline = split_envelope(
                     payload)
-                self.queue.put((write, stripped, request_id),
-                               priority=priority)
+                self.queue.put(
+                    (write, stripped, request_id,
+                     self.service.tracer.clock()),
+                    priority=priority)
         except (OSError, ValueError):
             pass
         finally:

@@ -39,6 +39,8 @@ from ..data.schema import Schema
 from ..models.base import CTRModel
 from ..obs.events import EventBus
 from ..obs.metrics import MetricsRegistry
+from ..obs.monitor import DriftMonitor
+from ..obs.tracing import Tracer
 from .degradation import CircuitBreaker, DegradationLadder, LEVEL_FULL
 from .errors import (InvalidRequestError, ModelUnavailableError,
                      OverloadedError)
@@ -63,6 +65,7 @@ class PredictionResponse:
     latency_ms: Optional[float] = None
     degraded_reason: Optional[str] = None
     error: Optional[Dict[str, Any]] = None
+    trace_id: Optional[str] = None
 
     @property
     def answered(self) -> bool:
@@ -72,7 +75,8 @@ class PredictionResponse:
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"status": self.status}
         for key in ("probability", "served_by", "model_version",
-                    "request_id", "latency_ms", "degraded_reason", "error"):
+                    "request_id", "latency_ms", "degraded_reason", "error",
+                    "trace_id"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -127,6 +131,8 @@ class PredictionService:
                  breaker: Optional[CircuitBreaker] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  bus: Optional[EventBus] = None,
+                 tracer: Optional[Tracer] = None,
+                 drift: Optional[DriftMonitor] = None,
                  model_version: str = "initial",
                  clock=time.monotonic) -> None:
         self.schema = schema
@@ -136,6 +142,8 @@ class PredictionService:
         self.breaker = breaker or CircuitBreaker()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.bus = bus
+        self.tracer = tracer if tracer is not None else Tracer(bus=bus)
+        self.drift = drift
         self.ladder = DegradationLadder(prior_ctr, bus=bus,
                                         metrics=self.metrics)
         self.latency = _EwmaLatency()
@@ -209,6 +217,9 @@ class PredictionService:
     def _finish(self, response: PredictionResponse, started: float,
                 deadline_s: Optional[float]) -> PredictionResponse:
         response.latency_ms = (self._clock() - started) * 1e3
+        span = self.tracer.current()
+        if span is not None and span.trace_id:
+            response.trace_id = span.trace_id
         self.metrics.counter("serve.requests").inc()
         self.metrics.counter(f"serve.{response.status}").inc()
         self.metrics.histogram("serve.latency_s").observe(
@@ -221,16 +232,54 @@ class PredictionService:
                           latency_ms=response.latency_ms,
                           deadline_ms=(None if deadline_s is None
                                        else deadline_s * 1e3),
-                          model_version=response.model_version)
+                          model_version=response.model_version,
+                          trace_id=response.trace_id)
         return response
+
+    def _observe_drift(self, row: np.ndarray,
+                       score: Optional[float]) -> None:
+        """Feed one served row into the drift monitor; never raises."""
+        if self.drift is None:
+            return
+        try:
+            self.drift.observe(row, score)
+        except Exception:
+            self.metrics.counter("drift.observe_errors").inc()
 
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
     def predict(self, features: Any, *,
                 deadline_s: Optional[float] = None,
-                request_id: Optional[str] = None) -> PredictionResponse:
-        """Answer one request; never raises for per-request faults."""
+                request_id: Optional[str] = None,
+                queued_at: Optional[float] = None) -> PredictionResponse:
+        """Answer one request; never raises for per-request faults.
+
+        ``queued_at`` is a timestamp on the *tracer's* clock taken when
+        the transport accepted the request; when given, the time spent
+        waiting before ``predict`` ran becomes a retroactive
+        ``serve.queue`` child span of this request's trace.
+        """
+        with self.tracer.span("serve.request",
+                              request_id=request_id) as span:
+            if queued_at is not None:
+                now = self.tracer.clock()
+                self.tracer.record(
+                    "serve.queue", start=queued_at,
+                    duration_s=max(now - queued_at, 0.0), parent=span,
+                    request_id=request_id)
+            response = self._predict(features, deadline_s=deadline_s,
+                                     request_id=request_id)
+            span.set_attr("status", response.status)
+            if response.served_by is not None:
+                span.set_attr("served_by", response.served_by)
+            if response.degraded_reason is not None:
+                span.set_attr("degraded_reason", response.degraded_reason)
+        return response
+
+    def _predict(self, features: Any, *,
+                 deadline_s: Optional[float],
+                 request_id: Optional[str]) -> PredictionResponse:
         started = self._clock()
         if deadline_s is None:
             deadline_s = self.deadline_s
@@ -240,24 +289,33 @@ class PredictionService:
 
         # 1. Validate — a malformed request is the client's fault and is
         #    reported field by field, not degraded around.
-        try:
-            row = self.validator.validate(features)
-        except InvalidRequestError as exc:
+        with self.tracer.span("serve.validate") as vspan:
+            try:
+                row = self.validator.validate(features)
+            except InvalidRequestError as exc:
+                vspan.set_attr("valid", False)
+                return self._finish(PredictionResponse(
+                    status=STATUS_INVALID, request_id=request_id,
+                    model_version=version, error=exc.as_payload()),
+                    started, deadline_s)
+            vspan.set_attr("valid", True)
+
+        def degraded(reason: str, model=None,
+                     batch=None) -> PredictionResponse:
+            with self.tracer.span("serve.degrade", reason=reason) as dspan:
+                probability, level = self.ladder.fallback(
+                    model, batch, reason=reason, request_id=request_id)
+                dspan.set_attr("level", level)
+            self._observe_drift(row, None)
             return self._finish(PredictionResponse(
-                status=STATUS_INVALID, request_id=request_id,
-                model_version=version, error=exc.as_payload()),
+                status=STATUS_DEGRADED, probability=probability,
+                served_by=level, model_version=version,
+                request_id=request_id, degraded_reason=reason),
                 started, deadline_s)
 
         if model is None:
             # Not ready yet: the ladder still owes the caller a number.
-            probability, level = self.ladder.fallback(
-                None, None, reason="model_unavailable",
-                request_id=request_id)
-            return self._finish(PredictionResponse(
-                status=STATUS_DEGRADED, probability=probability,
-                served_by=level, model_version=version,
-                request_id=request_id,
-                degraded_reason="model_unavailable"), started, deadline_s)
+            return degraded("model_unavailable")
 
         # 2. Build the model input (cross features included).  A failure
         #    here is a scoring failure, not a client error.
@@ -266,30 +324,14 @@ class PredictionService:
         except Exception:
             self.breaker.record_failure()
             self.metrics.counter("serve.model_errors").inc()
-            probability, level = self.ladder.fallback(
-                None, None, reason="feature_error", request_id=request_id)
-            return self._finish(PredictionResponse(
-                status=STATUS_DEGRADED, probability=probability,
-                served_by=level, model_version=version,
-                request_id=request_id, degraded_reason="feature_error"),
-                started, deadline_s)
+            return degraded("feature_error")
 
         main_effects_batch = Batch(x=batch.x, x_cross=None, y=batch.y)
-
-        def degraded(reason: str) -> PredictionResponse:
-            probability, level = self.ladder.fallback(
-                model, main_effects_batch, reason=reason,
-                request_id=request_id)
-            return self._finish(PredictionResponse(
-                status=STATUS_DEGRADED, probability=probability,
-                served_by=level, model_version=version,
-                request_id=request_id, degraded_reason=reason),
-                started, deadline_s)
 
         # 3. Circuit breaker: an open circuit answers degraded without
         #    spending latency on a model that is currently failing.
         if not self.breaker.allow():
-            return degraded("breaker_open")
+            return degraded("breaker_open", model, main_effects_batch)
 
         # 4. Deadline pre-check: don't start a scoring we estimate can't
         #    finish inside the remaining budget.
@@ -298,21 +340,25 @@ class PredictionService:
             if remaining <= self.latency():
                 self.metrics.counter("serve.deadline_misses").inc()
                 self.breaker.record_failure()
-                return degraded("deadline")
+                return degraded("deadline", model, main_effects_batch)
 
         # 5. Score.  Failures and late finishes feed the breaker.
-        try:
-            probability = self._score_full(model, batch)
-        except Exception:
-            self.breaker.record_failure()
-            self.metrics.counter("serve.model_errors").inc()
-            return degraded("model_error")
+        with self.tracer.span("serve.score",
+                              model_version=version) as sspan:
+            try:
+                probability = self._score_full(model, batch)
+            except Exception as exc:
+                sspan.mark_error(exc)
+                self.breaker.record_failure()
+                self.metrics.counter("serve.model_errors").inc()
+                return degraded("model_error", model, main_effects_batch)
         if (deadline_s is not None
                 and self._clock() - started > deadline_s):
             self.metrics.counter("serve.deadline_misses").inc()
             self.breaker.record_failure()
-            return degraded("deadline")
+            return degraded("deadline", model, main_effects_batch)
         self.breaker.record_success()
+        self._observe_drift(row, probability)
         return self._finish(PredictionResponse(
             status=STATUS_OK, probability=probability,
             served_by=LEVEL_FULL, model_version=version,
@@ -322,13 +368,15 @@ class PredictionService:
                       request_id: Optional[str] = None
                       ) -> PredictionResponse:
         """The 503-style answer for a request the queue shed."""
-        if self.bus is not None:
-            self.bus.emit("shed", request_id=request_id,
-                          reason=error.reason, depth=error.depth)
-        response = PredictionResponse(
-            status=STATUS_SHED, request_id=request_id,
-            model_version=self.model_version, error=error.as_payload())
-        return self._finish(response, self._clock(), None)
+        with self.tracer.span("serve.request", request_id=request_id,
+                              status=STATUS_SHED):
+            if self.bus is not None:
+                self.bus.emit("shed", request_id=request_id,
+                              reason=error.reason, depth=error.depth)
+            response = PredictionResponse(
+                status=STATUS_SHED, request_id=request_id,
+                model_version=self.model_version, error=error.as_payload())
+            return self._finish(response, self._clock(), None)
 
     # ------------------------------------------------------------------
     # Probes

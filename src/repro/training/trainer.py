@@ -39,6 +39,7 @@ from ..nn.losses import binary_cross_entropy_with_logits
 from ..nn.module import Module
 from ..nn.optim import Optimizer
 from ..obs.events import ConsoleSink, EventBus
+from ..obs.tracing import Tracer
 from ..resilience.checkpoint import CheckpointManager, TrainingCheckpoint
 from ..resilience.recovery import DivergenceGuard, RecoveryPolicy
 from .history import EpochRecord, History
@@ -107,6 +108,7 @@ class Trainer:
         keep_last: int = 3,
         resume: bool = False,
         on_backward: Optional[Callable[[Module, Batch, int], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if patience < 1:
             raise ValueError(f"patience must be >= 1, got {patience}")
@@ -141,6 +143,11 @@ class Trainer:
             self._buses.append(bus)
         if verbose:
             self._buses.append(EventBus([ConsoleSink()]))
+        # Spans fan out through the same buses as plain events, so the
+        # trace file carries both; an explicit tracer (deterministic
+        # clock/ids) wins over the default.
+        self.tracer = tracer if tracer is not None else (
+            Tracer(emit=self._emit) if self._buses else Tracer())
         self._guard: Optional[DivergenceGuard] = (
             DivergenceGuard(recovery, model, optimizer, emit=self._emit,
                             on_rollback=self._rewind)
@@ -261,7 +268,19 @@ class Trainer:
         improvement and restores the best epoch's weights.  When resuming,
         the returned :class:`History` includes the epochs recorded before
         the interruption, so it matches the uninterrupted run's history.
+
+        The whole run is a ``train.run`` span with one ``train.epoch``
+        child per epoch (and a ``train.eval`` child per validation
+        pass), sharing one trace id — the training-side mirror of the
+        serving request trace.
         """
+        with self.tracer.span("train.run",
+                              model=type(self.model).__name__) as run_span:
+            history = self._fit(train, val, run_span)
+        return history
+
+    def _fit(self, train: CTRDataset, val: Optional[CTRDataset],
+             run_span) -> History:
         run_start = time.perf_counter()
         history = History()
         best_auc = -np.inf
@@ -289,22 +308,29 @@ class Trainer:
             if val is not None and stale >= self.patience:
                 break
             epoch_start = time.perf_counter()
-            train_loss = self.train_epoch(train, epoch=epoch)
-            if self.lr_decay is not None:
-                self._decay_learning_rates()
-            record = EpochRecord(epoch=epoch, train_loss=train_loss)
-            if val is not None and len(val) > 0:
-                metrics = evaluate_model(self.model, val)
-                record.val_auc = metrics["auc"]
-                record.val_log_loss = metrics["log_loss"]
-                self._emit("eval", split="val", epoch=epoch,
-                           auc=record.val_auc, log_loss=record.val_log_loss)
-                if record.val_auc > best_auc:
-                    best_auc = record.val_auc
-                    best_state = self.model.state_dict()
-                    stale = 0
-                else:
-                    stale += 1
+            with self.tracer.span("train.epoch", parent=run_span,
+                                  epoch=epoch) as epoch_span:
+                train_loss = self.train_epoch(train, epoch=epoch)
+                if self.lr_decay is not None:
+                    self._decay_learning_rates()
+                record = EpochRecord(epoch=epoch, train_loss=train_loss)
+                if val is not None and len(val) > 0:
+                    with self.tracer.span("train.eval", split="val",
+                                          epoch=epoch) as eval_span:
+                        metrics = evaluate_model(self.model, val)
+                        eval_span.set_attr("auc", metrics["auc"])
+                    record.val_auc = metrics["auc"]
+                    record.val_log_loss = metrics["log_loss"]
+                    self._emit("eval", split="val", epoch=epoch,
+                               auc=record.val_auc,
+                               log_loss=record.val_log_loss)
+                    if record.val_auc > best_auc:
+                        best_auc = record.val_auc
+                        best_state = self.model.state_dict()
+                        stale = 0
+                    else:
+                        stale += 1
+                epoch_span.set_attr("train_loss", train_loss)
             history.append(record)
             self._emit("epoch_end", epoch_s=time.perf_counter() - epoch_start,
                        **record.as_dict())
@@ -316,6 +342,9 @@ class Trainer:
                     extras={"global_step": self._global_step})
         if best_state is not None:
             self.model.load_state_dict(best_state)
+        run_span.set_attr("epochs_run", len(history))
+        if best_auc != -np.inf:
+            run_span.set_attr("best_val_auc", best_auc)
         self._emit("run_end", epochs_run=len(history),
                    best_val_auc=None if best_auc == -np.inf else best_auc,
                    wall_s=time.perf_counter() - run_start)

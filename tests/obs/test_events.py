@@ -83,6 +83,27 @@ class TestEventBus:
         with pytest.raises(RuntimeError, match="closed"):
             bus.sinks[0].emit(Event(type="run_end"))
 
+    def test_injected_clock_stamps_events(self):
+        ticks = iter([10.0, 20.0, 30.0])
+        sink = MemorySink()
+        bus = EventBus([sink], clock=lambda: next(ticks))
+        bus.emit("run_start")
+        bus.emit("run_end")
+        assert [e.time for e in sink.events] == [10.0, 20.0]
+        assert bus.clock() == 30.0
+
+    def test_to_jsonl_accepts_clock(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with EventBus.to_jsonl(path, clock=lambda: 42.0) as bus:
+            bus.emit("run_start")
+        assert json.loads(path.read_text().splitlines()[0])["time"] == 42.0
+
+    def test_publish_keeps_prebuilt_timestamp(self):
+        sink = MemorySink()
+        bus = EventBus([sink], clock=lambda: 99.0)
+        bus.publish(Event(type="eval", payload={}, time=7.0))
+        assert sink.events[0].time == 7.0
+
 
 class TestMemorySink:
     def test_of_type_filters(self):

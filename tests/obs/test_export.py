@@ -1,0 +1,104 @@
+"""Prometheus exposition: rendering conventions and the scrape parser."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.latency_s") == "serve_latency_s"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("5xx.count") == "_5xx_count"
+
+    def test_valid_names_untouched(self):
+        assert sanitize_metric_name("ok_name:sub") == "ok_name:sub"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(42)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 42" in text
+
+    def test_gauge_renders_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("drift.psi.field_0").set(0.125)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_drift_psi_field_0 gauge" in text
+        assert "repro_drift_psi_field_0 0.125" in text
+
+    def test_unset_gauge_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert "never_set" not in render_prometheus(registry.snapshot())
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 0.6, 1.5, 9.0):
+            histogram.observe(value)
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_lat_bucket{le="1"} 2' in text
+        assert 'repro_lat_bucket{le="2"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_sum 11.6" in text
+        assert "repro_lat_count 4" in text
+
+    def test_namespace_override_and_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert "myapp_c_total 1" in render_prometheus(registry.snapshot(),
+                                                      namespace="myapp")
+        assert "c_total 1" in render_prometheus(registry.snapshot(),
+                                                namespace="")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+    def test_unknown_metric_type_skipped(self):
+        text = render_prometheus({"weird": {"type": "mystery", "value": 1}})
+        assert text == ""
+
+
+class TestParse:
+    def test_round_trip_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(7)
+        registry.gauge("queue.depth").set(3)
+        registry.histogram("lat", buckets=(0.5,)).observe(0.1)
+        samples = parse_prometheus_text(render_prometheus(registry.snapshot()))
+        assert samples[("repro_serve_requests_total", ())] == 7
+        assert samples[("repro_queue_depth", ())] == 3
+        assert samples[("repro_lat_bucket", (("le", "0.5"),))] == 1
+        assert samples[("repro_lat_count", ())] == 1
+
+    def test_inf_values_parse(self):
+        samples = parse_prometheus_text('x_bucket{le="+Inf"} 4\n')
+        assert samples[("x_bucket", (("le", "+Inf"),))] == 4
+        assert parse_prometheus_text("down -Inf\n")[("down", ())] == -math.inf
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("not a metric line at all\n")
+
+    def test_malformed_label_raises(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus_text('m{le=unquoted} 1\n')
+
+    def test_unknown_type_comment_raises(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE m sparkline\n")
+
+    def test_blank_lines_ignored(self):
+        assert parse_prometheus_text("\n\nm 1\n\n") == {("m", ()): 1.0}

@@ -55,11 +55,28 @@ class TestHistogram:
             h.observe(v / 10.0)
         p50 = h.quantile(0.5)
         assert 3.0 <= p50 <= 8.0
-        assert h.quantile(0.0) == h.min
-        assert h.quantile(1.0) == h.max
+        # Edge quantiles answer bucket upper bounds: the first occupied
+        # bucket's for q=0, the last occupied bucket's for q=1 — the same
+        # values histogram_quantile would compute from a scrape.
+        first_occupied = min(i for i, c in enumerate(h.counts) if c)
+        last_occupied = max(i for i, c in enumerate(h.counts) if c)
+        assert h.quantile(0.0) == h.bounds[first_occupied]
+        assert h.quantile(1.0) == h.bounds[last_occupied]
 
     def test_empty_quantile_is_none(self):
         assert Histogram("t").quantile(0.5) is None
+
+    def test_single_observation_answers_its_bucket_upper_bound(self):
+        h = Histogram("t", buckets=[1.0, 10.0])
+        h.observe(0.5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 1.0
+
+    def test_overflow_bucket_quantile_uses_observed_max(self):
+        h = Histogram("t", buckets=[1.0])
+        h.observe(50.0)
+        h.observe(70.0)
+        assert h.quantile(1.0) == 70.0
 
     def test_quantile_bounds_validated(self):
         with pytest.raises(ValueError):
@@ -70,8 +87,12 @@ class TestHistogram:
         h.observe(0.5)
         summary = h.as_dict()
         assert summary["count"] == 1
-        assert set(summary) == {"count", "sum", "min", "max", "mean",
-                                "p50", "p99"}
+        assert set(summary) == {"type", "count", "sum", "min", "max", "mean",
+                                "p50", "p99", "bounds", "bucket_counts"}
+        assert summary["type"] == "histogram"
+        assert summary["sum"] == pytest.approx(0.5)
+        assert len(summary["bucket_counts"]) == len(summary["bounds"]) + 1
+        assert sum(summary["bucket_counts"]) == 1
 
     def test_bad_buckets_rejected(self):
         with pytest.raises(ValueError):

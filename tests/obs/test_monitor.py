@@ -1,0 +1,211 @@
+"""Drift monitoring: PSI/KL, windowed evaluation, alerts and folding."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DriftMonitor,
+    EventBus,
+    MemorySink,
+    MetricsRegistry,
+    kl_divergence,
+    psi,
+)
+
+
+def iid_matrix(rng, n, cardinalities, concentration=1.0):
+    """Rows drawn from one fixed categorical distribution per field."""
+    columns = []
+    for card in cardinalities:
+        weights = rng.dirichlet(np.full(card, concentration))
+        columns.append(rng.choice(card, size=n, p=weights))
+    return np.stack(columns, axis=1), None
+
+
+class TestDivergences:
+    def test_identical_distributions_near_zero(self):
+        counts = np.array([50.0, 30.0, 20.0])
+        # Equal shapes at different totals: only the smoothing term
+        # separates them.
+        assert psi(counts, counts * 2) == pytest.approx(0.0, abs=1e-4)
+        assert kl_divergence(counts, counts) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_mass_is_positive_and_symmetric_in_sign(self):
+        ref = np.array([80.0, 10.0, 10.0])
+        win = np.array([10.0, 10.0, 80.0])
+        assert psi(ref, win) > 0.25
+        assert kl_divergence(ref, win) > 0.0
+
+    def test_smoothing_keeps_empty_categories_finite(self):
+        assert np.isfinite(psi(np.array([10.0, 0.0]), np.array([0.0, 10.0])))
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            psi(np.zeros(0), np.zeros(0))
+
+
+class TestFitAndValidation:
+    def test_observe_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit_reference"):
+            DriftMonitor().observe(np.array([0, 1]))
+
+    def test_row_width_mismatch_raises(self):
+        monitor = DriftMonitor(window=4).fit_reference(
+            np.zeros((10, 3), dtype=np.int64))
+        with pytest.raises(ValueError, match="fields"):
+            monitor.observe(np.array([0, 1]))
+
+    def test_field_name_count_must_match(self):
+        with pytest.raises(ValueError, match="field names"):
+            DriftMonitor(field_names=["a"]).fit_reference(
+                np.zeros((5, 2), dtype=np.int64))
+
+    def test_scores_must_parallel_rows(self):
+        with pytest.raises(ValueError, match="scores"):
+            DriftMonitor().fit_reference(np.zeros((5, 2), dtype=np.int64),
+                                         scores=np.zeros(3))
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=1)
+        with pytest.raises(ValueError):
+            DriftMonitor(max_categories=1)
+        with pytest.raises(ValueError):
+            DriftMonitor(smoothing=0.0)
+
+
+class TestWindowing:
+    def test_report_only_when_window_fills(self):
+        rng = np.random.default_rng(0)
+        x, _ = iid_matrix(rng, 400, [5, 7])
+        monitor = DriftMonitor(window=100).fit_reference(x)
+        reports = [monitor.observe(row) for row in x]
+        produced = [r for r in reports if r is not None]
+        assert len(produced) == 4
+        assert all(r.window_n == 100 for r in produced)
+
+    def test_iid_replay_stays_quiet(self):
+        rng = np.random.default_rng(1)
+        cards = [6, 9, 4]
+        x, _ = iid_matrix(rng, 1200, cards)
+        monitor = DriftMonitor(window=300).fit_reference(
+            x[:600], cardinalities=cards)
+        reports = [monitor.observe(row) for row in x[600:]]
+        produced = [r for r in reports if r is not None]
+        assert produced and all(not r.drifted for r in produced)
+
+    def test_covariate_shift_flagged(self):
+        rng = np.random.default_rng(2)
+        cards = [6, 9, 4]
+        x, _ = iid_matrix(rng, 600, cards)
+        monitor = DriftMonitor(window=300).fit_reference(
+            x, cardinalities=cards)
+        shifted = x[:300].copy()
+        shifted[:, 0] = (shifted[:, 0] + 3) % cards[0]  # permute field 0
+        report = [monitor.observe(row) for row in shifted][-1]
+        assert report is not None
+        assert any(a["kind"] == "covariate_drift" and a["field"] == "field_0"
+                   for a in report.alerts)
+        assert report.worst_field() == "field_0"
+
+    def test_evaluate_scores_partial_window_without_clearing(self):
+        rng = np.random.default_rng(3)
+        x, _ = iid_matrix(rng, 100, [5])
+        monitor = DriftMonitor(window=1000).fit_reference(x)
+        assert monitor.evaluate() is None  # nothing observed yet
+        for row in x[:10]:
+            monitor.observe(row)
+        report = monitor.evaluate()
+        assert report is not None and report.window_n == 10
+        # evaluate() did not clear: the next one sees more rows.
+        monitor.observe(x[10])
+        assert monitor.evaluate().window_n == 11
+
+
+class TestScoreAndCalibrationDrift:
+    def _fitted(self, ref_scores, window=200, **kwargs):
+        x = np.zeros((len(ref_scores), 1), dtype=np.int64)
+        return DriftMonitor(window=window, **kwargs).fit_reference(
+            x, scores=np.asarray(ref_scores))
+
+    def test_score_distribution_shift_flagged(self):
+        rng = np.random.default_rng(4)
+        monitor = self._fitted(rng.uniform(0.0, 0.4, size=1000))
+        report = None
+        for _ in range(200):
+            report = monitor.observe(np.array([0]),
+                                     score=rng.uniform(0.6, 1.0))
+        assert report.score_psi > 0.25
+        assert any(a["kind"] == "score_drift" for a in report.alerts)
+
+    def test_calibration_drift_flagged_without_distribution_shift(self):
+        # Same histogram bin, shifted mean: only the calibration alert.
+        monitor = self._fitted(np.full(500, 0.41), window=100,
+                               calibration_threshold=0.05)
+        report = None
+        for _ in range(100):
+            report = monitor.observe(np.array([0]), score=0.49)
+        kinds = {a["kind"] for a in report.alerts}
+        assert "calibration_drift" in kinds
+        assert "score_drift" not in kinds
+
+    def test_no_scores_means_covariate_only(self):
+        monitor = DriftMonitor(window=10).fit_reference(
+            np.zeros((50, 1), dtype=np.int64))
+        report = None
+        for _ in range(10):
+            report = monitor.observe(np.array([0]), score=0.9)
+        assert report.score_psi is None
+        assert report.calibration_delta is None
+
+
+class TestCategoryFolding:
+    def test_wide_fields_fold_to_max_categories(self):
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 5000, size=(400, 1))
+        monitor = DriftMonitor(window=100, max_categories=20).fit_reference(
+            x, cardinalities=[5000])
+        assert monitor._ref_field_counts[0].size == 20
+        assert monitor._ref_field_counts[0].sum() == pytest.approx(400)
+
+    def test_folding_suppresses_small_sample_noise(self):
+        # 200-row windows over a 2000-id vocabulary: unbinned PSI would
+        # be dominated by sampling noise; folded PSI stays small.
+        rng = np.random.default_rng(6)
+        ids = rng.zipf(1.3, size=4000) % 2000
+        x = ids.reshape(-1, 1)
+        monitor = DriftMonitor(window=200).fit_reference(
+            x[:2000], cardinalities=[2000])
+        reports = [monitor.observe(row) for row in x[2000:]]
+        produced = [r for r in reports if r is not None]
+        assert produced and all(not r.drifted for r in produced)
+
+    def test_novel_ids_counted_as_drift_signal(self):
+        x = np.repeat(np.arange(4), 50).reshape(-1, 1)
+        monitor = DriftMonitor(window=100).fit_reference(
+            x, cardinalities=[4])
+        report = None
+        for _ in range(100):
+            report = monitor.observe(np.array([99]))  # beyond cardinality
+        assert report.drifted
+        assert report.field_psi["field_0"] > 0.25
+
+
+class TestPublishing:
+    def test_gauges_counters_and_alert_events(self):
+        registry = MetricsRegistry()
+        sink = MemorySink()
+        rng = np.random.default_rng(7)
+        x, _ = iid_matrix(rng, 200, [5])
+        monitor = DriftMonitor(window=50, metrics=registry,
+                               bus=EventBus([sink]),
+                               field_names=["country"]).fit_reference(x)
+        for _ in range(50):
+            monitor.observe(np.array([4]))  # constant: certain drift
+        snapshot = registry.snapshot()
+        assert snapshot["drift.windows"]["value"] == 1
+        assert snapshot["drift.alerts"]["value"] >= 1
+        assert snapshot["drift.psi.country"]["value"] > 0.25
+        alerts = sink.of_type("alert")
+        assert alerts and alerts[0].payload["kind"] == "covariate_drift"
+        assert alerts[0].payload["field"] == "country"

@@ -102,6 +102,47 @@ class TestOpAttribution:
         assert stat.total_s >= stat.self_s >= 0
 
 
+class TestSparseGradAccounting:
+    """Profiling an embedding whose backward emits a SparseGrad: the
+    byte counters must cover the dense forward output and nothing must
+    break when the gradient flowing into the table is not an ndarray."""
+
+    def _profiled_lookup(self):
+        table = Tensor(np.ones((1000, 8)), requires_grad=True)
+        with Profiler() as prof:
+            out = tensor_module.embedding_lookup(table, np.array([1, 2, 2]))
+            out.sum().backward()
+        return table, prof
+
+    def test_backward_produces_sparse_grad_under_profiler(self):
+        from repro.nn.sparse import SparseGrad
+
+        table, _prof = self._profiled_lookup()
+        assert isinstance(table.grad, SparseGrad)
+        assert table.grad.num_rows == 2  # rows 1 and 2, coalesced
+
+    def test_out_bytes_counts_dense_output_not_vocab(self):
+        _table, prof = self._profiled_lookup()
+        stat = prof.op_stats["embedding_lookup"]
+        # 3 gathered rows * 8 dims * 8 bytes — the batch-sized output,
+        # never the [1000, 8] table the sparse path avoids densifying.
+        assert stat.out_bytes == 3 * 8 * 8
+        assert stat.backward_calls == 1
+        assert stat.backward_s >= 0
+
+    def test_sparse_and_dense_grads_agree_when_profiled(self):
+        dense_table = Tensor(np.ones((50, 4)), requires_grad=True)
+        sparse_table = Tensor(np.ones((50, 4)), requires_grad=True)
+        indices = np.array([0, 3, 3, 7])
+        with Profiler():
+            tensor_module.embedding_lookup(
+                dense_table, indices, dense_grad=True).sum().backward()
+            tensor_module.embedding_lookup(
+                sparse_table, indices).sum().backward()
+        np.testing.assert_array_equal(sparse_table.grad.to_dense(),
+                                      dense_table.grad)
+
+
 class TestHookHygiene:
     def test_hooks_restored_on_exit(self):
         before = _snapshot_hooks()

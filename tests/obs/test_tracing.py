@@ -1,0 +1,211 @@
+"""Span tracing: nesting, ids, cross-thread hand-off, trace analysis."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    MemorySink,
+    Span,
+    Tracer,
+    render_span_tree,
+    sequential_ids,
+    span_tree,
+    spans_from_trace,
+    summarize_spans,
+)
+from repro.obs.tracing import spans_from_events, trace_ids
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, start=100.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(sink=None):
+    sink = sink if sink is not None else MemorySink()
+    bus = EventBus([sink])
+    tracer = Tracer(bus=bus, clock=FakeClock(), ids=sequential_ids())
+    return tracer, sink
+
+
+class TestSpan:
+    def test_payload_round_trip(self):
+        span = Span(name="train.epoch", trace_id="t", span_id="s",
+                    parent_id="p", start=1.0, duration_s=0.5,
+                    attrs={"epoch": 3})
+        restored = Span.from_payload(span.as_payload())
+        assert restored == span
+
+    def test_mark_error_formats_exceptions(self):
+        span = Span(name="x", trace_id="t", span_id="s")
+        span.mark_error(ValueError("boom"))
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+
+
+class TestTracerNesting:
+    def test_child_inherits_trace_and_parent(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        spans = spans_from_events(sink.events)
+        # Children emit before parents (exit order).
+        assert [s.name for s in spans] == ["inner", "outer"]
+
+    def test_siblings_share_parent_not_ids(self):
+        tracer, sink = make_tracer()
+        with tracer.span("run"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _run = spans_from_events(sink.events)
+        assert a.parent_id == b.parent_id
+        assert a.span_id != b.span_id
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer, sink = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("exploded")
+        (span,) = spans_from_events(sink.events)
+        assert span.status == "error"
+        assert "exploded" in span.error
+        # The stack unwound: the next span is a fresh root.
+        with tracer.span("next") as nxt:
+            assert nxt.parent_id is None
+
+    def test_durations_come_from_injected_clock(self):
+        tracer, sink = make_tracer()
+        with tracer.span("timed"):
+            pass
+        (span,) = spans_from_events(sink.events)
+        # FakeClock advances 1 s per read: start and end are adjacent reads.
+        assert span.duration_s == pytest.approx(1.0)
+
+    def test_explicit_parent_overrides_thread_local(self):
+        tracer, sink = make_tracer()
+        with tracer.span("root") as root:
+            pass
+        with tracer.span("adopted", parent=root) as child:
+            assert child.trace_id == root.trace_id
+            assert child.parent_id == root.span_id
+
+
+class TestDisabledTracer:
+    def test_no_output_means_noop_span(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        with tracer.span("anything") as span:
+            span.set_attr("k", "v")
+            span.mark_error("ignored")
+        assert tracer.current() is None
+
+    def test_record_returns_none_when_disabled(self):
+        assert Tracer().record("queue", start=0.0, duration_s=1.0) is None
+
+
+class TestRecord:
+    def test_retroactive_span_joins_parent_trace(self):
+        tracer, sink = make_tracer()
+        with tracer.span("request") as request:
+            queued = tracer.record("queue", start=90.0, duration_s=5.0,
+                                   parent=request)
+        assert queued.trace_id == request.trace_id
+        queue_span = spans_from_events(sink.events)[0]
+        assert queue_span.start == 90.0
+        assert queue_span.duration_s == 5.0
+
+    def test_cross_thread_handoff_shares_one_trace(self):
+        tracer, sink = make_tracer()
+        done = threading.Event()
+
+        def worker(parent):
+            with tracer.span("work", parent=parent):
+                pass
+            done.set()
+
+        with tracer.span("request") as request:
+            thread = threading.Thread(target=worker, args=(request,))
+            thread.start()
+            assert done.wait(timeout=5.0)
+            thread.join(timeout=5.0)
+        spans = spans_from_events(sink.events)
+        assert len({s.trace_id for s in spans}) == 1
+
+
+class TestEmitHook:
+    def test_emit_callable_instead_of_bus(self):
+        captured = []
+        tracer = Tracer(emit=lambda etype, **p: captured.append((etype, p)),
+                        ids=sequential_ids())
+        with tracer.span("via_emit"):
+            pass
+        assert captured[0][0] == "span"
+        assert captured[0][1]["name"] == "via_emit"
+
+
+class TestAnalysis:
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus.to_jsonl(path)
+        tracer = Tracer(bus=bus, clock=FakeClock(), ids=sequential_ids())
+        with tracer.span("serve.request"):
+            with tracer.span("serve.validate"):
+                pass
+            with tracer.span("serve.score"):
+                pass
+        bus.emit("epoch_end", epoch=0)  # non-span noise must be ignored
+        bus.close()
+        return path
+
+    def test_spans_from_trace_filters_span_events(self, tmp_path):
+        spans = spans_from_trace(self._trace(tmp_path))
+        assert {s.name for s in spans} == {"serve.request", "serve.validate",
+                                           "serve.score"}
+
+    def test_summarize_counts_and_percentiles(self, tmp_path):
+        summary = summarize_spans(spans_from_trace(self._trace(tmp_path)))
+        assert summary["serve.request"]["count"] == 1
+        assert summary["serve.request"]["errors"] == 0
+        assert summary["serve.validate"]["p50_s"] == pytest.approx(1.0)
+
+    def test_tree_nests_children_in_start_order(self, tmp_path):
+        spans = spans_from_trace(self._trace(tmp_path))
+        (root,) = span_tree(spans)
+        assert root["span"].name == "serve.request"
+        assert [n["span"].name for n in root["children"]] == [
+            "serve.validate", "serve.score"]
+
+    def test_render_is_indented_ascii(self, tmp_path):
+        text = render_span_tree(spans_from_trace(self._trace(tmp_path)))
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert lines[1].lstrip().startswith("serve.request")
+        assert lines[2].startswith("    serve.validate")
+
+    def test_tree_defaults_to_last_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        bus = EventBus.to_jsonl(path)
+        tracer = Tracer(bus=bus, ids=sequential_ids())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        bus.close()
+        spans = spans_from_trace(path)
+        assert len(trace_ids(spans)) == 2
+        (root,) = span_tree(spans)
+        assert root["span"].name == "second"

@@ -192,3 +192,37 @@ class TestBackgroundThread:
             reloader.stop()
         assert service.model_version == "epoch-00000001"
         assert reloader._thread is None
+
+
+class TestReloadSpans:
+    def test_idle_poll_emits_no_span(self, reload_stack):
+        from repro.obs.tracing import spans_from_events
+
+        _, reloader, sink = reload_stack
+        reloader.poll_once()
+        assert spans_from_events(sink.events) == []
+
+    def test_promotion_emits_serve_reload_span(self, schema, reload_stack,
+                                               swapper):
+        from repro.obs.tracing import spans_from_events
+
+        _, reloader, sink = reload_stack
+        swapper.write_valid(LogisticRegression(schema.cardinalities,
+                                               rng=np.random.default_rng(7)))
+        assert reloader.poll_once() is True
+        (span,) = spans_from_events(sink.events)
+        assert span.name == "serve.reload"
+        assert span.attrs["promoted"] is True
+        assert span.attrs["outcome"] == "ok"
+        assert span.attrs["version"] == "epoch-00000001"
+
+    def test_corrupt_checkpoint_span_marks_outcome(self, reload_stack,
+                                                   swapper):
+        from repro.obs.tracing import spans_from_events
+
+        _, reloader, sink = reload_stack
+        swapper.write_corrupt()
+        assert reloader.poll_once() is False
+        (span,) = spans_from_events(sink.events)
+        assert span.attrs["promoted"] is False
+        assert span.attrs["outcome"] == "corrupt"

@@ -167,6 +167,64 @@ class TestObservability:
         assert not hasattr(Tensor.__mul__, "_obs_original")
 
 
+class TestObsCommands:
+    @pytest.fixture
+    def train_trace(self, capsys, tmp_path):
+        """A real training trace with span events, shared per test."""
+        trace = tmp_path / "train.jsonl"
+        assert main(["train", "LR", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_summarize_prints_percentile_table(self, capsys, train_trace):
+        assert main(["obs", "summarize", str(train_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "p50 ms" in out and "p99 ms" in out
+        assert "train.run" in out
+        assert "train.epoch" in out
+
+    def test_summarize_without_spans(self, capsys, tmp_path):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text('{"type": "eval", "payload": {"auc": 0.5}}\n')
+        assert main(["obs", "summarize", str(trace)]) == 0
+        assert "no span events" in capsys.readouterr().out
+
+    def test_tree_renders_nested_spans(self, capsys, train_trace):
+        assert main(["obs", "tree", str(train_trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace ")
+        assert "train.run" in out
+        # Epochs are indented under the run span.
+        epoch_lines = [l for l in out.splitlines() if "train.epoch" in l]
+        assert epoch_lines and all(l.startswith("  ") for l in epoch_lines)
+
+    def test_tree_lists_trace_ids(self, capsys, train_trace):
+        assert main(["obs", "tree", str(train_trace), "--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 1  # one fit() = one trace
+        assert "roots: train.run" in lines[0]
+
+    def test_drift_iid_replay_is_stable(self, capsys):
+        assert main(["obs", "drift", "--samples", "3000",
+                     "--window", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: stable" in out
+
+    def test_drift_shift_detected_and_written(self, capsys, tmp_path):
+        out_path = tmp_path / "drift.json"
+        assert main(["obs", "drift", "--samples", "3000", "--window", "200",
+                     "--shift", "--out", str(out_path)]) == 0
+        assert "verdict: DRIFT DETECTED" in capsys.readouterr().out
+        payload = load_results(out_path)
+        assert payload["drifted"] is True
+        assert payload["shifted_fields"]
+        assert payload["reports"][0]["field_psi"]
+
+
 class TestOperatorErrorExitCodes:
     """Bad paths exit 2 with a one-line actionable message, no traceback."""
 
