@@ -14,6 +14,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro obs summarize trace.jsonl   # span latency table
     python -m repro obs tree trace.jsonl        # ASCII span tree
     python -m repro obs drift --shift           # drift-detection demo
+    python -m repro ingest raw.csv --categorical C1 C2 --continuous I1 \
+        --on-error quarantine --workdir ingest_wd   # hardened ingestion
 
 Every subcommand prints the same rows/series the paper reports; ``--out``
 persists the structured results as JSON via :mod:`repro.io`.  The
@@ -284,6 +286,58 @@ def build_parser() -> argparse.ArgumentParser:
                             "demonstrate detection")
     drift.add_argument("--out", default=None, metavar="PATH",
                        help="write the per-window reports as JSON")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a raw (possibly dirty) CSV/TSV click log into a "
+             "preprocessed dataset, with quarantine, retry and resume; "
+             "see docs/data_guide.md")
+    ingest.add_argument("path", help="the raw log file")
+    ingest.add_argument("--categorical", nargs="+", required=True,
+                        metavar="COL", help="categorical column names")
+    ingest.add_argument("--continuous", nargs="*", default=[],
+                        metavar="COL", help="continuous column names")
+    ingest.add_argument("--label", default="label",
+                        help="label column name (default: label)")
+    ingest.add_argument("--delimiter", default=",",
+                        help="field delimiter (default ',')")
+    ingest.add_argument("--tsv", action="store_true",
+                        help="shorthand for --delimiter '\\t'")
+    ingest.add_argument("--no-header", action="store_true",
+                        help="file has no header row; requires --columns")
+    ingest.add_argument("--columns", nargs="+", default=None, metavar="COL",
+                        help="declared column layout for headerless files")
+    ingest.add_argument("--chunk-rows", type=int, default=4096,
+                        help="rows per streamed chunk (default 4096)")
+    ingest.add_argument("--on-error", default="raise",
+                        choices=("raise", "skip", "quarantine"),
+                        help="policy for rows that fail validation")
+    ingest.add_argument("--quarantine", default=None, metavar="PATH",
+                        help="JSONL sidecar for quarantined rows "
+                             "(with --on-error quarantine; defaults into "
+                             "--workdir)")
+    ingest.add_argument("--strict-schema", action="store_true",
+                        help="reject any header mismatch instead of "
+                             "reconciling by name")
+    ingest.add_argument("--workdir", default=None, metavar="DIR",
+                        help="checkpoint chunk progress here so a killed "
+                             "run can --resume")
+    ingest.add_argument("--resume", action="store_true",
+                        help="skip chunks already checkpointed in --workdir")
+    ingest.add_argument("--min-count", type=int, default=1,
+                        help="vocabulary frequency threshold")
+    ingest.add_argument("--num-buckets", type=int, default=10,
+                        help="quantile buckets for continuous columns")
+    ingest.add_argument("--cross-min-count", type=int, default=1,
+                        help="cross-product frequency threshold")
+    ingest.add_argument("--no-cross", action="store_true",
+                        help="skip the cross-product stage")
+    ingest.add_argument("--out", default=None, metavar="PATH",
+                        help="write the encoded dataset arrays (.npz) here")
+    ingest.add_argument("--crash-at-chunk", type=int, default=None,
+                        metavar="N", help="testing aid: inject a crash after "
+                                          "N completed chunks")
+    _add_trace(ingest)
 
     return parser
 
@@ -697,6 +751,89 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    """Stream a raw log into a dataset; print the JSON report on exit.
+
+    Exit codes: 0 success, 1 data error (a bad row under
+    ``--on-error raise``), 2 operator error (bad paths/config, schema or
+    resume mismatch), 3 injected crash (``--crash-at-chunk``).
+    """
+    import json
+
+    import numpy as np
+
+    from .data.errors import IngestError, ResumeError, SchemaError
+    from .data.ingest import ChunkedIngestor, IngestConfig
+    from .obs.metrics import MetricsRegistry
+    from .resilience.faults import CrashAtChunk, InjectedCrash
+
+    try:
+        config = IngestConfig(
+            categorical=args.categorical,
+            continuous=args.continuous,
+            label=args.label,
+            min_count=args.min_count,
+            num_buckets=args.num_buckets,
+            cross_min_count=args.cross_min_count,
+            build_cross=not args.no_cross,
+            delimiter="\t" if args.tsv else args.delimiter,
+            header=not args.no_header,
+            column_names=args.columns,
+            chunk_rows=args.chunk_rows,
+            on_error=args.on_error,
+            quarantine_path=args.quarantine,
+            strict_schema=args.strict_schema,
+            workdir=args.workdir,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    bus = _open_bus(args)
+    metrics = MetricsRegistry()
+    on_chunk = (CrashAtChunk(at_chunk=args.crash_at_chunk)
+                if args.crash_at_chunk else None)
+    ingestor = ChunkedIngestor(args.path, config, bus=bus, metrics=metrics,
+                               on_chunk=on_chunk)
+
+    def report_json(**extra) -> str:
+        payload = ingestor.report.as_dict()
+        payload.update(extra)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    try:
+        result = ingestor.run()
+    except (ResumeError, SchemaError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except InjectedCrash as exc:
+        print(report_json(status="crashed"))
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except IngestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if bus is not None:
+            bus.close()
+
+    dataset = result.dataset
+    if args.out:
+        arrays = {"x": dataset.x, "y": dataset.y}
+        if dataset.x_cross is not None:
+            arrays["x_cross"] = dataset.x_cross
+        np.savez(args.out, **arrays)
+    print(report_json(
+        status="ok",
+        dataset={"rows": int(dataset.x.shape[0]),
+                 "fields": int(dataset.x.shape[1]),
+                 "cardinalities": [int(c) for c in dataset.cardinalities],
+                 "cross_pairs": (0 if dataset.x_cross is None
+                                 else int(dataset.x_cross.shape[1]))}))
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "report": _cmd_report,
@@ -709,6 +846,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "predict": _cmd_predict,
     "obs": _cmd_obs,
+    "ingest": _cmd_ingest,
 }
 
 

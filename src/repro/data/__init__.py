@@ -28,6 +28,31 @@ from .loaders import (
     negative_downsample,
     read_csv,
 )
+from .errors import (
+    ArityError,
+    BadLabelError,
+    BadNumericError,
+    IngestError,
+    ResumeError,
+    RowError,
+    RowParseError,
+    SchemaError,
+    TruncatedFileError,
+    TruncatedRowError,
+)
+from .sketches import (
+    CategoricalSketch,
+    CrossSketch,
+    LabelSketch,
+    NumericSketch,
+)
+from .ingest import (
+    ChunkedIngestor,
+    IngestConfig,
+    IngestReport,
+    IngestResult,
+    ingest_file,
+)
 from .synthetic import (
     GroundTruth,
     PairRole,
@@ -77,4 +102,23 @@ __all__ = [
     "avazu_like",
     "ipinyou_like",
     "dataset_statistics",
+    "IngestError",
+    "RowError",
+    "RowParseError",
+    "ArityError",
+    "BadLabelError",
+    "BadNumericError",
+    "TruncatedRowError",
+    "TruncatedFileError",
+    "SchemaError",
+    "ResumeError",
+    "CategoricalSketch",
+    "NumericSketch",
+    "LabelSketch",
+    "CrossSketch",
+    "IngestConfig",
+    "IngestReport",
+    "IngestResult",
+    "ChunkedIngestor",
+    "ingest_file",
 ]

@@ -1,0 +1,114 @@
+"""Typed error taxonomy for the ingestion layer.
+
+Raw click logs fail in a handful of well-understood ways — a line that
+is not parseable at all, a row with the wrong number of fields, a label
+that is not binary, an integer feature carrying text — and the ingest
+policies (``raise`` / ``skip`` / ``quarantine``) need to tell them
+apart.  Every error names the source file and the **1-based** line
+number, so a quarantine record or a raised exception points straight at
+the offending byte range of the log.
+
+:class:`IngestError` subclasses :class:`ValueError` so pre-existing
+callers of :func:`repro.data.loaders.read_csv` that catch ``ValueError``
+keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class IngestError(ValueError):
+    """Base class for ingestion failures; names file and 1-based line.
+
+    ``code`` is a stable machine-readable tag used in quarantine
+    records, metrics names (``ingest.errors.<code>``) and events.
+    """
+
+    code = "ingest"
+
+    def __init__(self, reason: str, *, path: Optional[PathLike] = None,
+                 line_number: Optional[int] = None) -> None:
+        self.reason = reason
+        self.path = str(path) if path is not None else None
+        self.line_number = line_number
+        location = self.path if self.path is not None else "<stream>"
+        if line_number is not None:
+            location = f"{location}:{line_number}"
+        super().__init__(f"{location}: {reason}")
+
+
+class RowError(IngestError):
+    """A single input row is unusable; carries the raw line for quarantine."""
+
+    code = "row"
+
+    def __init__(self, reason: str, *, path: Optional[PathLike] = None,
+                 line_number: Optional[int] = None,
+                 raw: Optional[str] = None) -> None:
+        self.raw = raw
+        super().__init__(reason, path=path, line_number=line_number)
+
+
+class RowParseError(RowError):
+    """The line cannot be decoded or split into fields (garbage bytes)."""
+
+    code = "parse"
+
+
+class ArityError(RowError):
+    """The row has a different number of fields than the file's header."""
+
+    code = "arity"
+
+
+class BadLabelError(RowError):
+    """The label field is missing or not binary 0/1."""
+
+    code = "label"
+
+
+class BadNumericError(RowError):
+    """A declared-continuous field holds a non-numeric (or non-finite)
+    value that is not the empty-string missing marker."""
+
+    code = "numeric"
+
+
+class TruncatedRowError(RowError):
+    """The final line of the file ends without a newline and does not
+    validate — the signature of a file truncated mid-record."""
+
+    code = "truncated"
+
+
+class SchemaError(IngestError):
+    """The file's header cannot be reconciled with the expected columns
+    (missing required columns, duplicates, or any mismatch in strict
+    mode)."""
+
+    code = "schema"
+
+
+class TruncatedFileError(IngestError):
+    """The file ends mid-record and the configuration forbids salvaging
+    (``allow_truncated_tail=False``)."""
+
+    code = "truncated_file"
+
+
+class ResumeError(IngestError):
+    """A ``--resume`` request cannot be honoured safely: the input file
+    changed since the manifest was written, or the manifest/config do
+    not match."""
+
+    code = "resume"
+
+
+#: Row-level error classes in quarantine-record order, keyed by code.
+ROW_ERROR_CODES = tuple(
+    cls.code for cls in (RowParseError, ArityError, BadLabelError,
+                         BadNumericError, TruncatedRowError))

@@ -1,0 +1,1036 @@
+"""Hardened streaming ingestion: dirty logs → :class:`CTRDataset`.
+
+Production click logs arrive with ragged rows, garbage bytes, truncated
+tails and drifting column layouts.  This module is the defended path
+from such a file to a fully preprocessed dataset, built around four
+guarantees:
+
+1. **Typed per-row validation** — every bad row is classified by the
+   :mod:`repro.data.errors` taxonomy (parse failure, arity mismatch,
+   bad label, non-numeric continuous field) and handled per the
+   ``on_error`` policy: ``raise`` (fail fast), ``skip`` (drop and
+   count), or ``quarantine`` (drop, count, and append a JSONL record
+   with the raw line, reason and 1-based line number to a sidecar).
+2. **Transient-IO resilience** — reads retry with exponential backoff
+   through a pluggable ``opener`` (the fault zoo's ``FlakyFile``
+   injects failures there), and a file that ends mid-record is
+   *detected*: the partial tail is salvaged when it validates, taxed as
+   ``truncated`` when it does not, or rejected outright with
+   ``allow_truncated_tail=False``.
+3. **Header-based schema reconciliation** — with a header row, columns
+   are indexed by *name*: reordered files just work, extra columns are
+   ignored (lenient) or rejected (``strict_schema``), missing feature
+   columns are filled as missing (lenient) or rejected; a missing label
+   column is always fatal.
+4. **Resumable, bit-for-bit chunked fitting** — the pipeline statistics
+   are accumulated with the mergeable sketches of
+   :mod:`repro.data.sketches`, checkpointed after every chunk with the
+   checksummed-archive pattern of :mod:`repro.resilience.checkpoint`,
+   and an ingest killed mid-run resumes by skipping completed chunks.
+   The finalised vocabularies, bucket boundaries and encoded dataset
+   are **bit-for-bit identical** to an in-memory
+   :meth:`CTRPipeline.fit_transform` on the same clean rows
+   (``tests/data/test_ingest_differential.py`` enforces this).
+
+The run is observable end to end: ``ingest.*`` counters/gauges on the
+injected :class:`~repro.obs.metrics.MetricsRegistry`,
+``ingest.run → ingest.chunk → ingest.validate`` spans on the tracer,
+and typed ``ingest`` / ``quarantine`` events on the bus.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import (Any, Callable, Dict, IO, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+import numpy as np
+
+from ..fsutil import atomic_write_text
+from .dataset import CTRDataset
+from .errors import (ArityError, BadLabelError, BadNumericError, IngestError,
+                     ResumeError, RowError, RowParseError, SchemaError,
+                     TruncatedFileError, TruncatedRowError)
+from .loaders import CTRPipeline, _median_fill, _parse_floats
+from .schema import make_schema
+from .sketches import (CategoricalSketch, CrossSketch, LabelSketch,
+                       NumericSketch)
+
+PathLike = Union[str, Path]
+
+#: Manifest format version; resume refuses manifests it cannot read.
+MANIFEST_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_STAGE1_NAME = "stage1.npz"
+_CHUNK_TEMPLATE = "chunk-{index:06d}.npz"
+
+ON_ERROR_POLICIES = ("raise", "skip", "quarantine")
+
+
+def _default_opener(path: str) -> IO[bytes]:
+    return open(path, "rb")
+
+
+# ---------------------------------------------------------------------------
+# Configuration and report
+# ---------------------------------------------------------------------------
+@dataclass
+class IngestConfig:
+    """Everything that determines an ingest run's output.
+
+    The preprocessing parameters mirror :class:`CTRPipeline`; the rest
+    controls chunking, error policy and resume.  ``chunk_rows`` is part
+    of the resume fingerprint — checkpoints are only comparable between
+    runs that chunk identically.
+    """
+
+    categorical: Sequence[str]
+    continuous: Sequence[str] = ()
+    label: str = "label"
+    min_count: int = 1
+    num_buckets: int = 10
+    cross_min_count: int = 1
+    build_cross: bool = True
+    dataset_name: str = "ingested"
+
+    delimiter: str = ","
+    header: bool = True
+    column_names: Optional[Sequence[str]] = None
+    chunk_rows: int = 4096
+
+    on_error: str = "raise"
+    quarantine_path: Optional[PathLike] = None
+    strict_schema: bool = False
+    allow_truncated_tail: bool = True
+
+    retries: int = 4
+    retry_base_delay: float = 0.01
+
+    workdir: Optional[PathLike] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        overlap = set(self.categorical) & set(self.continuous)
+        if overlap:
+            raise ValueError(f"columns both categorical and continuous: "
+                             f"{sorted(overlap)}")
+        if not self.categorical and not self.continuous:
+            raise ValueError("at least one feature column is required")
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValueError(f"on_error must be one of {ON_ERROR_POLICIES}, "
+                             f"got {self.on_error!r}")
+        if self.chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {self.chunk_rows}")
+        if not self.header and self.column_names is None:
+            raise ValueError("headerless input requires column_names")
+        if self.resume and self.workdir is None:
+            raise ValueError("resume=True requires a workdir")
+        if self.on_error == "quarantine" and self.quarantine_path is None:
+            if self.workdir is not None:
+                self.quarantine_path = Path(self.workdir) / "quarantine.jsonl"
+            else:
+                raise ValueError("on_error='quarantine' requires a "
+                                 "quarantine_path (or a workdir to default "
+                                 "into)")
+
+    @property
+    def field_names(self) -> List[str]:
+        """Dataset field order: continuous then categorical (pipeline rule)."""
+        return list(self.continuous) + list(self.categorical)
+
+    def fingerprint(self) -> str:
+        """Hash of every output-determining knob, for resume safety."""
+        payload = {
+            "categorical": list(self.categorical),
+            "continuous": list(self.continuous),
+            "label": self.label,
+            "min_count": self.min_count,
+            "num_buckets": self.num_buckets,
+            "cross_min_count": self.cross_min_count,
+            "build_cross": self.build_cross,
+            "dataset_name": self.dataset_name,
+            "delimiter": self.delimiter,
+            "header": self.header,
+            "column_names": (list(self.column_names)
+                             if self.column_names else None),
+            "chunk_rows": self.chunk_rows,
+            "on_error": self.on_error,
+            "strict_schema": self.strict_schema,
+            "allow_truncated_tail": self.allow_truncated_tail,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
+
+
+@dataclass
+class IngestReport:
+    """Whole-run accounting, aggregated across resumed partial runs."""
+
+    rows_read: int = 0
+    rows_ok: int = 0
+    rows_skipped: int = 0
+    rows_quarantined: int = 0
+    errors: Dict[str, int] = dataclass_field(default_factory=dict)
+    chunks: int = 0
+    chunks_resumed: int = 0
+    retries: int = 0
+    resumed: bool = False
+    truncated_tail: bool = False
+    schema_missing: List[str] = dataclass_field(default_factory=list)
+    schema_extra: List[str] = dataclass_field(default_factory=list)
+    schema_reordered: bool = False
+    quarantine_path: Optional[str] = None
+
+    def record_error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rows": {"read": self.rows_read, "ok": self.rows_ok,
+                     "skipped": self.rows_skipped,
+                     "quarantined": self.rows_quarantined},
+            "errors": dict(sorted(self.errors.items())),
+            "chunks": {"processed": self.chunks,
+                       "resumed": self.chunks_resumed},
+            "retries": self.retries,
+            "resumed": self.resumed,
+            "truncated_tail": self.truncated_tail,
+            "schema": {"missing": self.schema_missing,
+                       "extra": self.schema_extra,
+                       "reordered": self.schema_reordered},
+            "quarantine_path": self.quarantine_path,
+        }
+
+
+@dataclass
+class IngestResult:
+    """The dataset, the fitted pipeline (reusable on val/test files),
+    and the run's accounting."""
+
+    dataset: CTRDataset
+    pipeline: CTRPipeline
+    report: IngestReport
+
+
+# ---------------------------------------------------------------------------
+# Resilient line reading
+# ---------------------------------------------------------------------------
+class _ResilientLineReader:
+    """Byte-offset-addressed line reader with transient-IO retry.
+
+    Every ``readline`` survives up to ``retries`` ``OSError``s by
+    reopening through ``opener`` and seeking back to the last good
+    offset with exponential backoff — the streaming analogue of the
+    serving layer's checkpoint-read retry.
+    """
+
+    def __init__(self, path: Path, opener: Callable[[str], IO[bytes]],
+                 *, retries: int, base_delay: float,
+                 sleep: Callable[[float], None],
+                 on_retry: Optional[Callable[[int, BaseException], None]]
+                 = None) -> None:
+        self._path = path
+        self._opener = opener
+        self._retries = retries
+        self._base_delay = base_delay
+        self._sleep = sleep
+        self._on_retry = on_retry
+        self._handle: Optional[IO[bytes]] = None
+        self.offset = 0
+
+    def seek(self, offset: int) -> None:
+        self.offset = offset
+        if self._handle is not None:
+            try:
+                self._handle.seek(offset)
+            except OSError:
+                self._drop_handle()
+
+    def _drop_handle(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def readline(self) -> bytes:
+        """Next raw line (with terminator); ``b""`` at EOF."""
+        attempt = 0
+        while True:
+            try:
+                if self._handle is None:
+                    self._handle = self._opener(str(self._path))
+                    self._handle.seek(self.offset)
+                line = self._handle.readline()
+                self.offset += len(line)
+                return line
+            except OSError as exc:
+                self._drop_handle()
+                if attempt >= self._retries:
+                    raise
+                delay = min(self._base_delay * 2.0 ** attempt, 2.0)
+                attempt += 1
+                if self._on_retry is not None:
+                    self._on_retry(attempt, exc)
+                self._sleep(delay)
+
+    def close(self) -> None:
+        self._drop_handle()
+
+
+# ---------------------------------------------------------------------------
+# Parsed-row container
+# ---------------------------------------------------------------------------
+@dataclass
+class _ParsedRow:
+    """One validated row: label + raw feature strings in field order."""
+
+    label: float
+    values: List[str]  # aligned with IngestConfig.field_names
+
+
+@dataclass
+class _Chunk:
+    index: int
+    rows: List[_ParsedRow]
+    lines_read: int
+    end_offset: int
+    end_line: int
+
+
+# ---------------------------------------------------------------------------
+# The ingestor
+# ---------------------------------------------------------------------------
+class ChunkedIngestor:
+    """Drives one streaming ingest run; see the module docstring.
+
+    Parameters beyond ``path``/``config`` are observability and testing
+    hooks: ``bus``/``metrics``/``tracer`` wire the run into the PR-1/5
+    stack, ``opener``/``sleep`` let the fault zoo inject transient IO
+    errors without real waiting, and ``on_chunk(stage, index)`` fires
+    after each chunk's checkpoint lands — the seam ``CrashAtChunk``
+    uses to simulate mid-run kills *between* durable states.
+    """
+
+    def __init__(self, path: PathLike, config: IngestConfig, *,
+                 bus=None, metrics=None, tracer=None,
+                 opener: Callable[[str], IO[bytes]] = _default_opener,
+                 sleep: Callable[[float], None] = time.sleep,
+                 on_chunk: Optional[Callable[[str, int], None]] = None
+                 ) -> None:
+        from ..obs.metrics import MetricsRegistry
+        from ..obs.tracing import Tracer
+
+        self.path = Path(path)
+        self.config = config
+        self.bus = bus
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(bus=bus)
+        self.opener = opener
+        self.sleep = sleep
+        self.on_chunk = on_chunk
+        self.report = IngestReport()
+        if config.quarantine_path is not None:
+            self.report.quarantine_path = str(config.quarantine_path)
+
+        self._positions: Optional[List[Optional[int]]] = None
+        self._label_position: Optional[int] = None
+        self._row_width: Optional[int] = None
+        self._data_offset = 0  # byte offset of the first data line
+        self._quarantine_handle: Optional[IO[str]] = None
+        self._quarantine_lines = 0
+
+    # -- small helpers ---------------------------------------------------
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def _emit(self, kind: str, **payload: Any) -> None:
+        if self.bus is not None:
+            self.bus.emit("ingest", kind=kind, **payload)
+
+    @property
+    def workdir(self) -> Optional[Path]:
+        return Path(self.config.workdir) if self.config.workdir else None
+
+    def _manifest_path(self) -> Path:
+        return self.workdir / _MANIFEST_NAME
+
+    # -- quarantine ------------------------------------------------------
+    def _open_quarantine(self, append: bool) -> None:
+        if self.config.on_error != "quarantine":
+            return
+        path = Path(self.config.quarantine_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._quarantine_handle = path.open("a" if append else "w",
+                                            encoding="utf-8")
+
+    def _truncate_quarantine(self, keep_lines: int) -> None:
+        """Drop quarantine lines written by an uncheckpointed chunk."""
+        if self.config.on_error != "quarantine":
+            return
+        path = Path(self.config.quarantine_path)
+        if not path.exists():
+            self._quarantine_lines = 0
+            return
+        with path.open(encoding="utf-8") as handle:
+            lines = handle.readlines()
+        if len(lines) > keep_lines:
+            atomic_write_text(path, "".join(lines[:keep_lines]))
+        self._quarantine_lines = min(len(lines), keep_lines)
+
+    def _quarantine_row(self, error: RowError) -> None:
+        record = {"line": error.line_number, "code": error.code,
+                  "reason": error.reason, "raw": error.raw}
+        self._quarantine_handle.write(json.dumps(record) + "\n")
+        self._quarantine_lines += 1
+        self.report.rows_quarantined += 1
+        self._count("ingest.quarantined")
+        if self.bus is not None:
+            raw = error.raw or ""
+            self.bus.emit("quarantine", line=error.line_number,
+                          code=error.code, reason=error.reason,
+                          raw=raw[:200])
+
+    def _flush_quarantine(self) -> None:
+        if self._quarantine_handle is not None:
+            self._quarantine_handle.flush()
+            os.fsync(self._quarantine_handle.fileno())
+
+    # -- row-level validation --------------------------------------------
+    def _handle_bad_row(self, error: RowError) -> None:
+        """Apply the on_error policy to one classified bad row."""
+        self.report.record_error(error.code)
+        self._count(f"ingest.errors.{error.code}")
+        if self.config.on_error == "raise":
+            raise error
+        if self.config.on_error == "skip":
+            self.report.rows_skipped += 1
+            self._count("ingest.skipped")
+        else:
+            self._quarantine_row(error)
+
+    def _parse_fields(self, raw: bytes, line_number: int) -> List[str]:
+        """Bytes → list of fields; typed errors for garbage."""
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise RowParseError(
+                f"undecodable bytes: {exc.reason}", path=self.path,
+                line_number=line_number,
+                raw=raw.decode("utf-8", errors="replace").rstrip("\r\n"))
+        text = text.rstrip("\r\n")
+        try:
+            parsed = list(csv.reader([text],
+                                     delimiter=self.config.delimiter))
+        except csv.Error as exc:
+            raise RowParseError(str(exc), path=self.path,
+                                line_number=line_number, raw=text)
+        if len(parsed) != 1:
+            raise RowParseError("line does not parse to a single record",
+                                path=self.path, line_number=line_number,
+                                raw=text)
+        return parsed[0]
+
+    def _validate_row(self, fields: List[str], line_number: int,
+                      raw_text: str) -> _ParsedRow:
+        """Classified validation of one parsed row (see errors module)."""
+        if len(fields) != self._row_width:
+            raise ArityError(
+                f"row has {len(fields)} fields, expected {self._row_width}",
+                path=self.path, line_number=line_number, raw=raw_text)
+        label_text = fields[self._label_position].strip()
+        if label_text == "":
+            raise BadLabelError("missing label", path=self.path,
+                                line_number=line_number, raw=raw_text)
+        try:
+            label = float(label_text)
+        except ValueError:
+            raise BadLabelError(f"unparseable label {label_text!r}",
+                                path=self.path, line_number=line_number,
+                                raw=raw_text) from None
+        if label not in (0.0, 1.0):
+            raise BadLabelError(f"label must be binary 0/1, got {label_text}",
+                                path=self.path, line_number=line_number,
+                                raw=raw_text)
+        values: List[str] = []
+        n_continuous = len(self.config.continuous)
+        for field_index, position in enumerate(self._positions):
+            value = "" if position is None else fields[position]
+            if field_index < n_continuous:
+                text = value.strip()
+                if text:
+                    try:
+                        parsed = float(text)
+                    except ValueError:
+                        raise BadNumericError(
+                            f"non-numeric value {value!r} in continuous "
+                            f"column {self.config.field_names[field_index]!r}",
+                            path=self.path, line_number=line_number,
+                            raw=raw_text) from None
+                    if np.isinf(parsed):
+                        raise BadNumericError(
+                            f"non-finite value {value!r} in continuous "
+                            f"column {self.config.field_names[field_index]!r}",
+                            path=self.path, line_number=line_number,
+                            raw=raw_text)
+            values.append(value)
+        return _ParsedRow(label=label, values=values)
+
+    # -- schema reconciliation -------------------------------------------
+    def _reconcile_header(self, header_fields: List[str]) -> None:
+        """Map expected columns onto the file's layout, per policy."""
+        config = self.config
+        seen: Dict[str, int] = {}
+        duplicates = []
+        for index, name in enumerate(header_fields):
+            if name in seen:
+                duplicates.append(name)
+            else:
+                seen[name] = index
+        if duplicates:
+            raise SchemaError(f"duplicate header columns: {duplicates}",
+                              path=self.path, line_number=1)
+        needed = config.field_names + [config.label]
+        missing = [name for name in needed if name not in seen]
+        extra = [name for name in header_fields if name not in needed]
+        if config.label in missing:
+            raise SchemaError(
+                f"label column {config.label!r} absent from header "
+                f"{header_fields}", path=self.path, line_number=1)
+        if config.strict_schema and (missing or extra):
+            raise SchemaError(
+                f"strict schema mismatch: missing={missing} extra={extra}",
+                path=self.path, line_number=1)
+        self.report.schema_missing = missing
+        self.report.schema_extra = extra
+        # Reordered = feature columns out of configured relative order;
+        # the label is indexed by name, its position never matters.
+        feature_set = set(config.field_names)
+        in_file_order = [name for name in header_fields
+                         if name in feature_set]
+        in_config_order = [name for name in config.field_names
+                           if name in seen]
+        self.report.schema_reordered = in_file_order != in_config_order
+        self._positions = [seen.get(name) for name in config.field_names]
+        self._label_position = seen[config.label]
+        self._row_width = len(header_fields)
+        if missing or extra or self.report.schema_reordered:
+            self._emit("schema", missing=missing, extra=extra,
+                       reordered=self.report.schema_reordered)
+
+    def _reconcile_headerless(self) -> None:
+        names = list(self.config.column_names)
+        self._reconcile_header_from_names(names)
+
+    def _reconcile_header_from_names(self, names: List[str]) -> None:
+        seen = {name: index for index, name in enumerate(names)}
+        if len(seen) != len(names):
+            raise SchemaError("duplicate column names", path=self.path)
+        needed = self.config.field_names + [self.config.label]
+        missing = [name for name in needed if name not in seen]
+        if missing:
+            raise SchemaError(f"columns absent from declared names: "
+                              f"{missing}", path=self.path)
+        self._positions = [seen[name] for name in self.config.field_names]
+        self._label_position = seen[self.config.label]
+        self._row_width = len(names)
+
+    def _read_header(self, reader: _ResilientLineReader) -> None:
+        """Consume + reconcile the header (or apply declared names)."""
+        if not self.config.header:
+            self._reconcile_headerless()
+            self._data_offset = 0
+            return
+        raw = reader.readline()
+        if not raw:
+            raise IngestError("empty file: expected a header row",
+                              path=self.path, line_number=1)
+        fields = self._parse_fields(raw, line_number=1)
+        self._reconcile_header(fields)
+        self._data_offset = reader.offset
+
+    # -- chunked reading --------------------------------------------------
+    def _iter_chunks(self, reader: _ResilientLineReader, *,
+                     start_offset: int, start_line: int, start_chunk: int,
+                     collect_errors: bool) -> Iterator[_Chunk]:
+        """Yield validated chunks from ``start_offset`` to EOF.
+
+        ``collect_errors=True`` (stage 1) routes bad rows through the
+        policy (quarantine/skip/raise) and accounts them; stage 2 re-reads
+        the same bytes and must *not* double-account, so bad rows are
+        silently dropped there — validation is deterministic, the same
+        lines fail both times.
+        """
+        reader.seek(start_offset)
+        line_number = start_line
+        chunk_index = start_chunk
+        rows: List[_ParsedRow] = []
+        lines_in_chunk = 0
+        file_size = self.path.stat().st_size
+
+        def make_chunk() -> _Chunk:
+            return _Chunk(index=chunk_index, rows=rows,
+                          lines_read=lines_in_chunk,
+                          end_offset=reader.offset, end_line=line_number)
+
+        while True:
+            raw = reader.readline()
+            if not raw:
+                break
+            line_number += 1
+            stripped = raw.rstrip(b"\r\n")
+            truncated_tail = (not raw.endswith(b"\n")
+                              and reader.offset >= file_size)
+            if truncated_tail:
+                self.report.truncated_tail = True
+                if not self.config.allow_truncated_tail:
+                    raise TruncatedFileError(
+                        "file ends mid-record (no trailing newline)",
+                        path=self.path, line_number=line_number)
+                self._emit("truncated_tail", line=line_number)
+            if not stripped:
+                continue  # blank lines are invisible, as in read_csv
+            lines_in_chunk += 1
+            if collect_errors:
+                self.report.rows_read += 1
+                self._count("ingest.rows")
+            try:
+                fields = self._parse_fields(raw, line_number)
+                row = self._validate_row(
+                    fields, line_number,
+                    raw.decode("utf-8", errors="replace").rstrip("\r\n"))
+            except RowError as error:
+                if truncated_tail and not isinstance(error, RowParseError):
+                    # A partial tail that fails validation is reported as
+                    # truncation, not as an ordinary dirty row.
+                    error = TruncatedRowError(
+                        f"truncated final record: {error.reason}",
+                        path=self.path, line_number=line_number,
+                        raw=error.raw)
+                if collect_errors:
+                    self._handle_bad_row(error)
+                row = None
+            if row is not None:
+                rows.append(row)
+                if collect_errors:
+                    self.report.rows_ok += 1
+                    self._count("ingest.ok")
+            if lines_in_chunk >= self.config.chunk_rows:
+                yield make_chunk()
+                chunk_index += 1
+                rows, lines_in_chunk = [], 0
+        if lines_in_chunk:
+            yield make_chunk()
+
+    # -- encoding ---------------------------------------------------------
+    def _encode_chunk(self, rows: List[_ParsedRow],
+                      pipeline: CTRPipeline
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rows → (x ids, y labels) through the *fitted* pipeline parts.
+
+        Performs exactly the element-wise operations of
+        ``CTRPipeline._encode(fit=False)`` so chunk concatenation equals
+        the one-shot encode.
+        """
+        field_names = self.config.field_names
+        n = len(rows)
+        x = np.empty((n, len(field_names)), dtype=np.int64)
+        y = np.empty(n, dtype=np.float64)
+        for i, row in enumerate(rows):
+            y[i] = row.label
+        continuous = set(self.config.continuous)
+        for col_idx, name in enumerate(field_names):
+            column = np.array([row.values[col_idx] for row in rows],
+                              dtype=object)
+            if name in continuous:
+                floats, missing = _parse_floats(column)
+                if missing.any():
+                    floats[missing] = pipeline._fill_values[name]
+                column = pipeline._bucketizers[name].transform(floats)
+            x[:, col_idx] = pipeline._vocabularies[name].transform(column)
+        return x, y
+
+    # -- manifest ---------------------------------------------------------
+    def _write_manifest(self, state: Dict[str, Any]) -> None:
+        state = dict(state)
+        state["version"] = MANIFEST_VERSION
+        state["source"] = {"path": str(self.path),
+                           "size": self.path.stat().st_size}
+        state["config"] = self.config.fingerprint()
+        state["accounting"] = self.report.as_dict()
+        state["quarantine_lines"] = self._quarantine_lines
+        atomic_write_text(self._manifest_path(),
+                          json.dumps(state, indent=2, sort_keys=True))
+
+    def _load_manifest(self) -> Optional[Dict[str, Any]]:
+        path = self._manifest_path()
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ResumeError(f"unreadable manifest {path}: {exc}",
+                              path=self.path) from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ResumeError(
+                f"manifest version {manifest.get('version')} not supported",
+                path=self.path)
+        if manifest.get("config") != self.config.fingerprint():
+            raise ResumeError(
+                "manifest was written with a different ingest configuration",
+                path=self.path)
+        size = self.path.stat().st_size
+        if manifest.get("source", {}).get("size") != size:
+            raise ResumeError(
+                f"input file changed since the manifest was written "
+                f"(size {manifest.get('source', {}).get('size')} -> {size})",
+                path=self.path)
+        return manifest
+
+    def _restore_accounting(self, manifest: Dict[str, Any]) -> None:
+        accounting = manifest.get("accounting", {})
+        rows = accounting.get("rows", {})
+        self.report.rows_read = int(rows.get("read", 0))
+        self.report.rows_ok = int(rows.get("ok", 0))
+        self.report.rows_skipped = int(rows.get("skipped", 0))
+        self.report.rows_quarantined = int(rows.get("quarantined", 0))
+        self.report.errors = {str(k): int(v) for k, v
+                              in accounting.get("errors", {}).items()}
+        self.report.truncated_tail = bool(
+            accounting.get("truncated_tail", False))
+        schema = accounting.get("schema", {})
+        self.report.schema_missing = list(schema.get("missing", []))
+        self.report.schema_extra = list(schema.get("extra", []))
+        self.report.schema_reordered = bool(schema.get("reordered", False))
+
+    # -- sketch state (stage 1 checkpoints) --------------------------------
+    def _sketch_state(self, cats: Dict[str, CategoricalSketch],
+                      nums: Dict[str, NumericSketch], labels: LabelSketch
+                      ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        arrays: Dict[str, np.ndarray] = {}
+        meta: Dict[str, Any] = {"cat": {}, "num": {}, "label": {}}
+        for name, sketch in cats.items():
+            _, cat_meta = sketch.to_state()
+            meta["cat"][name] = cat_meta
+        for name, sketch in nums.items():
+            num_arrays, num_meta = sketch.to_state()
+            for key, value in num_arrays.items():
+                arrays[f"num/{name}/{key}"] = value
+            meta["num"][name] = num_meta
+        _, meta["label"] = labels.to_state()
+        return arrays, meta
+
+    def _sketches_from_state(self, arrays: Dict[str, np.ndarray],
+                             meta: Dict[str, Any]
+                             ) -> Tuple[Dict[str, CategoricalSketch],
+                                        Dict[str, NumericSketch],
+                                        LabelSketch]:
+        cats = {name: CategoricalSketch.from_state({}, cat_meta)
+                for name, cat_meta in meta["cat"].items()}
+        nums = {}
+        for name, num_meta in meta["num"].items():
+            num_arrays = {
+                key.split("/", 2)[2]: value
+                for key, value in arrays.items()
+                if key.startswith(f"num/{name}/")}
+            nums[name] = NumericSketch.from_state(num_arrays, num_meta)
+        labels = LabelSketch.from_state({}, meta["label"])
+        return cats, nums, labels
+
+    # -- the run ----------------------------------------------------------
+    def run(self) -> IngestResult:
+        """Execute (or resume) the full ingest; see module docstring."""
+        from ..resilience.checkpoint import read_archive, write_archive
+
+        if not self.path.exists():
+            raise FileNotFoundError(f"no data file at {self.path}")
+        config = self.config
+        workdir = self.workdir
+        if workdir is not None:
+            workdir.mkdir(parents=True, exist_ok=True)
+
+        manifest = None
+        if config.resume and workdir is not None:
+            manifest = self._load_manifest()
+        resumed = manifest is not None
+        self.report.resumed = resumed
+
+        reader = _ResilientLineReader(
+            self.path, self.opener, retries=config.retries,
+            base_delay=config.retry_base_delay, sleep=self.sleep,
+            on_retry=self._on_io_retry)
+        try:
+            with self.tracer.span("ingest.run", path=str(self.path),
+                                  resumed=resumed):
+                self._emit("run_start", path=str(self.path),
+                           resumed=resumed, on_error=config.on_error)
+                result = self._run_stages(reader, manifest,
+                                          read_archive, write_archive)
+                self._emit("run_end", rows_ok=self.report.rows_ok,
+                           rows_quarantined=self.report.rows_quarantined,
+                           chunks=self.report.chunks)
+                return result
+        finally:
+            reader.close()
+            if self._quarantine_handle is not None:
+                self._quarantine_handle.close()
+
+    def _on_io_retry(self, attempt: int, error: BaseException) -> None:
+        self.report.retries += 1
+        self._count("ingest.retries")
+        self._emit("io_retry", attempt=attempt, error=str(error))
+
+    def _run_stages(self, reader: _ResilientLineReader,
+                    manifest: Optional[Dict[str, Any]],
+                    read_archive, write_archive) -> IngestResult:
+        config = self.config
+        workdir = self.workdir
+
+        # ---- stage 1: accumulate fit statistics ------------------------
+        self._read_header(reader)
+        cats = {name: CategoricalSketch() for name in config.categorical}
+        nums = {name: NumericSketch() for name in config.continuous}
+        labels = LabelSketch()
+
+        stage1_done = False
+        offset, line = self._data_offset, 1 if config.header else 0
+        next_chunk = 0
+        if manifest is not None:
+            self._restore_accounting(manifest)
+            stage1 = manifest.get("stage1", {})
+            if stage1.get("chunks", 0) > 0 or stage1.get("done"):
+                arrays, meta = read_archive(workdir / _STAGE1_NAME)
+                cats, nums, labels = self._sketches_from_state(
+                    arrays, meta["sketches"])
+                offset = int(stage1.get("offset", offset))
+                line = int(stage1.get("line", line))
+                next_chunk = int(stage1.get("chunks", 0))
+                stage1_done = bool(stage1.get("done", False))
+                self.report.chunks_resumed += next_chunk
+                self._count("ingest.resumed_chunks", next_chunk)
+            self._truncate_quarantine(int(manifest.get("quarantine_lines",
+                                                       0)))
+            self._emit("resume", stage=1 if not stage1_done else 2,
+                       chunks_done=next_chunk)
+        self._open_quarantine(append=manifest is not None)
+
+        stage1_state = {"chunks": next_chunk, "offset": offset,
+                        "line": line, "done": stage1_done}
+        if not stage1_done:
+            for chunk in self._iter_chunks(reader, start_offset=offset,
+                                           start_line=line,
+                                           start_chunk=next_chunk,
+                                           collect_errors=True):
+                with self.tracer.span("ingest.chunk", stage="fit",
+                                      index=chunk.index,
+                                      rows=len(chunk.rows)):
+                    with self.tracer.span("ingest.validate",
+                                          rows=chunk.lines_read):
+                        pass  # validation happened while reading the chunk
+                    self._observe_fit_chunk(chunk, cats, nums, labels)
+                self.report.chunks += 1
+                self._count("ingest.chunks")
+                self.metrics.gauge("ingest.offset_bytes").set(
+                    chunk.end_offset)
+                stage1_state = {"chunks": chunk.index + 1,
+                                "offset": chunk.end_offset,
+                                "line": chunk.end_line, "done": False}
+                if workdir is not None:
+                    self._flush_quarantine()
+                    arrays, sketch_meta = self._sketch_state(cats, nums,
+                                                             labels)
+                    write_archive(workdir / _STAGE1_NAME, arrays,
+                                  {"sketches": sketch_meta,
+                                   "progress": stage1_state})
+                    self._write_manifest({"stage1": stage1_state,
+                                          "stage2": {"chunks": 0,
+                                                     "done": False}})
+                if self.on_chunk is not None:
+                    self.on_chunk("fit", chunk.index)
+            stage1_state["done"] = True
+            if workdir is not None:
+                arrays, sketch_meta = self._sketch_state(cats, nums, labels)
+                write_archive(workdir / _STAGE1_NAME, arrays,
+                              {"sketches": sketch_meta,
+                               "progress": stage1_state})
+                self._write_manifest({"stage1": stage1_state,
+                                      "stage2": {"chunks": 0,
+                                                 "done": False}})
+            self._emit("stage_end", stage=1,
+                       rows_ok=self.report.rows_ok)
+
+        if labels.total == 0 or self.report.rows_ok == 0:
+            raise IngestError("no valid rows in input", path=self.path)
+
+        pipeline = self._finalize_pipeline(cats, nums, labels)
+
+        # ---- stage 2: encode + cross statistics ------------------------
+        x_chunks: List[np.ndarray] = []
+        y_chunks: List[np.ndarray] = []
+        cross_sketch = (CrossSketch(pipeline._schema.pairs(),
+                                    pipeline._cardinalities)
+                        if config.build_cross else None)
+
+        offset, line = self._data_offset, 1 if config.header else 0
+        next_chunk = 0
+        stage2_done = False
+        if manifest is not None:
+            stage2 = manifest.get("stage2", {})
+            completed = int(stage2.get("chunks", 0))
+            if completed and not manifest.get("stage1", {}).get("done"):
+                raise ResumeError("manifest has stage-2 progress without a "
+                                  "complete stage 1", path=self.path)
+            for index in range(completed):
+                arrays, meta = read_archive(
+                    workdir / _CHUNK_TEMPLATE.format(index=index))
+                x_chunks.append(arrays["x"].astype(np.int64, copy=False))
+                y_chunks.append(arrays["y"].astype(np.float64, copy=False))
+                if cross_sketch is not None and len(x_chunks[-1]):
+                    cross_sketch.update(x_chunks[-1])
+            if completed:
+                stage2 = dict(stage2)
+                offset = int(stage2.get("offset", offset))
+                line = int(stage2.get("line", line))
+                next_chunk = completed
+                self.report.chunks_resumed += completed
+                self._count("ingest.resumed_chunks", completed)
+            stage2_done = bool(stage2.get("done", False))
+
+        stage2_state = {"chunks": next_chunk, "offset": offset,
+                        "line": line, "done": stage2_done}
+        if not stage2_done:
+            for chunk in self._iter_chunks(reader, start_offset=offset,
+                                           start_line=line,
+                                           start_chunk=next_chunk,
+                                           collect_errors=False):
+                with self.tracer.span("ingest.chunk", stage="encode",
+                                      index=chunk.index,
+                                      rows=len(chunk.rows)):
+                    with self.tracer.span("ingest.validate",
+                                          rows=chunk.lines_read):
+                        pass
+                    x, y = self._encode_chunk(chunk.rows, pipeline)
+                    if cross_sketch is not None and len(x):
+                        cross_sketch.update(x)
+                x_chunks.append(x)
+                y_chunks.append(y)
+                self.report.chunks += 1
+                self._count("ingest.chunks")
+                stage2_state = {"chunks": chunk.index + 1,
+                                "offset": chunk.end_offset,
+                                "line": chunk.end_line, "done": False}
+                if workdir is not None:
+                    write_archive(
+                        workdir / _CHUNK_TEMPLATE.format(index=chunk.index),
+                        {"x": x, "y": y}, {"index": chunk.index})
+                    self._write_manifest({"stage1": stage1_state,
+                                          "stage2": stage2_state})
+                if self.on_chunk is not None:
+                    self.on_chunk("encode", chunk.index)
+            stage2_state["done"] = True
+            if workdir is not None:
+                self._write_manifest({"stage1": stage1_state,
+                                      "stage2": stage2_state})
+            self._emit("stage_end", stage=2, chunks=stage2_state["chunks"])
+
+        x = np.concatenate(x_chunks) if x_chunks else np.empty(
+            (0, len(config.field_names)), dtype=np.int64)
+        y = np.concatenate(y_chunks) if y_chunks else np.empty(
+            0, dtype=np.float64)
+        if len(x) == 0:
+            raise IngestError("no valid rows in input", path=self.path)
+
+        cross = None
+        x_cross = None
+        cross_cards = None
+        if cross_sketch is not None:
+            cross = cross_sketch.finalize(pipeline._schema,
+                                          min_count=config.cross_min_count)
+            pipeline._cross = cross
+            x_cross = cross.transform(x)
+            cross_cards = cross.cardinalities
+
+        dataset = CTRDataset(schema=pipeline._schema, x=x, y=y,
+                             cardinalities=pipeline._cardinalities,
+                             x_cross=x_cross,
+                             cross_cardinalities=cross_cards)
+        return IngestResult(dataset=dataset, pipeline=pipeline,
+                            report=self.report)
+
+    def _observe_fit_chunk(self, chunk: _Chunk,
+                           cats: Dict[str, CategoricalSketch],
+                           nums: Dict[str, NumericSketch],
+                           labels: LabelSketch) -> None:
+        if not chunk.rows:
+            return
+        field_names = self.config.field_names
+        labels.update(np.array([row.label for row in chunk.rows],
+                               dtype=np.float64))
+        for col_idx, name in enumerate(field_names):
+            column = np.array([row.values[col_idx] for row in chunk.rows],
+                              dtype=object)
+            if name in nums:
+                floats, _ = _parse_floats(column)
+                nums[name].update(floats)
+            else:
+                cats[name].update(column)
+
+    def _finalize_pipeline(self, cats: Dict[str, CategoricalSketch],
+                           nums: Dict[str, NumericSketch],
+                           labels: LabelSketch) -> CTRPipeline:
+        """Sketches → a fitted pipeline, formula-for-formula matching
+        ``CTRPipeline.fit``."""
+        config = self.config
+        vocabularies = {}
+        bucketizers = {}
+        fill_values = {}
+        for name in config.continuous:
+            fill, bucketizer, vocabulary = nums[name].finalize(
+                config.num_buckets, vocab_min_count=config.min_count)
+            fill_values[name] = fill
+            bucketizers[name] = bucketizer
+            vocabularies[name] = vocabulary
+        for name in config.categorical:
+            vocabularies[name] = cats[name].finalize(
+                min_count=config.min_count)
+        field_names = config.field_names
+        cardinalities = [vocabularies[name].size for name in field_names]
+        positives = labels.mean()
+        schema = make_schema(
+            cardinalities,
+            name=config.dataset_name,
+            positive_ratio=float(np.clip(positives, 1e-6, 1 - 1e-6)),
+            continuous_fields=tuple(range(len(config.continuous))),
+            field_names=field_names,
+        )
+        return CTRPipeline._from_fitted_state(
+            categorical=config.categorical,
+            continuous=config.continuous,
+            label=config.label,
+            min_count=config.min_count,
+            num_buckets=config.num_buckets,
+            cross_min_count=config.cross_min_count,
+            build_cross=config.build_cross,
+            dataset_name=config.dataset_name,
+            vocabularies=vocabularies,
+            bucketizers=bucketizers,
+            fill_values=fill_values,
+            schema=schema,
+            cardinalities=cardinalities,
+            cross=None,  # installed after the stage-2 sweep
+        )
+
+
+def ingest_file(path: PathLike, config: IngestConfig, **kwargs: Any
+                ) -> IngestResult:
+    """Convenience wrapper: ``ChunkedIngestor(path, config, **kw).run()``."""
+    return ChunkedIngestor(path, config, **kwargs).run()

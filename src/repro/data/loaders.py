@@ -20,14 +20,16 @@ module provides it without external dependencies:
 from __future__ import annotations
 
 import csv
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .cross import CrossProductTransform
 from .dataset import CTRDataset
+from .errors import ArityError, IngestError, SchemaError
 from .preprocessing import QuantileBucketizer
 from .schema import Schema, make_schema
 from .vocabulary import Vocabulary
@@ -45,34 +47,53 @@ def read_csv(path: PathLike, delimiter: str = ",",
     Missing values (empty fields) are kept as empty strings; downstream
     vocabularies treat them as just another value, which matches how the
     paper's preprocessing handles Criteo's missing fields.
+
+    Malformed input raises a typed :class:`~repro.data.errors.IngestError`
+    (a :class:`ValueError` subclass) naming the file and the 1-based
+    line number: an empty file, a file with a header but no data rows,
+    ragged rows, and a ``column_names`` count that does not match the
+    data width.  For larger-than-memory or dirty files prefer
+    :func:`repro.data.ingest.ingest_file`, which adds per-row error
+    policies, quarantine and resume on the same taxonomy.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no data file at {path}")
     with path.open(newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
-        rows = []
+        rows: List[List[str]] = []
+        line_numbers: List[int] = []
         names: Optional[List[str]] = list(column_names) if column_names else None
-        for line_number, row in enumerate(reader):
-            if line_number == 0 and header:
+        saw_header = False
+        for row_index, row in enumerate(reader):
+            if row_index == 0 and header:
+                saw_header = True
                 if names is None:
                     names = row
                 continue
             rows.append(row)
+            line_numbers.append(reader.line_num)
             if max_rows is not None and len(rows) >= max_rows:
                 break
+    if header and not saw_header:
+        raise IngestError("empty file: expected a header row",
+                          path=path, line_number=1)
     if not rows:
-        raise ValueError(f"{path} contains no data rows")
+        raise IngestError("no data rows", path=path,
+                          line_number=2 if header else 1)
     width = len(rows[0])
     if names is None:
         names = [f"column_{i}" for i in range(width)]
     if len(names) != width:
-        raise ValueError(
-            f"{len(names)} column names for {width}-column data"
-        )
-    for row in rows:
+        raise SchemaError(
+            f"{len(names)} column names for {width}-column data",
+            path=path, line_number=line_numbers[0])
+    for row, line_number in zip(rows, line_numbers):
         if len(row) != width:
-            raise ValueError("ragged rows: all rows must have equal width")
+            raise ArityError(
+                f"row has {len(row)} fields, expected {width}",
+                path=path, line_number=line_number,
+                raw=delimiter.join(row))
     table = np.array(rows, dtype=object)
     return {name: table[:, col] for col, name in enumerate(names)}
 
@@ -91,28 +112,71 @@ def load_criteo_format(path: PathLike,
                     column_names=names, max_rows=max_rows)
 
 
-def _to_float(values: np.ndarray) -> np.ndarray:
-    """Parse a string/object column to float, empty fields -> NaN -> median."""
+def _parse_floats(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse a string/object column to float64 plus a missing mask.
+
+    The missing-value convention is shared with the serving layer's
+    :class:`~repro.serving.validation.RequestValidator`: ``None``, NaN
+    (literal or parsed, e.g. ``"nan"``) and the empty string all count
+    as missing.  Unparseable text raises ``ValueError`` — the streaming
+    ingest path turns that into a typed
+    :class:`~repro.data.errors.BadNumericError` per row.
+    """
     out = np.empty(len(values), dtype=np.float64)
     missing = np.zeros(len(values), dtype=bool)
     for i, value in enumerate(values):
+        if value is None:
+            missing[i], out[i] = True, np.nan
+            continue
         text = str(value).strip()
         if text == "":
-            missing[i] = True
-            out[i] = np.nan
+            missing[i], out[i] = True, np.nan
+            continue
+        parsed = float(text)
+        if math.isnan(parsed):
+            missing[i], out[i] = True, np.nan
         else:
-            out[i] = float(text)
+            out[i] = parsed
+    return out, missing
+
+
+def _median_fill(out: np.ndarray, missing: np.ndarray) -> float:
+    """The imputation value for a parsed column: median of the present
+    entries, or 0.0 when every entry is missing."""
+    if missing.all():
+        return 0.0
+    return float(np.median(out[~missing]))
+
+
+def _to_float(values: np.ndarray) -> np.ndarray:
+    """Parse a column, imputing missing entries with its own median."""
+    out, missing = _parse_floats(values)
     if missing.any():
-        if missing.all():
-            out[:] = 0.0
-        else:
-            out[missing] = np.median(out[~missing])
+        out[missing] = _median_fill(out, missing)
     return out
 
 
 @dataclass
 class CTRPipeline:
     """Raw columns → :class:`CTRDataset`, with paper-faithful preprocessing.
+
+    **The OOV-fold rule** (shared with the serving layer, see
+    :class:`~repro.serving.validation.RequestValidator`):
+
+    * A *categorical* value that is unseen at training time, or rarer
+      than ``min_count``, folds to the reserved OOV id 0 — as do
+      ``None`` and float NaN.  The **empty string is an ordinary
+      categorical value** (CTR logs use it as a real "absent" category)
+      and is learned or thresholded like any other.
+    * A *continuous* value that is missing — ``None``, the empty string,
+      or NaN (literal or parsed, e.g. ``"nan"``) — imputes the
+      **training-split median** and is then bucketed like any other
+      value; a value outside the training range clips into the extreme
+      buckets.
+
+    ``transform`` applies the training median — never the current
+    batch's — so offline features match what the online validator
+    produces for the same request.
 
     Parameters
     ----------
@@ -149,6 +213,7 @@ class CTRPipeline:
             raise ValueError("at least one feature column is required")
         self._vocabularies: Dict[str, Vocabulary] = {}
         self._bucketizers: Dict[str, QuantileBucketizer] = {}
+        self._fill_values: Dict[str, float] = {}
         self._cross: Optional[CrossProductTransform] = None
         self._schema: Optional[Schema] = None
         self._cardinalities: Optional[List[int]] = None
@@ -171,7 +236,11 @@ class CTRPipeline:
         for col_idx, name in enumerate(self.field_names):
             values = columns[name]
             if name in self.continuous:
-                floats = _to_float(values)
+                floats, missing = _parse_floats(values)
+                if fit:
+                    self._fill_values[name] = _median_fill(floats, missing)
+                if missing.any():
+                    floats[missing] = self._fill_values[name]
                 if fit:
                     self._bucketizers[name] = QuantileBucketizer(
                         num_buckets=self.num_buckets).fit(floats)
@@ -228,6 +297,57 @@ class CTRPipeline:
 
     def fit_transform(self, columns: Columns) -> CTRDataset:
         return self.fit(columns).transform(columns)
+
+    @property
+    def fill_values(self) -> Dict[str, float]:
+        """Training-median imputation value per continuous column."""
+        if not self._fitted:
+            raise RuntimeError("pipeline must be fitted first")
+        return dict(self._fill_values)
+
+    @property
+    def schema(self) -> Schema:
+        if not self._fitted:
+            raise RuntimeError("pipeline must be fitted first")
+        return self._schema
+
+    @classmethod
+    def _from_fitted_state(
+        cls, *,
+        categorical: Sequence[str],
+        continuous: Sequence[str],
+        label: str,
+        min_count: int,
+        num_buckets: int,
+        cross_min_count: int,
+        build_cross: bool,
+        dataset_name: str,
+        vocabularies: Dict[str, Vocabulary],
+        bucketizers: Dict[str, QuantileBucketizer],
+        fill_values: Dict[str, float],
+        schema: Schema,
+        cardinalities: List[int],
+        cross: Optional[CrossProductTransform],
+    ) -> "CTRPipeline":
+        """Assemble an already-fitted pipeline from its components.
+
+        The streaming ingest path (:mod:`repro.data.ingest`) fits the
+        same objects chunk by chunk and installs them here, so the
+        result supports ``transform`` exactly like an in-memory fit.
+        """
+        pipeline = cls(categorical=categorical, continuous=continuous,
+                       label=label, min_count=min_count,
+                       num_buckets=num_buckets,
+                       cross_min_count=cross_min_count,
+                       build_cross=build_cross, dataset_name=dataset_name)
+        pipeline._vocabularies = dict(vocabularies)
+        pipeline._bucketizers = dict(bucketizers)
+        pipeline._fill_values = dict(fill_values)
+        pipeline._schema = schema
+        pipeline._cardinalities = list(cardinalities)
+        pipeline._cross = cross
+        pipeline._fitted = True
+        return pipeline
 
 
 def negative_downsample(dataset: CTRDataset, rate: float,

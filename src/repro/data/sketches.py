@@ -1,0 +1,273 @@
+"""Mergeable, checkpointable accumulators for streaming pipeline fitting.
+
+Fitting a :class:`~repro.data.loaders.CTRPipeline` in memory needs four
+global statistics: per-categorical-field value frequencies, the exact
+value distribution of each continuous field (median imputation + quantile
+bucket edges), the label mean, and per-pair cross-product key
+frequencies.  Each has an **exact** streaming form — an accumulator that
+is updated chunk by chunk, merged across partial runs, serialised into a
+checkpoint, and finalised into *bit-for-bit* the same fitted objects the
+in-memory path produces:
+
+* :class:`CategoricalSketch` — a frequency table; finalises through
+  :meth:`Vocabulary.from_counts`, which is defined to equal a one-shot
+  ``Vocabulary.fit`` on any ordering of the counted multiset.
+* :class:`NumericSketch` — a value→count table over the (small) set of
+  distinct floats a CTR integer column takes, plus a missing-count.
+  ``np.median`` / ``np.quantile`` depend only on the *multiset* of
+  values, so reconstructing ``repeat(distinct, counts)`` and calling the
+  very same numpy routines reproduces the in-memory median / bucket
+  edges bit for bit.
+* :class:`LabelSketch` — integer positive/total counts.  For binary 0/1
+  labels, ``np.mean`` pairwise-sums exactly representable integers, so
+  ``positives / total`` in float64 is the identical value.
+* :class:`CrossSketch` — per-pair key frequencies over encoded ids;
+  finalises into a fitted
+  :class:`~repro.data.cross.CrossProductTransform` whose kept-key arrays
+  equal ``np.unique`` + threshold on the concatenated stream.
+
+Every sketch exposes ``update`` (one chunk), ``merge`` (combine partial
+runs), ``to_state`` / ``from_state`` (plain arrays + JSON-able metadata
+for the checksummed chunk checkpoints) — the contract
+``tests/data/test_ingest_differential.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .cross import CrossProductTransform, _pair_keys
+from .preprocessing import QuantileBucketizer
+from .schema import Schema
+from .vocabulary import Vocabulary
+
+Arrays = Dict[str, np.ndarray]
+Meta = Dict[str, object]
+
+
+class CategoricalSketch:
+    """Streaming value-frequency table for one categorical column."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    def update(self, values: Iterable[str]) -> "CategoricalSketch":
+        self.counts.update(values)
+        return self
+
+    def merge(self, other: "CategoricalSketch") -> "CategoricalSketch":
+        self.counts.update(other.counts)
+        return self
+
+    def finalize(self, min_count: int = 1) -> Vocabulary:
+        return Vocabulary.from_counts(self.counts, min_count=min_count)
+
+    # -- checkpoint state ------------------------------------------------
+    def to_state(self) -> Tuple[Arrays, Meta]:
+        # Values are decoded CSV strings, hence JSON-safe; counts ride
+        # alongside in a parallel list to keep duplicate-free ordering.
+        items = sorted(self.counts.items())
+        return ({}, {"values": [v for v, _ in items],
+                     "counts": [int(c) for _, c in items]})
+
+    @classmethod
+    def from_state(cls, arrays: Arrays, meta: Meta) -> "CategoricalSketch":
+        sketch = cls()
+        sketch.counts = Counter(dict(zip(meta["values"], meta["counts"])))
+        return sketch
+
+
+class NumericSketch:
+    """Exact distribution sketch for one continuous column.
+
+    Finite values are counted per distinct float64 (``-0.0`` normalised
+    to ``0.0``); missing entries (empty field / NaN) only bump
+    ``missing``.  CTR logs carry small-integer count features, so the
+    distinct set stays tiny even over billions of rows.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[float, int] = {}
+        self.missing = 0
+
+    def update(self, values: np.ndarray) -> "NumericSketch":
+        """Accumulate one chunk of parsed floats (NaN marks missing)."""
+        values = np.asarray(values, dtype=np.float64)
+        nan_mask = np.isnan(values)
+        self.missing += int(nan_mask.sum())
+        finite = values[~nan_mask] + 0.0  # normalise -0.0 -> 0.0
+        if finite.size:
+            unique, counts = np.unique(finite, return_counts=True)
+            for value, count in zip(unique, counts):
+                key = float(value)
+                self.counts[key] = self.counts.get(key, 0) + int(count)
+        return self
+
+    def merge(self, other: "NumericSketch") -> "NumericSketch":
+        self.missing += other.missing
+        for value, count in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0) + count
+        return self
+
+    @property
+    def total(self) -> int:
+        return self.missing + sum(self.counts.values())
+
+    def _multisets(self) -> Tuple[np.ndarray, float, np.ndarray]:
+        """``(non_missing, fill_value, imputed)`` reconstructed multisets.
+
+        The arrays are sorted reconstructions of the column; every numpy
+        statistic used downstream (median, quantile) is order-invariant,
+        so they stand in exactly for the original unsorted column.
+        """
+        if not self.counts and not self.missing:
+            raise ValueError("cannot finalize an empty numeric sketch")
+        values = np.array(sorted(self.counts), dtype=np.float64)
+        counts = np.array([self.counts[v] for v in values], dtype=np.int64)
+        non_missing = np.repeat(values, counts)
+        if self.missing:
+            if non_missing.size == 0:
+                # All-missing column: the in-memory path zero-fills.
+                fill = 0.0
+                imputed = np.zeros(self.missing, dtype=np.float64)
+            else:
+                fill = float(np.median(non_missing))
+                imputed = np.concatenate(
+                    [non_missing, np.full(self.missing, fill)])
+        else:
+            fill = float(np.median(non_missing))
+            imputed = non_missing
+        return non_missing, fill, imputed
+
+    def finalize(self, num_buckets: int, vocab_min_count: int = 1
+                 ) -> Tuple[float, QuantileBucketizer, Vocabulary]:
+        """``(fill_value, bucketizer, code_vocabulary)`` — the exact
+        objects ``CTRPipeline._encode(fit=True)`` builds for this column."""
+        _, fill, imputed = self._multisets()
+        bucketizer = QuantileBucketizer(num_buckets=num_buckets).fit(imputed)
+        codes = bucketizer.transform(imputed)
+        vocabulary = Vocabulary(min_count=vocab_min_count).fit(codes)
+        return fill, bucketizer, vocabulary
+
+    # -- checkpoint state ------------------------------------------------
+    def to_state(self) -> Tuple[Arrays, Meta]:
+        values = np.array(sorted(self.counts), dtype=np.float64)
+        counts = np.array([self.counts[v] for v in values], dtype=np.int64)
+        return ({"values": values, "counts": counts},
+                {"missing": int(self.missing)})
+
+    @classmethod
+    def from_state(cls, arrays: Arrays, meta: Meta) -> "NumericSketch":
+        sketch = cls()
+        sketch.missing = int(meta["missing"])
+        sketch.counts = {float(v): int(c)
+                         for v, c in zip(arrays["values"], arrays["counts"])}
+        return sketch
+
+
+class LabelSketch:
+    """Integer positive/total counts over a binary 0/1 label stream."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.positives = 0
+
+    def update(self, labels: np.ndarray) -> "LabelSketch":
+        labels = np.asarray(labels, dtype=np.float64)
+        self.total += int(labels.size)
+        self.positives += int(labels.sum())
+        return self
+
+    def merge(self, other: "LabelSketch") -> "LabelSketch":
+        self.total += other.total
+        self.positives += other.positives
+        return self
+
+    def mean(self) -> float:
+        """Exactly ``np.mean`` of the 0/1 stream (integer sums are exact)."""
+        if self.total == 0:
+            raise ValueError("cannot take the mean of zero labels")
+        return float(np.float64(self.positives) / np.float64(self.total))
+
+    def to_state(self) -> Tuple[Arrays, Meta]:
+        return {}, {"total": self.total, "positives": self.positives}
+
+    @classmethod
+    def from_state(cls, arrays: Arrays, meta: Meta) -> "LabelSketch":
+        sketch = cls()
+        sketch.total = int(meta["total"])
+        sketch.positives = int(meta["positives"])
+        return sketch
+
+
+class CrossSketch:
+    """Per-pair cross-key frequency tables over encoded id chunks."""
+
+    def __init__(self, pairs: Sequence[Tuple[int, int]],
+                 field_cards: Sequence[int]) -> None:
+        self.pairs = list(pairs)
+        self.field_cards = list(field_cards)
+        self.counts: List[Dict[int, int]] = [dict() for _ in self.pairs]
+
+    def update(self, x: np.ndarray) -> "CrossSketch":
+        x = np.asarray(x)
+        for pair_idx, (i, j) in enumerate(self.pairs):
+            keys = _pair_keys(x, i, j, self.field_cards[j])
+            unique, counts = np.unique(keys, return_counts=True)
+            table = self.counts[pair_idx]
+            for key, count in zip(unique, counts):
+                ikey = int(key)
+                table[ikey] = table.get(ikey, 0) + int(count)
+        return self
+
+    def merge(self, other: "CrossSketch") -> "CrossSketch":
+        if other.pairs != self.pairs or other.field_cards != self.field_cards:
+            raise ValueError("cannot merge cross sketches over different "
+                             "pair layouts")
+        for mine, theirs in zip(self.counts, other.counts):
+            for key, count in theirs.items():
+                mine[key] = mine.get(key, 0) + count
+        return self
+
+    def finalize(self, schema: Schema,
+                 min_count: int = 1) -> CrossProductTransform:
+        """A fitted transform equal to ``fit`` on the concatenated ids.
+
+        ``np.unique`` returns sorted keys, so the kept-key array for a
+        pair is exactly the sorted thresholded key set.
+        """
+        transform = CrossProductTransform(schema, min_count=min_count)
+        if transform.pairs != self.pairs:
+            raise ValueError("schema pair layout does not match the sketch")
+        transform._field_cards = list(self.field_cards)
+        transform._kept_keys = [
+            np.array(sorted(k for k, c in table.items() if c >= min_count),
+                     dtype=np.int64)
+            for table in self.counts
+        ]
+        transform._fitted = True
+        return transform
+
+    # -- checkpoint state ------------------------------------------------
+    def to_state(self) -> Tuple[Arrays, Meta]:
+        arrays: Arrays = {}
+        for pair_idx, table in enumerate(self.counts):
+            keys = np.array(sorted(table), dtype=np.int64)
+            arrays[f"keys_{pair_idx}"] = keys
+            arrays[f"counts_{pair_idx}"] = np.array(
+                [table[int(k)] for k in keys], dtype=np.int64)
+        return arrays, {"pairs": [list(p) for p in self.pairs],
+                        "field_cards": list(self.field_cards)}
+
+    @classmethod
+    def from_state(cls, arrays: Arrays, meta: Meta) -> "CrossSketch":
+        sketch = cls([tuple(p) for p in meta["pairs"]], meta["field_cards"])
+        for pair_idx in range(len(sketch.pairs)):
+            keys = arrays[f"keys_{pair_idx}"]
+            counts = arrays[f"counts_{pair_idx}"]
+            sketch.counts[pair_idx] = {
+                int(k): int(c) for k, c in zip(keys, counts)}
+        return sketch

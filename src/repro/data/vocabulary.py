@@ -31,7 +31,11 @@ class Vocabulary:
         """Build the mapping from training values; call exactly once."""
         if self._frozen:
             raise RuntimeError("vocabulary is already fitted")
-        counts = Counter(values)
+        self._fit_counts(Counter(values))
+        return self
+
+    def _fit_counts(self, counts: "Counter") -> None:
+        """Freeze the mapping from a finished frequency table."""
         next_id = OOV_ID + 1
         # Deterministic ordering: by descending frequency then value repr.
         for value, count in sorted(
@@ -41,7 +45,20 @@ class Vocabulary:
                 self._value_to_id[value] = next_id
                 next_id += 1
         self._frozen = True
-        return self
+
+    @classmethod
+    def from_counts(cls, counts: "Counter",
+                    min_count: int = 1) -> "Vocabulary":
+        """Build a fitted vocabulary straight from a frequency table.
+
+        The mapping is identical to ``Vocabulary(min_count).fit(stream)``
+        where ``stream`` is any ordering of the counted multiset — the
+        chunked-ingest accumulators rely on this equivalence for their
+        bit-for-bit differential guarantee.
+        """
+        vocab = cls(min_count=min_count)
+        vocab._fit_counts(counts)
+        return vocab
 
     @property
     def size(self) -> int:
@@ -104,16 +121,9 @@ class StreamingVocabulary:
         """Freeze into an ordinary :class:`Vocabulary`."""
         if self._vocabulary is not None:
             return self._vocabulary
-        vocab = Vocabulary(min_count=self.min_count)
-        next_id = OOV_ID + 1
-        for value, count in sorted(self._counts.items(),
-                                   key=lambda kv: (-kv[1], repr(kv[0]))):
-            if count >= self.min_count:
-                vocab._value_to_id[value] = next_id
-                next_id += 1
-        vocab._frozen = True
-        self._vocabulary = vocab
-        return vocab
+        self._vocabulary = Vocabulary.from_counts(self._counts,
+                                                  min_count=self.min_count)
+        return self._vocabulary
 
     @property
     def seen_values(self) -> int:

@@ -43,6 +43,8 @@ EVENT_TYPES = {
     "shed",        # load shedding dropped a request (queue depth, reason)
     "span",        # one finished tracing span (trace/span/parent ids, timing)
     "alert",       # a monitor threshold tripped (drift kind, value, threshold)
+    "ingest",      # ingest lifecycle: run/stage/resume/schema/io_retry
+    "quarantine",  # one row quarantined (line, error code, reason, raw)
 }
 
 

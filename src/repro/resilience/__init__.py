@@ -27,14 +27,21 @@ from .checkpoint import (
     CheckpointManager,
     CorruptCheckpointError,
     TrainingCheckpoint,
+    read_archive,
+    write_archive,
 )
 from .faults import (
     BatchCorruptor,
+    CrashAtChunk,
     CrashAtStep,
     FaultyDataset,
+    FlakyFile,
+    GARBAGE_LINES,
     GradientPoison,
     InjectedCrash,
     corrupt_batch,
+    inject_garbage_lines,
+    truncate_file,
 )
 from .recovery import DivergenceGuard, RecoveryPolicy
 
@@ -51,4 +58,11 @@ __all__ = [
     "CrashAtStep",
     "InjectedCrash",
     "corrupt_batch",
+    "write_archive",
+    "read_archive",
+    "FlakyFile",
+    "GARBAGE_LINES",
+    "truncate_file",
+    "inject_garbage_lines",
+    "CrashAtChunk",
 ]

@@ -91,6 +91,67 @@ def _optimizer_meta(opt_state: Dict[str, Any]) -> Dict[str, Any]:
             "extra": opt_state.get("extra", {})}
 
 
+def write_archive(path: PathLike, arrays: Dict[str, np.ndarray],
+                  meta: Dict[str, Any]) -> Path:
+    """Atomically write a checksummed ``.npz`` of arrays + JSON metadata.
+
+    The generic form of the :class:`TrainingCheckpoint` on-disk pattern,
+    for subsystems (e.g. streaming ingest) that persist arbitrary array
+    state: one entry per array, a ``__meta__`` JSON entry, a
+    ``__checksum__`` over the content, written via tmp + fsync +
+    ``os.replace`` so a crash leaves the previous file or none.
+    """
+    arrays = {key: np.asarray(value) for key, value in arrays.items()}
+    for reserved in (_META_KEY, _CHECKSUM_KEY):
+        if reserved in arrays:
+            raise ValueError(f"array name {reserved!r} is reserved")
+    meta_json = json.dumps(meta, sort_keys=True)
+    checksum = _content_checksum(arrays, meta_json)
+    buffer = _stdio.BytesIO()
+    np.savez(buffer, **arrays,
+             **{_META_KEY: np.array(meta_json),
+                _CHECKSUM_KEY: np.array(checksum)})
+    return atomic_write_bytes(Path(path), buffer.getvalue())
+
+
+def read_archive(path: PathLike
+                 ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Load and verify an archive written by :func:`write_archive`.
+
+    Raises :class:`CorruptCheckpointError` on truncation, checksum
+    mismatch or missing metadata, and :class:`FileNotFoundError` when
+    the file is absent — callers distinguish "never written" from
+    "damaged".
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no archive at {path}")
+    try:
+        with np.load(_stdio.BytesIO(path.read_bytes()),
+                     allow_pickle=False) as archive:
+            entries = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError,
+            KeyError) as exc:
+        raise CorruptCheckpointError(
+            f"unreadable archive {path}: {exc}") from exc
+    if _META_KEY not in entries or _CHECKSUM_KEY not in entries:
+        raise CorruptCheckpointError(
+            f"archive {path} lacks metadata/checksum entries")
+    meta_json = str(entries.pop(_META_KEY)[()])
+    stored_checksum = str(entries.pop(_CHECKSUM_KEY)[()])
+    actual = _content_checksum(entries, meta_json)
+    if actual != stored_checksum:
+        raise CorruptCheckpointError(
+            f"checksum mismatch for archive {path}: "
+            f"stored {stored_checksum[:12]}..., computed {actual[:12]}...")
+    try:
+        meta = json.loads(meta_json)
+    except json.JSONDecodeError as exc:
+        raise CorruptCheckpointError(
+            f"unparseable metadata in archive {path}") from exc
+    return entries, meta
+
+
 @dataclass
 class TrainingCheckpoint:
     """Everything required to resume a run bit-for-bit.  See module doc."""

@@ -21,16 +21,28 @@ actually sees:
 All injectors fire **once** (they disarm after triggering) and count
 globally across epochs, so "crash at step 7" means the 7th applied
 update of the whole run.
+
+A fourth family targets the **ingestion layer** (see
+:mod:`repro.data.ingest`): :class:`FlakyFile` injects transient
+``OSError`` into opens/reads to exercise the retry-with-backoff path,
+:func:`truncate_file` / :func:`inject_garbage_lines` mangle a log file
+the way half-written uploads and binary corruption do, and
+:class:`CrashAtChunk` kills an ingest between chunk checkpoints to
+prove resume correctness.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from pathlib import Path
+from typing import IO, Dict, Iterator, Optional, Union
 
 import numpy as np
 
 from ..data.dataset import Batch, CTRDataset
+
+PathLike = Union[str, Path]
 
 
 class InjectedCrash(RuntimeError):
@@ -152,3 +164,132 @@ class CrashAtStep:
             self.fired = True
             raise InjectedCrash(
                 f"injected crash after {self.applied} optimizer steps")
+
+
+# ---------------------------------------------------------------------------
+# Data-layer faults (streaming ingest)
+# ---------------------------------------------------------------------------
+class _FlakyHandle:
+    """Binary file proxy whose reads fail while the budget lasts."""
+
+    def __init__(self, inner: IO[bytes], owner: "FlakyFile") -> None:
+        self._inner = inner
+        self._owner = owner
+
+    def readline(self, *args) -> bytes:
+        if self._owner._take_read_failure():
+            raise OSError("injected transient read failure")
+        return self._inner.readline(*args)
+
+    def read(self, *args) -> bytes:
+        if self._owner._take_read_failure():
+            raise OSError("injected transient read failure")
+        return self._inner.read(*args)
+
+    def seek(self, *args) -> int:
+        return self._inner.seek(*args)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class FlakyFile:
+    """An ``opener`` for :class:`~repro.data.ingest.ChunkedIngestor` that
+    injects a budget of transient IO failures, then behaves normally.
+
+    ``fail_opens`` opens raise before any handle is produced;
+    ``fail_reads`` subsequent read calls raise ``OSError``.  The ingest
+    reader retries with backoff, so a run configured with
+    ``retries >= max(fail_opens, fail_reads)`` must succeed and its
+    report must show exactly ``injected`` retries.
+    """
+
+    def __init__(self, fail_reads: int = 2, *, fail_opens: int = 0) -> None:
+        self.fail_reads = fail_reads
+        self.fail_opens = fail_opens
+        self.injected = 0
+
+    def _take_read_failure(self) -> bool:
+        if self.fail_reads > 0:
+            self.fail_reads -= 1
+            self.injected += 1
+            return True
+        return False
+
+    def __call__(self, path: str) -> IO[bytes]:
+        if self.fail_opens > 0:
+            self.fail_opens -= 1
+            self.injected += 1
+            raise OSError("injected transient open failure")
+        return _FlakyHandle(open(path, "rb"), self)
+
+
+def truncate_file(path: PathLike, drop_bytes: int) -> int:
+    """Chop ``drop_bytes`` off the end of ``path`` (a half-written upload).
+
+    Returns the new size.  Dropping into the middle of the final record
+    leaves a line without a trailing newline — exactly the shape the
+    ingest truncation detector classifies.
+    """
+    if drop_bytes < 0:
+        raise ValueError(f"drop_bytes must be >= 0, got {drop_bytes}")
+    size = os.path.getsize(path)
+    new_size = max(0, size - drop_bytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+#: A default mix of unparseable junk: undecodable bytes, a NUL, ragged rows.
+GARBAGE_LINES = (
+    b"\xff\xfe\x00garbage\xff",
+    b"only_one_field",
+    b"too,many,fields,here,way,too,many,fields",
+)
+
+
+def inject_garbage_lines(path: PathLike,
+                         positions: Dict[int, bytes]) -> int:
+    """Splice raw garbage lines into a text log, for chaos tests.
+
+    ``positions`` maps a **0-based physical line index** to the raw
+    bytes to insert *before* that line (no trailing newline needed — one
+    is appended).  Returns the number of lines inserted.
+    """
+    path = Path(path)
+    lines = path.read_bytes().splitlines(keepends=True)
+    for index in sorted(positions, reverse=True):
+        if not 0 <= index <= len(lines):
+            raise ValueError(f"line index {index} outside file of "
+                             f"{len(lines)} lines")
+        lines.insert(index, positions[index].rstrip(b"\r\n") + b"\n")
+    path.write_bytes(b"".join(lines))
+    return len(positions)
+
+
+@dataclass
+class CrashAtChunk:
+    """Raise :class:`InjectedCrash` once ``at_chunk`` ingest chunks have
+    completed (checkpoint already durable — the crash lands *between*
+    chunks, like a preemption).
+
+    Use as ``ChunkedIngestor(..., on_chunk=CrashAtChunk(at_chunk=k))``.
+    ``stage`` restricts counting to the ``"fit"`` or ``"encode"`` pass.
+    """
+
+    at_chunk: int
+    stage: Optional[str] = None
+    seen: int = field(default=0, init=False)
+    fired: bool = field(default=False, init=False)
+
+    def __call__(self, stage: str, index: int) -> None:
+        if self.stage is not None and stage != self.stage:
+            return
+        self.seen += 1
+        if not self.fired and self.seen >= self.at_chunk:
+            self.fired = True
+            raise InjectedCrash(
+                f"injected crash after {self.seen} completed ingest chunks")

@@ -6,8 +6,12 @@ produces the ``[M]`` int64 id row every model consumes:
 
 * **unknown fields are rejected** — a typo'd field name is a client bug
   the service must surface, not silently ignore;
-* **missing fields, ``None`` and NaN map to the reserved OOV id** (0),
-  mirroring how the training pipeline folds rare/unseen values;
+* **missing fields, ``None`` and NaN map to the reserved OOV id** (0) —
+  the same OOV-fold rule :class:`~repro.data.loaders.CTRPipeline`
+  documents and applies offline, so a feature dict scores identically
+  to the row the training pipeline would encode.  The empty string is
+  *not* missing: in vocabulary mode it maps through the training
+  vocabulary like any other raw categorical value;
 * **raw values** go through per-field :class:`~repro.data.vocabulary.
   Vocabulary` lookups when vocabularies are attached; without them the
   request must already carry integer ids, and ids outside

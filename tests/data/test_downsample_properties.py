@@ -1,0 +1,135 @@
+"""Property-based tests for negative downsampling + recalibration.
+
+Hypothesis drives random label vectors, rates and probabilities through
+the pair of functions the paper's iPinYou protocol uses, pinning the
+invariants a hand-picked example can miss:
+
+* downsampling never drops a positive and never invents rows;
+* ``rate=1.0`` is the identity for both functions;
+* calibration inverts the odds inflation exactly:
+  ``calibrate(p_downsampled_odds) == p`` for any achievable ``p``;
+* calibration is monotone and stays inside ``[0, 1]`` — ranking metrics
+  (AUC) are invariant under it;
+* edge cases: all-negative chunks survive (or fail loudly when
+  everything is dropped), all-positive chunks pass through untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import make_schema
+from repro.data.dataset import CTRDataset
+from repro.data.loaders import calibrate_downsampled, negative_downsample
+
+CARDS = [5, 4]
+
+
+def dataset_from_labels(labels):
+    labels = np.asarray(labels, dtype=np.float64)
+    n = labels.size
+    rng = np.random.default_rng(0)
+    x = np.column_stack([rng.integers(0, card, size=n) for card in CARDS])
+    return CTRDataset(schema=make_schema(CARDS), x=x.astype(np.int64),
+                      y=labels, cardinalities=CARDS)
+
+
+labels_strategy = st.lists(st.sampled_from([0.0, 1.0]),
+                           min_size=1, max_size=200)
+rates = st.floats(0.05, 1.0, allow_nan=False)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestDownsampleProperties:
+    @given(labels_strategy, rates, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_positives_preserved_and_rows_never_invented(self, labels,
+                                                         rate, seed):
+        dataset = dataset_from_labels(labels)
+        rng = np.random.default_rng(seed)
+        try:
+            sampled = negative_downsample(dataset, rate, rng=rng)
+        except ValueError:
+            # legal only when every row was a droppable negative
+            assert dataset.y.sum() == 0
+            return
+        assert sampled.y.sum() == dataset.y.sum()
+        assert len(sampled) <= len(dataset)
+        assert len(sampled) >= int(dataset.y.sum())
+
+    @given(labels_strategy, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_rate_one_is_identity(self, labels, seed):
+        dataset = dataset_from_labels(labels)
+        sampled = negative_downsample(dataset, 1.0,
+                                      rng=np.random.default_rng(seed))
+        assert np.array_equal(sampled.y, dataset.y)
+        assert np.array_equal(sampled.x, dataset.x)
+
+    @given(st.integers(1, 50), rates, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_all_positive_chunk_passes_through(self, n, rate, seed):
+        dataset = dataset_from_labels(np.ones(n))
+        sampled = negative_downsample(dataset, rate,
+                                      rng=np.random.default_rng(seed))
+        assert len(sampled) == n
+
+    def test_all_negative_chunk_keeps_sampled_negatives(self):
+        dataset = dataset_from_labels(np.zeros(500))
+        sampled = negative_downsample(dataset, 0.25,
+                                      rng=np.random.default_rng(3))
+        assert 0 < len(sampled) < 500
+        assert sampled.y.sum() == 0
+
+    def test_all_negative_chunk_can_fail_loudly(self):
+        dataset = dataset_from_labels(np.zeros(3))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="every row"):
+            # tiny rate + tiny chunk: keep-mask can come up empty
+            for _ in range(200):
+                negative_downsample(dataset, 0.001, rng=rng)
+
+
+probabilities = st.floats(1e-6, 1.0 - 1e-6, allow_nan=False)
+
+
+class TestCalibrationProperties:
+    @given(probabilities, rates)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_inverts_downsampling_odds(self, p, rate):
+        """Training on negatives kept w.p. ``rate`` inflates the odds by
+        1/rate: p_down = p / (p + (1-p)*rate).  Calibration undoes it."""
+        p_down = p / (p + (1.0 - p) * rate)
+        recovered = calibrate_downsampled(np.array([p_down]), rate)[0]
+        assert recovered == pytest.approx(p, rel=1e-9, abs=1e-12)
+
+    @given(st.lists(probabilities, min_size=2, max_size=50), rates)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_bounded(self, probs, rate):
+        probs = np.sort(np.asarray(probs))
+        calibrated = calibrate_downsampled(probs, rate)
+        assert np.all(calibrated >= 0.0) and np.all(calibrated <= 1.0)
+        assert np.all(np.diff(calibrated) >= 0.0)  # AUC-invariant
+
+    @given(st.lists(probabilities, min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_rate_one_is_identity(self, probs):
+        probs = np.asarray(probs)
+        assert np.allclose(calibrate_downsampled(probs, 1.0), probs)
+
+    @given(rates)
+    @settings(max_examples=30, deadline=None)
+    def test_extremes_are_fixed_points(self, rate):
+        assert calibrate_downsampled(np.array([0.0]), rate)[0] == 0.0
+        assert calibrate_downsampled(np.array([1.0]), rate)[0] == 1.0
+
+    @given(probabilities, rates)
+    @settings(max_examples=60, deadline=None)
+    def test_calibration_never_increases_probability(self, p, rate):
+        """Downsampling negatives biases scores up; the correction can
+        only shrink them (equality iff rate == 1)."""
+        calibrated = calibrate_downsampled(np.array([p]), rate)[0]
+        assert calibrated <= p + 1e-12

@@ -1,0 +1,190 @@
+"""Acceptance tests: streamed chunked fit ≡ in-memory fit, bit for bit.
+
+The contract (ISSUE / docs/data_guide.md): for any chunk size, with or
+without a mid-run kill and resume, the streaming ingest produces the
+*identical* fitted pipeline (vocabulary id maps, median fill values,
+quantile bucket edges) and the *identical* encoded dataset (x, y,
+x_cross, cardinalities, schema) as ``read_csv`` + an in-memory
+``CTRPipeline.fit_transform``.  And under k injected corrupt rows, the
+quarantine sidecar, the ``ingest.quarantined`` counter and the report
+all account for exactly k — no more, no less.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import CTRPipeline, IngestConfig, ingest_file, read_csv
+from repro.data.ingest import ChunkedIngestor
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import CrashAtChunk, InjectedCrash
+from repro.resilience.faults import GARBAGE_LINES, inject_garbage_lines
+
+CATEGORICAL = ["C1", "C2", "C3"]
+CONTINUOUS = ["I1", "I2"]
+HEADER = "label," + ",".join(CONTINUOUS + CATEGORICAL)
+PIPELINE_KW = dict(categorical=CATEGORICAL, continuous=CONTINUOUS,
+                   min_count=2, num_buckets=5, cross_min_count=2)
+
+
+def make_rows(n=600, seed=0):
+    """Dirty-free but statistically awkward rows: missing continuous
+    entries, negative and float values, ties, rare categories."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        label = rng.integers(0, 2)
+        i1 = rng.choice(["", "-3", "0", "1", "2", "2.5", "7", "40"],
+                        p=[.1, .1, .2, .2, .15, .1, .1, .05])
+        i2 = str(rng.integers(0, 25))
+        c1 = f"a{rng.integers(0, 9)}"
+        c2 = f"b{rng.integers(0, 40)}"  # long tail -> min_count bites
+        c3 = rng.choice(["x", "y", "z", ""], p=[.4, .3, .2, .1])
+        rows.append(f"{label},{i1},{i2},{c1},{c2},{c3}")
+    return rows
+
+
+def write_file(path, rows):
+    path.write_text(HEADER + "\n" + "\n".join(rows) + "\n")
+    return path
+
+
+def in_memory_reference(path):
+    pipeline = CTRPipeline(**PIPELINE_KW)
+    dataset = pipeline.fit_transform(read_csv(path))
+    return pipeline, dataset
+
+
+def assert_bit_identical(result, ref_pipeline, ref_dataset):
+    dataset = result.dataset
+    assert np.array_equal(dataset.x, ref_dataset.x)
+    assert np.array_equal(dataset.y, ref_dataset.y)
+    assert np.array_equal(dataset.x_cross, ref_dataset.x_cross)
+    assert dataset.cardinalities == ref_dataset.cardinalities
+    assert dataset.cross_cardinalities == ref_dataset.cross_cardinalities
+    assert dataset.schema.positive_ratio == ref_dataset.schema.positive_ratio
+    assert [f.name for f in dataset.schema.fields] == \
+        [f.name for f in ref_dataset.schema.fields]
+    for name in CONTINUOUS:
+        assert (result.pipeline.fill_values[name]
+                == ref_pipeline.fill_values[name])
+        assert np.array_equal(
+            result.pipeline._bucketizers[name]._edges,
+            ref_pipeline._bucketizers[name]._edges)
+    for name in CONTINUOUS + CATEGORICAL:
+        assert (result.pipeline._vocabularies[name]._value_to_id
+                == ref_pipeline._vocabularies[name]._value_to_id)
+
+
+@pytest.mark.parametrize("chunk_rows", [7, 64, 10_000])
+def test_streamed_fit_is_bit_identical(tmp_path, chunk_rows):
+    path = write_file(tmp_path / "log.csv", make_rows())
+    ref_pipeline, ref_dataset = in_memory_reference(path)
+    result = ingest_file(path, IngestConfig(chunk_rows=chunk_rows,
+                                            **PIPELINE_KW))
+    assert_bit_identical(result, ref_pipeline, ref_dataset)
+
+
+@pytest.mark.parametrize("stage,at_chunk", [("fit", 2), ("fit", 5),
+                                            ("encode", 3)])
+def test_killed_and_resumed_fit_is_bit_identical(tmp_path, stage, at_chunk):
+    path = write_file(tmp_path / "log.csv", make_rows())
+    ref_pipeline, ref_dataset = in_memory_reference(path)
+    workdir = tmp_path / "wd"
+    kw = dict(chunk_rows=64, workdir=workdir, **PIPELINE_KW)
+    with pytest.raises(InjectedCrash):
+        ChunkedIngestor(path, IngestConfig(**kw),
+                        on_chunk=CrashAtChunk(at_chunk=at_chunk,
+                                              stage=stage)).run()
+    result = ingest_file(path, IngestConfig(resume=True, **kw))
+    assert result.report.resumed
+    assert result.report.chunks_resumed > 0
+    assert_bit_identical(result, ref_pipeline, ref_dataset)
+
+
+def test_double_kill_then_resume(tmp_path):
+    """Two successive crashes at different stages still converge."""
+    path = write_file(tmp_path / "log.csv", make_rows(400, seed=3))
+    ref_pipeline, ref_dataset = in_memory_reference(path)
+    kw = dict(chunk_rows=32, workdir=tmp_path / "wd", **PIPELINE_KW)
+    with pytest.raises(InjectedCrash):
+        ChunkedIngestor(path, IngestConfig(**kw),
+                        on_chunk=CrashAtChunk(at_chunk=4)).run()
+    with pytest.raises(InjectedCrash):
+        ChunkedIngestor(path, IngestConfig(resume=True, **kw),
+                        on_chunk=CrashAtChunk(at_chunk=6)).run()
+    result = ingest_file(path, IngestConfig(resume=True, **kw))
+    assert_bit_identical(result, ref_pipeline, ref_dataset)
+
+
+def test_chaos_quarantine_accounting_is_exact(tmp_path):
+    """k injected corrupt rows -> exactly k quarantined, dataset equals
+    the in-memory fit on the clean subset."""
+    clean_rows = make_rows(500, seed=7)
+    clean_path = write_file(tmp_path / "clean.csv", clean_rows)
+    ref_pipeline, ref_dataset = in_memory_reference(clean_path)
+
+    dirty_path = write_file(tmp_path / "dirty.csv", clean_rows)
+    k = 50  # 10% of rows
+    positions = {int(p): GARBAGE_LINES[i % len(GARBAGE_LINES)]
+                 for i, p in enumerate(
+                     np.linspace(1, len(clean_rows), k).astype(int))}
+    assert len(positions) == k
+    inject_garbage_lines(dirty_path, positions)
+
+    metrics = MetricsRegistry()
+    qpath = tmp_path / "quarantine.jsonl"
+    result = ingest_file(
+        dirty_path,
+        IngestConfig(chunk_rows=48, on_error="quarantine",
+                     quarantine_path=qpath, **PIPELINE_KW),
+        metrics=metrics)
+
+    records = [json.loads(line) for line in qpath.read_text().splitlines()]
+    assert len(records) == k
+    assert result.report.rows_quarantined == k
+    assert metrics.counter("ingest.quarantined").value == k
+    assert result.report.rows_read == len(clean_rows) + k
+    assert result.report.rows_ok == len(clean_rows)
+    assert sum(result.report.errors.values()) == k
+    # every record points at a real line of the dirty file
+    dirty_lines = dirty_path.read_text(errors="replace").splitlines()
+    for record in records:
+        assert dirty_lines[record["line"] - 1] is not None
+        assert record["code"] in ("parse", "arity", "label", "numeric")
+    # and the surviving dataset is the clean one, bit for bit
+    assert_bit_identical(result, ref_pipeline, ref_dataset)
+
+
+def test_chaos_with_kill_and_resume_keeps_accounting_exact(tmp_path):
+    """Crash mid-quarantine, resume, and the sidecar still counts k."""
+    clean_rows = make_rows(400, seed=11)
+    ref_path = write_file(tmp_path / "clean.csv", clean_rows)
+    ref_pipeline, ref_dataset = in_memory_reference(ref_path)
+
+    dirty_path = write_file(tmp_path / "dirty.csv", clean_rows)
+    k = 40
+    positions = {int(p): GARBAGE_LINES[i % len(GARBAGE_LINES)]
+                 for i, p in enumerate(
+                     np.linspace(1, len(clean_rows), k).astype(int))}
+    inject_garbage_lines(dirty_path, positions)
+
+    workdir = tmp_path / "wd"
+    kw = dict(chunk_rows=32, on_error="quarantine", workdir=workdir,
+              **PIPELINE_KW)
+    with pytest.raises(InjectedCrash):
+        ChunkedIngestor(dirty_path, IngestConfig(**kw),
+                        on_chunk=CrashAtChunk(at_chunk=5)).run()
+    metrics = MetricsRegistry()
+    result = ingest_file(dirty_path, IngestConfig(resume=True, **kw),
+                         metrics=metrics)
+
+    records = (workdir / "quarantine.jsonl").read_text().splitlines()
+    assert len(records) == k
+    assert result.report.rows_quarantined == k
+    assert result.report.rows_ok == len(clean_rows)
+    # lines never double-reported across the kill/resume boundary
+    lines = [json.loads(r)["line"] for r in records]
+    assert len(lines) == len(set(lines))
+    assert_bit_identical(result, ref_pipeline, ref_dataset)

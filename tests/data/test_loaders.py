@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.data.errors import ArityError, IngestError, SchemaError
 from repro.data.loaders import (
     CRITEO_CATEGORICAL_COLUMNS,
     CRITEO_INTEGER_COLUMNS,
@@ -12,6 +13,7 @@ from repro.data.loaders import (
     negative_downsample,
     read_csv,
 )
+from repro.data.vocabulary import OOV_ID
 
 
 @pytest.fixture()
@@ -66,6 +68,57 @@ class TestReadCSV:
         path.write_text("1,2\n")
         with pytest.raises(ValueError):
             read_csv(path, header=False, column_names=["only_one"])
+
+
+class TestTypedReadCSVErrors:
+    """read_csv failures carry the file path and the 1-based line number
+    (and stay catchable as plain ValueError for old callers)."""
+
+    def test_truly_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(IngestError) as excinfo:
+            read_csv(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.line_number == 1
+        assert "header" in excinfo.value.reason
+
+    def test_header_only_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(IngestError) as excinfo:
+            read_csv(path)
+        assert excinfo.value.line_number == 2
+        assert "no data rows" in excinfo.value.reason
+
+    def test_ragged_row_names_offending_line(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n4,5\n")
+        with pytest.raises(ArityError) as excinfo:
+            read_csv(path)
+        assert excinfo.value.line_number == 3
+        assert excinfo.value.raw == "3"
+        assert f"{path}:3" in str(excinfo.value)
+
+    def test_headerless_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1,2\n3,4,5\n")
+        with pytest.raises(ArityError) as excinfo:
+            read_csv(path, header=False, column_names=["a", "b"])
+        assert excinfo.value.line_number == 2
+
+    def test_name_count_mismatch_is_schema_error(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1,2\n")
+        with pytest.raises(SchemaError):
+            read_csv(path, header=False, column_names=["only_one"])
+
+    def test_error_codes_stable(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n1\n")
+        with pytest.raises(ArityError) as excinfo:
+            read_csv(path)
+        assert excinfo.value.code == "arity"
 
 
 class TestCriteoFormat:
@@ -178,6 +231,56 @@ class TestCTRPipeline:
         columns = read_csv(path)
         with pytest.raises(ValueError):
             CTRPipeline(categorical=["site"]).fit_transform(columns)
+
+
+class TestOOVFoldRule:
+    """The documented offline rule (shared with the serving validator):
+    transform imputes the *training* median, folds None/NaN/unseen
+    categoricals to OOV, and treats "" as a real categorical value."""
+
+    @pytest.fixture()
+    def fitted(self, csv_file):
+        pipeline = CTRPipeline(categorical=["site"], continuous=["price"])
+        pipeline.fit(read_csv(csv_file))
+        return pipeline
+
+    def test_fill_value_is_training_median(self, fitted):
+        # present prices at fit: 3.5, 1.0, 9.9, 2.2 -> median 2.85
+        assert fitted.fill_values["price"] == pytest.approx(2.85)
+
+    def test_transform_uses_training_median_not_batch_median(self, fitted):
+        # A serving-time batch whose own median would be wildly different:
+        batch = {"label": ["0", "0"], "site": ["siteA", "siteA"],
+                 "price": ["", "1000"]}
+        imputed = fitted.transform(batch)
+        explicit = fitted.transform(
+            {"label": ["0", "0"], "site": ["siteA", "siteA"],
+             "price": ["2.85", "1000"]})
+        assert np.array_equal(imputed.x, explicit.x)
+
+    def test_out_of_range_clips_to_extreme_buckets(self, fitted):
+        low_high = fitted.transform(
+            {"label": ["0", "0"], "site": ["siteA", "siteA"],
+             "price": ["-1e9", "1e9"]})
+        edges = fitted.transform(
+            {"label": ["0", "0"], "site": ["siteA", "siteA"],
+             "price": ["1.0", "9.9"]})  # training min / max
+        assert np.array_equal(low_high.x[:, 0], edges.x[:, 0])
+
+    def test_unseen_and_none_categorical_fold_to_oov(self, fitted):
+        dataset = fitted.transform(
+            {"label": ["0", "0"], "site": ["never_seen", None],
+             "price": ["2.0", "2.0"]})
+        assert dataset.x[0, 1] == OOV_ID
+        assert dataset.x[1, 1] == OOV_ID
+
+    def test_empty_string_categorical_is_a_real_value(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("label,site\n1,\n0,\n1,siteA\n0,siteA\n")
+        pipeline = CTRPipeline(categorical=["site"], min_count=2)
+        dataset = pipeline.fit_transform(read_csv(path))
+        assert pipeline._vocabularies["site"].lookup("") != OOV_ID
+        assert dataset.x[0, 0] == dataset.x[1, 0] != OOV_ID
 
 
 class TestNegativeDownsampling:

@@ -1,0 +1,100 @@
+"""The data-layer fault zoo: flaky IO, file mangling, chunk crashes.
+
+These injectors drive the ingest chaos suite (and the CI ``ingest-chaos``
+job); here each one's own contract is pinned down.
+"""
+
+import pytest
+
+from repro.resilience import (
+    CrashAtChunk,
+    FlakyFile,
+    InjectedCrash,
+    inject_garbage_lines,
+    truncate_file,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture
+def sample(tmp_path):
+    path = tmp_path / "log.csv"
+    path.write_text("label,I1\n1,2\n0,3\n1,4\n")
+    return path
+
+
+class TestFlakyFile:
+    def test_injects_then_recovers(self, sample):
+        flaky = FlakyFile(fail_reads=2)
+        handle = flaky(str(sample))
+        with pytest.raises(OSError):
+            handle.readline()
+        with pytest.raises(OSError):
+            handle.readline()
+        assert handle.readline() == b"label,I1\n"
+        assert flaky.injected == 2
+
+    def test_open_failures(self, sample):
+        flaky = FlakyFile(fail_reads=0, fail_opens=1)
+        with pytest.raises(OSError):
+            flaky(str(sample))
+        handle = flaky(str(sample))
+        assert handle.readline() == b"label,I1\n"
+        assert flaky.injected == 1
+
+    def test_handle_delegates(self, sample):
+        handle = FlakyFile(fail_reads=0)(str(sample))
+        handle.seek(0)
+        assert handle.readable()
+        handle.close()
+
+
+class TestTruncateFile:
+    def test_drops_exact_bytes(self, sample):
+        size = sample.stat().st_size
+        new_size = truncate_file(sample, 3)
+        assert new_size == size - 3 == sample.stat().st_size
+        assert not sample.read_bytes().endswith(b"\n")
+
+    def test_cannot_go_negative(self, sample):
+        assert truncate_file(sample, 10_000) == 0
+        with pytest.raises(ValueError):
+            truncate_file(sample, -1)
+
+
+class TestInjectGarbageLines:
+    def test_splices_at_positions(self, sample):
+        inserted = inject_garbage_lines(sample, {1: b"garbage",
+                                                 3: b"more"})
+        assert inserted == 2
+        lines = sample.read_bytes().splitlines()
+        assert lines[1] == b"garbage"
+        # original index 3 shifted by the earlier insert
+        assert b"more" in lines
+        assert len(lines) == 6
+
+    def test_rejects_out_of_range(self, sample):
+        with pytest.raises(ValueError, match="outside"):
+            inject_garbage_lines(sample, {99: b"x"})
+
+    def test_appends_newline_to_raw_bytes(self, sample):
+        inject_garbage_lines(sample, {0: b"\xff\xfe raw bytes"})
+        assert sample.read_bytes().startswith(b"\xff\xfe raw bytes\n")
+
+
+class TestCrashAtChunk:
+    def test_fires_once_at_threshold(self):
+        crash = CrashAtChunk(at_chunk=2)
+        crash("fit", 0)
+        with pytest.raises(InjectedCrash):
+            crash("fit", 1)
+        assert crash.fired
+        crash("fit", 2)  # disarmed
+
+    def test_stage_filter(self):
+        crash = CrashAtChunk(at_chunk=1, stage="encode")
+        crash("fit", 0)
+        crash("fit", 1)
+        with pytest.raises(InjectedCrash):
+            crash("encode", 0)

@@ -120,3 +120,53 @@ class TestValidateBatch:
         assert rows.dtype == np.int64
         assert errors[0] is None and errors[2] is None
         assert isinstance(errors[1], InvalidRequestError)
+
+
+class TestOfflineOnlineAgreement:
+    """The OOV-fold rule is one rule, applied by two layers: requests
+    validated online encode to exactly the ids the training pipeline
+    produces offline for the same raw values."""
+
+    @pytest.fixture
+    def fitted_pipeline(self, tmp_path):
+        from repro.data import CTRPipeline, read_csv
+
+        path = tmp_path / "train.csv"
+        path.write_text(
+            "label,site,device\n"
+            "1,siteA,phone\n0,siteB,phone\n1,siteA,desktop\n"
+            "0,siteA,phone\n1,siteB,desktop\n0,,phone\n0,,desktop\n")
+        pipeline = CTRPipeline(categorical=["site", "device"], min_count=2)
+        pipeline.fit(read_csv(path))
+        return pipeline
+
+    @pytest.fixture
+    def online_validator(self, fitted_pipeline):
+        vocabs = FieldVocabularies(min_count=fitted_pipeline.min_count)
+        vocabs.vocabularies = [
+            fitted_pipeline._vocabularies[name]
+            for name in fitted_pipeline.field_names]
+        return RequestValidator(fitted_pipeline.schema,
+                                vocabularies=vocabs)
+
+    @pytest.mark.parametrize("site,device", [
+        ("siteA", "phone"),
+        ("siteB", "desktop"),
+        ("never_seen", "phone"),   # unseen folds to OOV in both layers
+        ("", "desktop"),           # "" is a learned value in both layers
+        (None, "phone"),           # None folds to OOV in both layers
+    ])
+    def test_request_matches_offline_encoding(self, fitted_pipeline,
+                                              online_validator,
+                                              site, device):
+        online = online_validator.validate({"site": site, "device": device})
+        offline = fitted_pipeline.transform(
+            {"label": ["0"], "site": [site], "device": [device]}).x[0]
+        assert online.tolist() == offline.tolist()
+
+    def test_missing_field_matches_offline_none(self, fitted_pipeline,
+                                                online_validator):
+        online = online_validator.validate({"device": "phone"})
+        offline = fitted_pipeline.transform(
+            {"label": ["0"], "site": [None], "device": ["phone"]}).x[0]
+        assert online.tolist() == offline.tolist()

@@ -289,3 +289,83 @@ class TestServingParser:
             ["predict", "--input", "in.jsonl", "--out", "out.jsonl"])
         assert args.input == "in.jsonl"
         assert args.out == "out.jsonl"
+
+
+class TestIngestCLI:
+    CSV = ("label,I1,C1,C2\n"
+           "1,0.5,a,x\n0,1.5,b,y\n1,2.5,a,x\n0,3.5,c,y\n"
+           "bad_label,4.5,a,x\n"
+           "0,5.5,b,z\n1,6.5,a,y\n")
+
+    def test_parser_on_error_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["ingest", "f.csv", "--categorical", "C1",
+                 "--on-error", "explode"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["ingest", "f.csv", "--categorical", "C1", "C2"])
+        assert args.on_error == "raise"
+        assert args.chunk_rows == 4096
+        assert args.resume is False
+
+    def test_missing_file_is_operator_error(self, tmp_path, capsys):
+        code = main(["ingest", str(tmp_path / "nope.csv"),
+                     "--categorical", "C1"])
+        assert code == 2
+
+    def test_bad_row_under_raise_is_data_error(self, tmp_path, capsys):
+        path = tmp_path / "log.csv"
+        path.write_text(self.CSV)
+        code = main(["ingest", str(path), "--categorical", "C1", "C2",
+                     "--continuous", "I1"])
+        assert code == 1
+        assert "label" in capsys.readouterr().err
+
+    def test_quarantine_run_reports_json(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "log.csv"
+        path.write_text(self.CSV)
+        qpath = tmp_path / "q.jsonl"
+        out = tmp_path / "encoded.npz"
+        code = main(["ingest", str(path), "--categorical", "C1", "C2",
+                     "--continuous", "I1", "--on-error", "quarantine",
+                     "--quarantine", str(qpath), "--out", str(out)])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert report["rows"] == {"read": 7, "ok": 6,
+                                  "skipped": 0, "quarantined": 1}
+        assert report["dataset"]["rows"] == 6
+        records = [json.loads(l) for l in qpath.read_text().splitlines()]
+        assert [r["code"] for r in records] == ["label"]
+        archive = np.load(out)
+        assert archive["x"].shape == (6, 3)
+
+    def test_crash_then_resume_exit_codes(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "log.csv"
+        path.write_text("label,I1,C1\n" + "".join(
+            f"{i % 2},{i}.5,c{i % 4}\n" for i in range(40)))
+        workdir = tmp_path / "wd"
+        base = ["ingest", str(path), "--categorical", "C1",
+                "--continuous", "I1", "--chunk-rows", "8",
+                "--workdir", str(workdir)]
+        code = main(base + ["--crash-at-chunk", "2"])
+        assert code == 3
+        crashed = json.loads(capsys.readouterr().out)
+        assert crashed["status"] == "crashed"
+        code = main(base + ["--resume"])
+        assert code == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["status"] == "ok"
+        assert resumed["resumed"] is True
+        assert resumed["chunks"]["resumed"] == 2
+        assert resumed["dataset"]["rows"] == 40
+
+    def test_resume_without_workdir_is_operator_error(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(self.CSV)
+        assert main(["ingest", str(path), "--categorical", "C1",
+                     "--resume"]) == 2
