@@ -225,6 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-wait-ms", type=float, default=None,
                        help="socket mode: shed when estimated queue wait "
                             "exceeds this")
+    serve.add_argument("--batch-size", type=int, default=1,
+                       help="micro-batching: max requests coalesced into one "
+                            "scoring call (1 = classic single-request path; "
+                            "scores are bit-for-bit identical either way)")
+    serve.add_argument("--batch-wait-ms", type=float, default=0.0,
+                       help="micro-batching: how long the first request in a "
+                            "forming batch may wait for company (0 only "
+                            "coalesces what is already queued)")
     serve.add_argument("--reload-interval", type=float, default=1.0,
                        metavar="SECONDS",
                        help="how often to poll --checkpoint-dir for new "
@@ -567,8 +575,11 @@ def _cmd_serve(args) -> int:
             return serve_socket(stack, host=args.host, port=args.port,
                                 workers=args.workers,
                                 queue_depth=args.queue_depth,
-                                max_wait_ms=args.max_wait_ms)
-        return serve_stdio(stack)
+                                max_wait_ms=args.max_wait_ms,
+                                batch_size=args.batch_size,
+                                batch_wait_ms=args.batch_wait_ms)
+        return serve_stdio(stack, batch_size=args.batch_size,
+                           batch_wait_ms=args.batch_wait_ms)
     finally:
         if bus is not None:
             bus.close()

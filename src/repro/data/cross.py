@@ -70,8 +70,15 @@ class CrossProductTransform:
         self._fitted = True
         return self
 
-    def transform(self, x: np.ndarray) -> np.ndarray:
-        """Map an id matrix to cross ids, shape ``[n, num_pairs]``."""
+    def transform(self, x: np.ndarray, *,
+                  assume_valid: bool = False) -> np.ndarray:
+        """Map an id matrix to cross ids, shape ``[n, num_pairs]``.
+
+        ``assume_valid=True`` skips the per-column id-range scan — the
+        fast path for callers that already guarantee every id lies in
+        ``[0, cardinality)``, such as the serving path whose validator
+        folds out-of-range ids to OOV before any batch is built.
+        """
         if not self._fitted:
             raise RuntimeError("transform called before fit")
         x = np.asarray(x)
@@ -82,13 +89,14 @@ class CrossProductTransform:
         # Ids outside the fit-time cardinality would alias another pair's
         # key (key = x_i * card_j + x_j is only injective on the fitted
         # ranges), silently mapping to a *wrong* cross id — reject them.
-        for col, card in enumerate(self._field_cards):
-            column = x[:, col]
-            if column.size and (column.min() < 0 or column.max() >= card):
-                raise ValueError(
-                    f"field {col} ids must be in [0, {card}) as fitted; "
-                    f"got min={column.min()}, max={column.max()}"
-                )
+        if not assume_valid:
+            for col, card in enumerate(self._field_cards):
+                column = x[:, col]
+                if column.size and (column.min() < 0 or column.max() >= card):
+                    raise ValueError(
+                        f"field {col} ids must be in [0, {card}) as fitted; "
+                        f"got min={column.min()}, max={column.max()}"
+                    )
         out = np.empty((x.shape[0], len(self.pairs)), dtype=np.int64)
         for pair_idx, (i, j) in enumerate(self.pairs):
             kept = self._kept_keys[pair_idx]

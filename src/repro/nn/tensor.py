@@ -14,6 +14,7 @@ central finite differences in ``tests/nn/test_autograd.py``.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -42,6 +43,49 @@ class no_grad:
 def is_grad_enabled() -> bool:
     """Return whether new operations are currently recorded in the graph."""
     return _grad_enabled
+
+
+_rowwise_state = threading.local()
+
+
+class rowwise_matmul:
+    """Context manager forcing 2-D matmuls to be computed row by row.
+
+    BLAS GEMM kernels pick different blocking (and therefore different
+    floating-point summation orders) depending on the number of rows, so
+    ``(A @ W)[i]`` is generally **not** bit-identical to ``A[i:i+1] @ W``.
+    Under this context every ``[n, k] @ [k, m]`` product with ``n > 1``
+    is computed as ``n`` independent ``[1, k] @ [k, m]`` calls — exactly
+    the call a batch-of-one makes — so batched inference is bit-for-bit
+    equal to scoring each row alone.  Stacked (3-D+) matmuls already
+    compute each leading-axis slice independently and are left alone.
+
+    The flag is thread-local: a serving worker scoring a coalesced batch
+    does not perturb training running in another thread.  Intended for
+    inference only (forward values change at the ULP level; gradients
+    still flow through the standard backward path).
+    """
+
+    def __enter__(self) -> "rowwise_matmul":
+        self._prev = getattr(_rowwise_state, "enabled", False)
+        _rowwise_state.enabled = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _rowwise_state.enabled = self._prev
+
+
+def is_rowwise_matmul() -> bool:
+    """Whether 2-D matmuls are currently computed row by row."""
+    return getattr(_rowwise_state, "enabled", False)
+
+
+def _rowwise_mm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with each row of ``a`` multiplied in its own BLAS call."""
+    out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+    for i in range(a.shape[0]):
+        out[i] = (a[i:i + 1] @ b)[0]
+    return out
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -276,7 +320,11 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out_data = self.data @ other.data
+        if (self.data.ndim == 2 and other.data.ndim == 2
+                and self.data.shape[0] > 1 and is_rowwise_matmul()):
+            out_data = _rowwise_mm(self.data, other.data)
+        else:
+            out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -376,6 +424,15 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        # Advanced indexing on a non-leading axis (e.g. ``emb[:, idx, :]``)
+        # hands back a freshly-allocated but *transposed-layout* array, and
+        # numpy's pairwise reductions block differently over strided
+        # buffers depending on the leading extent — which would make
+        # batched inference differ bitwise from single-row inference.
+        # Restore C order for fresh copies; true views are left untouched.
+        if (not out_data.flags.c_contiguous
+                and not np.may_share_memory(out_data, self.data)):
+            out_data = np.ascontiguousarray(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -524,7 +581,11 @@ def embedding_lookup(table: Tensor, indices: np.ndarray,
     indices identically (bit-for-bit; see ``tests/nn/test_sparse_dense_equivalence.py``).
     """
     indices = np.asarray(indices)
-    out_data = table.data[indices]
+    # A gather is always a fresh array, but fancy indexing with transposed-
+    # layout indices (advanced indexing on a non-leading axis upstream)
+    # propagates that layout; force C order so downstream reductions are
+    # independent of the batch extent (see ``rowwise_matmul``).
+    out_data = np.ascontiguousarray(table.data[indices])
     sparse = _sparse_grad_eligible(table, dense_grad)
 
     def backward(grad: np.ndarray) -> None:

@@ -21,12 +21,16 @@ answer inside its deadline**.  Six cooperating pieces:
   (``serve_request`` / ``degrade`` / ``reload`` / ``shed``).
 * :mod:`repro.serving.faults` — serving-side fault injectors mirroring
   :mod:`repro.resilience.faults`, driving the chaos suite.
+* :mod:`repro.serving.batching` — micro-batching: coalesce queued
+  requests into one scoring call, bit-for-bit equal to sequential
+  single-request scoring.
 
 ``repro serve`` (stdio or threaded socket JSONL) and ``repro predict``
 (batch scoring) expose it from the CLI; see ``docs/serving.md``.
 """
 
 from .backoff import backoff_delays, retry_with_backoff
+from .batching import MicroBatcher
 from .degradation import (
     CircuitBreaker,
     DegradationLadder,
@@ -50,10 +54,12 @@ from .server import (
     SocketServer,
     build_serving_stack,
     handle_request_line,
+    handle_request_lines,
     serve_socket,
     serve_stdio,
 )
 from .service import (
+    BatchRequest,
     PredictionResponse,
     PredictionService,
     STATUS_DEGRADED,
@@ -77,6 +83,8 @@ __all__ = [
     "LEVEL_MAIN_EFFECTS",
     "LEVEL_PRIOR",
     "BoundedRequestQueue",
+    "MicroBatcher",
+    "BatchRequest",
     "GoldenSet",
     "HotReloader",
     "PredictionService",
@@ -92,6 +100,7 @@ __all__ = [
     "SocketServer",
     "build_serving_stack",
     "handle_request_line",
+    "handle_request_lines",
     "serve_stdio",
     "serve_socket",
 ]

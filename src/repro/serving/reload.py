@@ -60,18 +60,34 @@ class GoldenSet:
         self.requests = list(requests)
         self.expected = list(expected) if expected is not None else None
         self.tolerance = tolerance
+        self._row_cache: Dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.requests)
+
+    def _validated_row(self, service: PredictionService,
+                       i: int) -> np.ndarray:
+        """Validate request ``i`` once and cache the row.
+
+        Golden requests are fixed for the set's lifetime, so
+        re-validating them on every reload poll is pure overhead; the
+        cached row also rides ``_build_batch``'s ``pre_validated`` fast
+        path, skipping the cross transform's id-range re-scan.
+        """
+        row = self._row_cache.get(i)
+        if row is None:
+            row = service.validator.validate(self.requests[i])
+            self._row_cache[i] = row
+        return row
 
     def check(self, service: PredictionService,
               model: CTRModel) -> Optional[str]:
         """Sanity-score ``model`` on every request; a one-line failure
         reason, or ``None`` when the model passes."""
-        for i, request in enumerate(self.requests):
+        for i in range(len(self.requests)):
             try:
-                row = service.validator.validate(request)
-                batch = service._build_batch(row, model)
+                row = self._validated_row(service, i)
+                batch = service._build_batch(row, model, pre_validated=True)
                 probability = float(model.predict_proba(batch)[0])
             except Exception as exc:  # noqa: BLE001 — any failure vetoes
                 return f"golden request {i} failed to score: {exc}"
@@ -91,15 +107,17 @@ class GoldenSet:
                tolerance: float = 0.25) -> "GoldenSet":
         """Pin expectations from the currently-served model's answers."""
         model = service.model
+        golden = cls(requests, tolerance=tolerance)
         expected: List[Optional[float]] = []
-        for request in requests:
+        for i in range(len(golden.requests)):
             try:
-                row = service.validator.validate(request)
-                batch = service._build_batch(row, model)
+                row = golden._validated_row(service, i)
+                batch = service._build_batch(row, model, pre_validated=True)
                 expected.append(float(model.predict_proba(batch)[0]))
             except Exception:
                 expected.append(None)
-        return cls(requests, expected=expected, tolerance=tolerance)
+        golden.expected = expected
+        return golden
 
 
 class HotReloader:

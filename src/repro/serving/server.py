@@ -40,12 +40,14 @@ from ..obs.export import CONTENT_TYPE, render_prometheus
 from ..obs.metrics import MetricsRegistry
 from ..obs.monitor import DriftMonitor
 from ..resilience.checkpoint import CheckpointManager
+from .batching import MicroBatcher
 from .degradation import CircuitBreaker
 from .errors import OverloadedError
 from .faults import FlakyModel, ServeCrash, SlowModel, valid_requests
 from .queue import BoundedRequestQueue
 from .reload import GoldenSet, HotReloader
-from .service import PredictionService, PredictionResponse, STATUS_INVALID
+from .service import (BatchRequest, PredictionService, PredictionResponse,
+                      STATUS_INVALID)
 from .validation import RequestValidator
 
 #: zoo models `repro serve --model` can instantiate without a search stage.
@@ -286,6 +288,63 @@ def handle_request_line(line: str, service: PredictionService,
     return response.as_dict(), False
 
 
+def handle_request_lines(lines: List[str], service: PredictionService,
+                         queued_ats: Optional[List[Optional[float]]] = None
+                         ) -> Tuple[List[Dict[str, Any]], bool]:
+    """A coalesced run of protocol lines → ``(response dicts, shutdown)``.
+
+    The batched counterpart of :func:`handle_request_line`: contiguous
+    scoring lines are stacked into one
+    :meth:`PredictionService.predict_batch` call; op lines (and
+    unparseable ones) are handled inline, flushing the pending scoring
+    run first so responses keep input order.  One response dict per
+    input line (``{}`` for blank lines); lines after a shutdown op are
+    left unanswered, exactly like the sequential loop.
+    """
+    if queued_ats is None:
+        queued_ats = [None] * len(lines)
+    responses: List[Dict[str, Any]] = [{} for _ in lines]
+    pending: List[Tuple[int, BatchRequest]] = []
+    shutdown = False
+
+    def flush() -> None:
+        if not pending:
+            return
+        crash = getattr(service, "_crash", None)
+        if crash is not None:
+            for _ in pending:
+                crash()
+        answers = service.predict_batch([req for _, req in pending])
+        for (idx, _), answer in zip(pending, answers):
+            responses[idx] = answer.as_dict()
+        pending.clear()
+
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            responses[i] = PredictionResponse(
+                status=STATUS_INVALID,
+                error={"code": "invalid_request",
+                       "message": f"unparseable JSON: {exc}"}).as_dict()
+            continue
+        if isinstance(payload, dict) and "op" in payload:
+            flush()
+            responses[i], shutdown = handle_request_line(stripped, service)
+            if shutdown:
+                break
+            continue
+        features, request_id, _priority, deadline_s = split_envelope(payload)
+        pending.append((i, BatchRequest(
+            features, deadline_s=deadline_s, request_id=request_id,
+            queued_at=queued_ats[i])))
+    flush()
+    return responses, shutdown
+
+
 def split_envelope(payload: Any
                    ) -> Tuple[Any, Optional[str], int, Optional[float]]:
     """Extract ``(features, request_id, priority, deadline_s)``."""
@@ -309,8 +368,15 @@ def split_envelope(payload: Any
     return features, request_id, priority, deadline_s
 
 
-def serve_stdio(stack: ServingStack, stdin=None, stdout=None) -> int:
-    """Blocking stdin/stdout JSONL loop (sequential, no queue)."""
+def serve_stdio(stack: ServingStack, stdin=None, stdout=None, *,
+                batch_size: int = 1, batch_wait_ms: float = 0.0) -> int:
+    """Blocking stdin/stdout JSONL loop.
+
+    ``batch_size=1`` (the default) is the classic sequential loop.  With
+    ``batch_size > 1`` a reader thread feeds a queue drained by a
+    :class:`MicroBatcher`, so pipelined clients get coalesced scoring —
+    responses still come back one per request line, in input order.
+    """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     if stack.reloader is not None:
@@ -320,20 +386,77 @@ def serve_stdio(stack: ServingStack, stdin=None, stdout=None) -> int:
                       "dataset": stack.dataset,
                       "notes": stack.notes}), file=stdout, flush=True)
     try:
-        for line in stdin:
-            queued_at = stack.service.tracer.clock()
-            if stack.reloader is not None and stack.reloader._thread is None:
-                stack.reloader.poll_once()
-            response, shutdown = handle_request_line(line, stack.service,
-                                                     queued_at=queued_at)
-            if response:
-                print(json.dumps(response), file=stdout, flush=True)
-            if shutdown:
-                break
+        if batch_size <= 1:
+            for line in stdin:
+                queued_at = stack.service.tracer.clock()
+                if (stack.reloader is not None
+                        and stack.reloader._thread is None):
+                    stack.reloader.poll_once()
+                response, shutdown = handle_request_line(line, stack.service,
+                                                         queued_at=queued_at)
+                if response:
+                    print(json.dumps(response), file=stdout, flush=True)
+                if shutdown:
+                    break
+        else:
+            _serve_stdio_batched(stack, stdin, stdout,
+                                 batch_size=batch_size,
+                                 batch_wait_ms=batch_wait_ms)
     finally:
         if stack.reloader is not None:
             stack.reloader.stop()
     return 0
+
+
+def _serve_stdio_batched(stack: ServingStack, stdin, stdout, *,
+                         batch_size: int, batch_wait_ms: float) -> None:
+    """Reader thread → FIFO queue → MicroBatcher → ordered responses.
+
+    The queue is deliberately deep and fed at priority 0 only: stdio has
+    no shedding contract — a full queue is pure backpressure (the reader
+    retries, which simply stops consuming stdin), never a drop.
+    """
+    import time as _time
+
+    queue = BoundedRequestQueue(max_depth=max(1024, batch_size * 64))
+
+    def _read() -> None:
+        try:
+            for line in stdin:
+                if not line.strip():
+                    continue
+                item = (line, stack.service.tracer.clock())
+                while not queue.put(item):
+                    _time.sleep(0.005)
+        except (OSError, ValueError, RuntimeError):
+            pass  # closed pipe or closed queue — drain what we have
+        finally:
+            try:
+                queue.close()
+            except RuntimeError:
+                pass
+
+    reader = threading.Thread(target=_read, name="stdio-reader", daemon=True)
+    reader.start()
+    batcher = MicroBatcher(queue, max_batch_size=batch_size,
+                           max_wait_ms=batch_wait_ms)
+    while True:
+        items = batcher.next_batch(timeout=0.2)
+        if items is None:
+            if not reader.is_alive() and len(queue) == 0:
+                return
+            continue
+        if stack.reloader is not None and stack.reloader._thread is None:
+            stack.reloader.poll_once()
+        lines = [line for line, _ in items]
+        queued = [queued_at for _, queued_at in items]
+        responses, shutdown = handle_request_lines(lines, stack.service,
+                                                   queued_ats=queued)
+        for response in responses:
+            if response:
+                print(json.dumps(response), file=stdout, flush=True)
+        if shutdown:
+            return
 
 
 # ----------------------------------------------------------------------
@@ -345,14 +468,20 @@ class SocketServer:
     def __init__(self, stack: ServingStack, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 4,
                  queue_depth: int = 64,
-                 max_wait_ms: Optional[float] = None) -> None:
+                 max_wait_ms: Optional[float] = None,
+                 batch_size: int = 1,
+                 batch_wait_ms: float = 0.0) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.stack = stack
         self.service = stack.service
         self.host = host
         self.port = port
         self.workers = workers
+        self.batch_size = batch_size
+        self.batch_wait_ms = batch_wait_ms
         self.queue = BoundedRequestQueue(
             max_depth=queue_depth,
             max_wait_s=None if max_wait_ms is None else max_wait_ms / 1e3,
@@ -369,6 +498,8 @@ class SocketServer:
         write(response.as_dict())
 
     def _worker(self) -> None:
+        if self.batch_size > 1:
+            return self._batch_worker()
         while True:
             item = self.queue.get(timeout=0.2)
             if item is None:
@@ -385,6 +516,34 @@ class SocketServer:
                                       "message": str(exc)}}
             if response:
                 write(response)
+
+    def _batch_worker(self) -> None:
+        """Worker loop coalescing queue entries via :class:`MicroBatcher`.
+
+        Probes never reach the queue (readers answer them directly), so
+        every drained entry is a scoring line; responses go back through
+        each entry's own connection writer in batch order.
+        """
+        batcher = MicroBatcher(self.queue, max_batch_size=self.batch_size,
+                               max_wait_ms=self.batch_wait_ms)
+        while True:
+            items = batcher.next_batch(timeout=0.2)
+            if items is None:
+                if self._stop.is_set():
+                    return
+                continue
+            lines = [line for _write, line, _rid, _q in items]
+            queued = [queued_at for _w, _l, _rid, queued_at in items]
+            try:
+                responses, _shutdown = handle_request_lines(
+                    lines, self.service, queued_ats=queued)
+            except Exception as exc:  # noqa: BLE001 — workers must survive
+                responses = [{"status": "error",
+                              "error": {"code": "internal",
+                                        "message": str(exc)}}] * len(items)
+            for (write, _line, _rid, _q), response in zip(items, responses):
+                if response:
+                    write(response)
 
     # -- connection plumbing --------------------------------------------
     def _handle_connection(self, conn: socket.socket) -> None:
@@ -493,11 +652,13 @@ def _safe_json(line: str) -> Any:
 
 def serve_socket(stack: ServingStack, host: str, port: int, workers: int,
                  queue_depth: int, max_wait_ms: Optional[float],
-                 stdout=None) -> int:
+                 stdout=None, batch_size: int = 1,
+                 batch_wait_ms: float = 0.0) -> int:
     """Run the socket server until ``{"op": "shutdown"}`` arrives."""
     stdout = stdout if stdout is not None else sys.stdout
     server = SocketServer(stack, host=host, port=port, workers=workers,
-                          queue_depth=queue_depth, max_wait_ms=max_wait_ms)
+                          queue_depth=queue_depth, max_wait_ms=max_wait_ms,
+                          batch_size=batch_size, batch_wait_ms=batch_wait_ms)
     host, port = server.start()
     print(json.dumps({"status": "ready", "host": host, "port": port,
                       "model": stack.model_name, "dataset": stack.dataset,

@@ -30,13 +30,14 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..data.dataset import Batch
 from ..data.schema import Schema
 from ..models.base import CTRModel
+from ..nn.tensor import rowwise_matmul
 from ..obs.events import EventBus
 from ..obs.metrics import MetricsRegistry
 from ..obs.monitor import DriftMonitor
@@ -81,6 +82,21 @@ class PredictionResponse:
             if value is not None:
                 out[key] = value
         return out
+
+
+@dataclass
+class BatchRequest:
+    """One request inside a coalesced scoring batch.
+
+    ``queued_at`` is a timestamp on the service tracer's clock taken when
+    the transport accepted the request (fills the retroactive
+    ``serve.queue`` span, exactly like :meth:`PredictionService.predict`).
+    """
+
+    features: Any
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
+    queued_at: Optional[float] = None
 
 
 @dataclass
@@ -192,16 +208,34 @@ class PredictionService:
     # ------------------------------------------------------------------
     # Scoring internals
     # ------------------------------------------------------------------
-    def _build_batch(self, row: np.ndarray,
-                     model: CTRModel) -> Batch:
+    def _build_batch(self, row: np.ndarray, model: CTRModel, *,
+                     pre_validated: bool = False) -> Batch:
         x = row.reshape(1, -1)
         x_cross = None
         if model.needs_cross:
             if self.cross_transform is None:
                 raise ModelUnavailableError(
                     "model needs cross features but none are configured")
-            x_cross = self.cross_transform.transform(x)
+            x_cross = self.cross_transform.transform(
+                x, assume_valid=pre_validated)
         return Batch(x=x, x_cross=x_cross, y=np.zeros(1))
+
+    def _build_batch_rows(self, rows: np.ndarray, model: CTRModel, *,
+                          pre_validated: bool = False) -> Batch:
+        """One coalesced :class:`Batch` from ``[n, M]`` validated rows.
+
+        The cross transform is integer arithmetic applied row by row, so
+        transforming the stacked matrix yields exactly the rows the
+        single-request path computes — the differential suite pins this.
+        """
+        x_cross = None
+        if model.needs_cross:
+            if self.cross_transform is None:
+                raise ModelUnavailableError(
+                    "model needs cross features but none are configured")
+            x_cross = self.cross_transform.transform(
+                rows, assume_valid=pre_validated)
+        return Batch(x=rows, x_cross=x_cross, y=np.zeros(len(rows)))
 
     def _score_full(self, model: CTRModel, batch: Batch) -> float:
         started = self._clock()
@@ -320,7 +354,7 @@ class PredictionService:
         # 2. Build the model input (cross features included).  A failure
         #    here is a scoring failure, not a client error.
         try:
-            batch = self._build_batch(row, model)
+            batch = self._build_batch(row, model, pre_validated=True)
         except Exception:
             self.breaker.record_failure()
             self.metrics.counter("serve.model_errors").inc()
@@ -363,6 +397,205 @@ class PredictionService:
             status=STATUS_OK, probability=probability,
             served_by=LEVEL_FULL, model_version=version,
             request_id=request_id), started, deadline_s)
+
+    def predict_batch(self, requests: Sequence[Union["BatchRequest", Any]]
+                      ) -> List[PredictionResponse]:
+        """Score many requests in one coalesced model call.
+
+        Each entry may be a :class:`BatchRequest` or a bare feature
+        mapping.  Responses come back in input order, one per request,
+        with the same per-request guarantees as :meth:`predict`: a bad
+        row quarantines *that row* into an ``invalid`` response without
+        poisoning the batch, every non-scorable row gets a degraded
+        answer from the ladder, and nothing here raises for per-request
+        faults.
+
+        Equivalence guarantee (pinned by the differential suite): for a
+        service in a deterministic state — breaker closed or open, model
+        loaded or not — the ``status`` / ``probability`` (bitwise) /
+        ``served_by`` / ``error`` fields equal what sequential
+        :meth:`predict` calls produce, at every batch size.  Scoring
+        happens under :class:`~repro.nn.tensor.rowwise_matmul` so each
+        row's floating-point path is identical to a batch of one.
+
+        Failure *accounting* is batch-level by design: a scoring failure
+        feeds the circuit breaker exactly once per batch, not once per
+        request.  The model/version pair is snapshotted once, so a hot
+        reload mid-batch can never split one batch across versions.
+        """
+        reqs = [r if isinstance(r, BatchRequest) else BatchRequest(r)
+                for r in requests]
+        if not reqs:
+            return []
+        with self.tracer.span("serve.batch", batch_size=len(reqs)) as bspan:
+            self.metrics.counter("serve.batches").inc()
+            self.metrics.histogram("serve.batch_size").observe(len(reqs))
+            responses = self._predict_batch(reqs, bspan)
+            statuses = sorted({r.status for r in responses})
+            bspan.set_attr("statuses", ",".join(statuses))
+        return responses
+
+    def _predict_batch(self, reqs: List["BatchRequest"],
+                       bspan) -> List[PredictionResponse]:
+        started = self._clock()
+        now = self.tracer.clock()
+        for req in reqs:
+            if req.queued_at is not None:
+                self.tracer.record(
+                    "serve.queue", start=req.queued_at,
+                    duration_s=max(now - req.queued_at, 0.0), parent=bspan,
+                    request_id=req.request_id)
+        with self._model_lock:
+            model = self._model
+            version = self._model_version
+
+        responses: List[Optional[PredictionResponse]] = [None] * len(reqs)
+
+        # 1. Validate each row individually: one bad row quarantines that
+        #    row into an ``invalid`` response, never the batch.
+        rows: List[np.ndarray] = []
+        valid_indices: List[int] = []
+        with self.tracer.span("serve.validate",
+                              batch_size=len(reqs)) as vspan:
+            for i, req in enumerate(reqs):
+                try:
+                    rows.append(self.validator.validate(req.features))
+                    valid_indices.append(i)
+                except InvalidRequestError as exc:
+                    responses[i] = self._finish(PredictionResponse(
+                        status=STATUS_INVALID, request_id=req.request_id,
+                        model_version=version, error=exc.as_payload()),
+                        started, req.deadline_s)
+            vspan.set_attr("invalid", len(reqs) - len(valid_indices))
+
+        row_of = {i: pos for pos, i in enumerate(valid_indices)}
+
+        def degraded(i: int, reason: str, with_model: bool = False) -> None:
+            """Ladder answer for request ``i`` — per-row batches so the
+            fallback's floating-point path matches sequential predict."""
+            req = reqs[i]
+            row = rows[row_of[i]]
+            fallback_model = model if with_model else None
+            fallback_batch = (Batch(x=row.reshape(1, -1), x_cross=None,
+                                    y=np.zeros(1)) if with_model else None)
+            with self.tracer.span("serve.degrade", reason=reason) as dspan:
+                probability, level = self.ladder.fallback(
+                    fallback_model, fallback_batch, reason=reason,
+                    request_id=req.request_id)
+                dspan.set_attr("level", level)
+            self._observe_drift(row, None)
+            responses[i] = self._finish(PredictionResponse(
+                status=STATUS_DEGRADED, probability=probability,
+                served_by=level, model_version=version,
+                request_id=req.request_id, degraded_reason=reason),
+                started, req.deadline_s)
+
+        if not valid_indices:
+            return [r for r in responses if r is not None]
+
+        if model is None:
+            for i in valid_indices:
+                degraded(i, "model_unavailable")
+            return list(responses)
+
+        # 2. Build the single coalesced batch (cross features included).
+        #    A failure here is one scoring failure for the whole batch.
+        stacked = np.stack(rows)
+        try:
+            batch = self._build_batch_rows(stacked, model,
+                                           pre_validated=True)
+        except Exception:
+            self.breaker.record_failure()
+            self.metrics.counter("serve.model_errors").inc()
+            for i in valid_indices:
+                degraded(i, "feature_error")
+            return list(responses)
+
+        # 3. Circuit breaker: consulted once per batch (a half-open
+        #    probe spends its single slot on the whole batch).
+        if not self.breaker.allow():
+            for i in valid_indices:
+                degraded(i, "breaker_open", with_model=True)
+            return list(responses)
+
+        # 4. Per-request deadline pre-check against the shared estimate.
+        to_score: List[int] = []
+        estimate = self.latency()
+        for i in valid_indices:
+            deadline_s = (reqs[i].deadline_s if reqs[i].deadline_s is not None
+                          else self.deadline_s)
+            reqs[i].deadline_s = deadline_s
+            if deadline_s is not None:
+                remaining = deadline_s - (self._clock() - started)
+                if remaining <= estimate:
+                    self.metrics.counter("serve.deadline_misses").inc()
+                    self.breaker.record_failure()
+                    degraded(i, "deadline", with_model=True)
+                    continue
+            to_score.append(i)
+        if not to_score:
+            return list(responses)
+
+        # 5. Score once, row-wise bit-identical to batch-of-one scoring.
+        if len(to_score) == len(valid_indices):
+            score_batch = batch  # nobody missed a deadline: no re-slice
+        else:
+            keep = [row_of[i] for i in to_score]
+            score_batch = Batch(
+                x=batch.x[keep],
+                x_cross=(None if batch.x_cross is None
+                         else batch.x_cross[keep]),
+                y=np.zeros(len(keep)))
+        scoring_started = self._clock()
+        with self.tracer.span("serve.score", model_version=version,
+                              batch_size=len(to_score)) as sspan:
+            try:
+                with rowwise_matmul():
+                    probabilities = np.asarray(
+                        model.predict_proba(score_batch), dtype=np.float64)
+                if probabilities.shape != (len(to_score),):
+                    raise ValueError(
+                        f"model returned {probabilities.shape} probabilities "
+                        f"for a batch of {len(to_score)}")
+            except Exception as exc:
+                self.latency.observe(self._clock() - scoring_started)
+                sspan.mark_error(exc)
+                self.breaker.record_failure()
+                self.metrics.counter("serve.model_errors").inc()
+                for i in to_score:
+                    degraded(i, "model_error", with_model=True)
+                return list(responses)
+        self.latency.observe(self._clock() - scoring_started)
+
+        # 6. Fan the answers back out with per-request bookkeeping.
+        batch_failed = False
+        for pos, i in enumerate(to_score):
+            req = reqs[i]
+            probability = float(probabilities[pos])
+            if not np.isfinite(probability):
+                batch_failed = True
+                self.metrics.counter("serve.model_errors").inc()
+                degraded(i, "model_error", with_model=True)
+                continue
+            if (req.deadline_s is not None
+                    and self._clock() - started > req.deadline_s):
+                self.metrics.counter("serve.deadline_misses").inc()
+                self.breaker.record_failure()
+                degraded(i, "deadline", with_model=True)
+                continue
+            row = rows[row_of[i]]
+            self._observe_drift(row, probability)
+            responses[i] = self._finish(PredictionResponse(
+                status=STATUS_OK, probability=probability,
+                served_by=LEVEL_FULL, model_version=version,
+                request_id=req.request_id), started, req.deadline_s)
+        if batch_failed:
+            # Non-finite rows are one scoring failure for the batch.
+            self.breaker.record_failure()
+        elif any(responses[i] is not None
+                 and responses[i].status == STATUS_OK for i in to_score):
+            self.breaker.record_success()
+        return list(responses)
 
     def shed_response(self, error: OverloadedError,
                       request_id: Optional[str] = None

@@ -85,6 +85,37 @@ class TestCrossProductTransform:
         np.testing.assert_array_equal(a, b)
 
 
+class TestAssumeValidFastPath:
+    """``transform(assume_valid=True)`` skips the id-range re-scan; the
+    default path keeps rejecting out-of-range ids with the field named."""
+
+    def test_default_still_rejects_out_of_range_naming_the_field(self, rng):
+        schema = _schema(3)
+        cross = CrossProductTransform(schema).fit(
+            rng.integers(0, 4, size=(40, 3)))
+        bad = np.array([[0, 99, 0]])
+        with pytest.raises(ValueError, match=r"field 1 ids must be in"):
+            cross.transform(bad)
+
+    def test_fast_path_matches_default_on_valid_input(self, rng):
+        schema = _schema(3)
+        x = rng.integers(0, 4, size=(60, 3))
+        cross = CrossProductTransform(schema).fit(x)
+        np.testing.assert_array_equal(cross.transform(x),
+                                      cross.transform(x, assume_valid=True))
+
+    def test_fast_path_skips_the_range_scan(self, rng):
+        """assume_valid trusts the caller: no per-column scan happens, so
+        out-of-range ids pass through (into whatever key they alias) —
+        the whole point is that serving validates *before* this call."""
+        schema = _schema(3)
+        cross = CrossProductTransform(schema).fit(
+            rng.integers(0, 4, size=(40, 3)))
+        bad = np.array([[0, 99, 0]])
+        out = cross.transform(bad, assume_valid=True)  # must not raise
+        assert out.shape == (1, schema.num_pairs)
+
+
 class TestHashedCrossTransform:
     def test_shapes_and_range(self, rng):
         schema = _schema(3)

@@ -1,0 +1,222 @@
+"""MicroBatcher flush-policy properties.
+
+The four contracts (ISSUE 8): a batch never exceeds ``max_batch_size``;
+the first request of a forming batch is never held past ``max_wait_ms``
+(checked against an injectable clock, no sleeping); batches preserve
+the queue's order (priority-descending, FIFO within a priority); and
+after ``close()`` every queued request still comes out — zero drops.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import BoundedRequestQueue, MicroBatcher
+
+pytestmark = pytest.mark.serving
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class ScriptedQueue:
+    """Duck-typed queue whose entries become visible at scripted times.
+
+    ``get(timeout)`` behaves like the real queue against the fake clock:
+    it returns the earliest not-yet-taken entry whose arrival time is
+    within ``now + timeout`` (advancing the clock to the arrival), or
+    advances the clock by the full timeout and returns ``None``.
+    """
+
+    def __init__(self, clock, arrivals):
+        self.clock = clock
+        # [(arrival_time, item)] sorted by arrival.
+        self.arrivals = sorted(arrivals, key=lambda pair: pair[0])
+        self.take_times = {}  # item -> clock time it was handed out
+
+    def _take(self):
+        _arrival, item = self.arrivals.pop(0)
+        self.take_times[item] = self.clock.now
+        return item
+
+    def get(self, timeout=None):
+        if not self.arrivals:
+            if timeout is not None:
+                self.clock.advance(timeout)
+            return None
+        arrival, _item = self.arrivals[0]
+        if arrival <= self.clock.now:
+            return self._take()
+        if timeout is None or arrival <= self.clock.now + timeout:
+            self.clock.advance(arrival - self.clock.now)
+            return self._take()
+        self.clock.advance(timeout)
+        return None
+
+
+class TestConstruction:
+    def test_rejects_bad_knobs(self):
+        queue = BoundedRequestQueue(max_depth=4)
+        with pytest.raises(ValueError):
+            MicroBatcher(queue, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(queue, max_batch_size=4, max_wait_ms=-1.0)
+
+
+class TestSizeBound:
+    @given(n_items=st.integers(0, 200), max_batch=st.integers(1, 33))
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_max_batch_size_and_never_drops(self, n_items,
+                                                          max_batch):
+        queue = BoundedRequestQueue(max_depth=max(n_items, 1))
+        for i in range(n_items):
+            assert queue.put(i)
+        queue.close()
+        batcher = MicroBatcher(queue, max_batch_size=max_batch,
+                               max_wait_ms=50.0, clock=FakeClock())
+        drained = []
+        while True:
+            batch = batcher.next_batch(timeout=0)
+            if batch is None:
+                break
+            assert 1 <= len(batch) <= max_batch
+            drained.extend(batch)
+        assert drained == list(range(n_items))  # zero drops, FIFO order
+
+
+class TestWaitBound:
+    @given(arrivals=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=40),
+           max_batch=st.integers(1, 8),
+           max_wait_ms=st.floats(0.0, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_first_request_never_held_past_max_wait(self, arrivals,
+                                                    max_batch, max_wait_ms):
+        clock = FakeClock()
+        scripted = ScriptedQueue(
+            clock, [(t, i) for i, t in enumerate(sorted(arrivals))])
+        batcher = MicroBatcher(scripted, max_batch_size=max_batch,
+                               max_wait_ms=max_wait_ms, clock=clock)
+        total = len(arrivals)
+        drained = []
+        while len(drained) < total:
+            batch = batcher.next_batch(timeout=10.0)
+            assert batch is not None  # everything arrives within 1s
+            flushed_at = clock.now
+            first_taken_at = scripted.take_times[batch[0]]
+            # The first entry of a batch is never held past max_wait_ms:
+            # the flush moment is at most its take time plus the budget.
+            assert flushed_at <= first_taken_at + max_wait_ms / 1e3 + 1e-12
+            assert 1 <= len(batch) <= max_batch
+            drained.extend(batch)
+        assert sorted(drained) == list(range(total))
+
+    def test_flush_on_deadline_exact(self):
+        """Deadline flush happens at first-take + max_wait, not later."""
+        clock = FakeClock()
+        scripted = ScriptedQueue(clock, [(0.0, "a"), (5.0, "b")])
+        batcher = MicroBatcher(scripted, max_batch_size=4, max_wait_ms=20.0,
+                               clock=clock)
+        batch = batcher.next_batch(timeout=1.0)
+        assert batch == ["a"]
+        # "b" arrives at t=5s, far past the 20ms budget: the batcher gave
+        # up waiting at exactly t=0.02s.
+        assert clock.now == pytest.approx(0.02)
+        assert batcher.next_batch(timeout=10.0) == ["b"]
+
+    def test_zero_wait_coalesces_only_whats_queued(self):
+        clock = FakeClock()
+        queue = BoundedRequestQueue(max_depth=16)
+        for i in range(3):
+            queue.put(i)
+        batcher = MicroBatcher(queue, max_batch_size=8, max_wait_ms=0.0,
+                               clock=clock)
+        assert batcher.next_batch(timeout=0) == [0, 1, 2]
+        assert clock.now == 0.0  # no waiting at all
+
+    def test_batch_size_one_never_waits(self):
+        clock = FakeClock()
+        scripted = ScriptedQueue(clock, [(0.0, "a"), (0.0, "b")])
+        batcher = MicroBatcher(scripted, max_batch_size=1,
+                               max_wait_ms=1000.0, clock=clock)
+        assert batcher.next_batch(timeout=1.0) == ["a"]
+        assert clock.now == 0.0
+
+
+class TestPriorityOrder:
+    def test_preserves_queue_priority_order(self):
+        queue = BoundedRequestQueue(max_depth=16)
+        queue.put("low-1", priority=0)
+        queue.put("high-1", priority=9)
+        queue.put("mid-1", priority=5)
+        queue.put("high-2", priority=9)
+        queue.put("low-2", priority=0)
+        queue.close()
+        batcher = MicroBatcher(queue, max_batch_size=8, max_wait_ms=0.0,
+                               clock=FakeClock())
+        batch = batcher.next_batch(timeout=0)
+        # Priority descending, FIFO within a priority — exactly the
+        # order sequential workers would have drained.
+        assert batch == ["high-1", "high-2", "mid-1", "low-1", "low-2"]
+
+    @given(entries=st.lists(st.integers(0, 9), min_size=1, max_size=64),
+           max_batch=st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_concatenated_batches_equal_sequential_drain(self, entries,
+                                                         max_batch):
+        def fill(queue):
+            for i, priority in enumerate(entries):
+                queue.put((priority, i), priority=priority)
+            queue.close()
+
+        reference_queue = BoundedRequestQueue(max_depth=len(entries))
+        fill(reference_queue)
+        reference = []
+        while True:
+            item = reference_queue.get(timeout=0)
+            if item is None:
+                break
+            reference.append(item)
+
+        batched_queue = BoundedRequestQueue(max_depth=len(entries))
+        fill(batched_queue)
+        batcher = MicroBatcher(batched_queue, max_batch_size=max_batch,
+                               max_wait_ms=10.0, clock=FakeClock())
+        drained = []
+        while True:
+            batch = batcher.next_batch(timeout=0)
+            if batch is None:
+                break
+            drained.extend(batch)
+        assert drained == reference
+
+
+class TestShutdownDrain:
+    def test_close_drains_everything_then_signals_none(self):
+        queue = BoundedRequestQueue(max_depth=64)
+        for i in range(10):
+            queue.put(i)
+        queue.close()
+        batcher = MicroBatcher(queue, max_batch_size=4, max_wait_ms=100.0,
+                               clock=FakeClock())
+        batches = []
+        while True:
+            batch = batcher.next_batch(timeout=5.0)
+            if batch is None:
+                break
+            batches.append(batch)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert sum(batches, []) == list(range(10))
+
+    def test_timeout_with_empty_open_queue_returns_none(self):
+        queue = BoundedRequestQueue(max_depth=4)
+        batcher = MicroBatcher(queue, max_batch_size=4, max_wait_ms=5.0)
+        assert batcher.next_batch(timeout=0.01) is None

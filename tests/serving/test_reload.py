@@ -171,6 +171,34 @@ class TestGoldenSet:
         with pytest.raises(ValueError):
             GoldenSet([{"a": 1}], expected=[0.5, 0.5])
 
+    def test_requests_validated_once_across_polls(self, make_service,
+                                                  lr_model):
+        """Golden requests are fixed, so repeated checks must ride the
+        cached-row fast path instead of re-validating every poll."""
+        service = make_service()
+        calls = []
+        original = service.validator.validate
+
+        def counting_validate(features):
+            calls.append(features)
+            return original(features)
+
+        service.validator.validate = counting_validate
+        golden = GoldenSet([{"field_0": 1}, {"field_1": 2}])
+        for _ in range(5):
+            assert golden.check(service, lr_model) is None
+        assert len(calls) == 2  # once per request, not once per poll
+
+    def test_invalid_golden_request_still_names_the_field(self, make_service,
+                                                          lr_model):
+        """The fast path must not swallow validation reports."""
+        service = make_service()
+        golden = GoldenSet([{"not_a_field": 1}])
+        reason = golden.check(service, lr_model)
+        assert reason is not None
+        assert "failed to score" in reason
+        assert "not_a_field" in reason
+
 
 class TestBackgroundThread:
     def test_start_stop_polls_in_the_background(self, schema, reload_stack,

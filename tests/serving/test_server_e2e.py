@@ -125,6 +125,60 @@ class TestKillRestart:
             shutdown(proc, host, port)
 
 
+class TestBatchedSocket:
+    def test_concurrent_pipelined_clients_coalesce(self):
+        """Concurrent clients pipelining requests against a batching
+        server: every request is answered for its own connection, and
+        the ``serve.batch_size`` histogram proves coalescing happened."""
+        import threading
+
+        proc, host, port = start_server(
+            "--batch-size", "8", "--batch-wait-ms", "25",
+            "--workers", "2", "--queue-depth", "512",
+            "--inject", "slow:0.01")
+        n_clients, n_requests = 4, 16
+        failures = []
+
+        def client(tag):
+            try:
+                with socket.create_connection((host, port),
+                                              timeout=30.0) as conn:
+                    stream = conn.makefile("rw")
+                    # Pipeline: write everything, then read everything.
+                    for i in range(n_requests):
+                        stream.write(json.dumps(
+                            {"features": {"field_0": i % 5},
+                             "request_id": f"{tag}-{i}"}) + "\n")
+                    stream.flush()
+                    got = [json.loads(stream.readline())
+                           for _ in range(n_requests)]
+                expected = {f"{tag}-{i}" for i in range(n_requests)}
+                assert {r["request_id"] for r in got} == expected
+                for response in got:
+                    assert response["status"] in ("ok", "degraded", "shed")
+            except Exception as exc:  # surfaced after join
+                failures.append((tag, exc))
+
+        try:
+            threads = [threading.Thread(target=client, args=(f"c{c}",))
+                       for c in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not failures, failures
+
+            metrics, = rpc(host, port, [{"op": "metrics"}])
+            histogram = metrics["serve.batch_size"]
+            assert histogram["count"] >= 1
+            # Pipelined concurrent load over slow scoring must have
+            # coalesced at least one multi-request batch.
+            assert histogram["max"] > 1
+            assert metrics["serve.batches"]["value"] == histogram["count"]
+        finally:
+            shutdown(proc, host, port)
+
+
 class TestDegradedUnderOpenBreaker:
     def test_flaky_replica_answers_every_request(self):
         # Long cooldown so the breaker stays open for the whole test even
