@@ -16,6 +16,10 @@ Usage (also available as ``python -m repro``)::
     python -m repro obs drift --shift           # drift-detection demo
     python -m repro ingest raw.csv --categorical C1 C2 --continuous I1 \
         --on-error quarantine --workdir ingest_wd   # hardened ingestion
+    python -m repro campaign --workdir camp_wd --optinter-chain \
+        --workers 4                                 # supervised campaign
+    python -m repro campaign --workdir camp_wd --optinter-chain \
+        --workers 4 --resume    # continue after a crash/kill, bit-for-bit
 
 Every subcommand prints the same rows/series the paper reports; ``--out``
 persists the structured results as JSON via :mod:`repro.io`.  The
@@ -95,30 +99,39 @@ def _add_resilience(parser: argparse.ArgumentParser) -> None:
                              "newest file)")
 
 
-def _check_resume(args) -> None:
-    """Fail fast, with actionable one-liners, before any training starts.
+def _operator_error(message: str) -> SystemExit:
+    """One-line operator error on stderr plus the exit-2 signal.
 
-    Exit code 2 marks operator errors (bad paths) as distinct from the
-    generic failure exit 1 — scripts wrapping the CLI rely on this.
+    Exit code 2 marks operator errors (bad paths/flags/specs) as
+    distinct from the generic failure exit 1 — scripts wrapping the CLI
+    rely on this.  Call sites either ``raise _operator_error(...)``
+    (pre-flight checks that abort before any work) or ``return
+    _operator_error(...).code`` (command bodies whose callers assert a
+    *returned* exit code).
     """
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _check_resume(args) -> None:
+    """Fail fast, with actionable one-liners, before any training starts."""
     from pathlib import Path
 
     if getattr(args, "resume", False) and not args.checkpoint_dir:
-        raise SystemExit("--resume requires --checkpoint-dir")
+        raise _operator_error("--resume requires --checkpoint-dir")
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     if checkpoint_dir is None:
         return
     path = Path(checkpoint_dir)
     if path.exists() and not path.is_dir():
-        print(f"error: --checkpoint-dir {path} exists but is not a "
-              f"directory; point it at a directory (it will be created "
-              f"if missing)", file=sys.stderr)
-        raise SystemExit(2)
+        raise _operator_error(
+            f"--checkpoint-dir {path} exists but is not a directory; point "
+            f"it at a directory (it will be created if missing)")
     if getattr(args, "resume", False) and not path.exists():
-        print(f"error: --resume requested but checkpoint directory {path} "
-              f"does not exist; run once without --resume to create it, or "
-              f"check the path", file=sys.stderr)
-        raise SystemExit(2)
+        raise _operator_error(
+            f"--resume requested but checkpoint directory {path} does not "
+            f"exist; run once without --resume to create it, or check the "
+            f"path")
 
 
 def _open_bus(args):
@@ -159,6 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset(train)
     _add_trace(train)
     _add_resilience(train)
+    train.add_argument("--samples", type=int, default=None,
+                       help="synthetic rows to train on (overrides the "
+                            "scale preset)")
     train.add_argument("--out", default=None, help="write metrics JSON here")
 
     search = sub.add_parser("search", help="run the search stage only")
@@ -347,6 +363,72 @@ def build_parser() -> argparse.ArgumentParser:
                                           "N completed chunks")
     _add_trace(ingest)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a supervised multi-process experiment campaign "
+             "(model × dataset × seed, plus search→retrain chains) with "
+             "timeouts, retries, a heartbeat watchdog and a resumable "
+             "manifest; see docs/robustness.md")
+    campaign.add_argument("--workdir", required=True, metavar="DIR",
+                          help="campaign state directory (manifest, per-job "
+                               "checkpoints, logs, results)")
+    campaign.add_argument("--models", nargs="+", default=None,
+                          choices=ALL_MODELS + EXTENDED_MODELS,
+                          metavar="MODEL",
+                          help="zoo models to train (default: the Table V "
+                               "baselines)")
+    campaign.add_argument("--datasets", nargs="+", default=["criteo"],
+                          choices=tuple(all_dataset_names()),
+                          metavar="DATASET",
+                          help="datasets to cover (default: criteo)")
+    campaign.add_argument("--seeds", nargs="+", type=int, default=[0],
+                          metavar="SEED", help="seeds to cover (default: 0)")
+    _add_scale(campaign)
+    campaign.add_argument("--samples", type=int, default=None,
+                          help="synthetic rows per job (overrides the scale "
+                               "preset; chaos tests shrink jobs this way)")
+    campaign.add_argument("--epochs", type=int, default=None,
+                          help="training epochs per job (overrides preset)")
+    campaign.add_argument("--search-epochs", type=int, default=None,
+                          help="search epochs per search job (overrides "
+                               "preset)")
+    campaign.add_argument("--optinter-chain", action="store_true",
+                          help="add a search job plus a dependent retrain "
+                               "job per dataset × seed (the two-stage "
+                               "OptInter pipeline as a dependency chain)")
+    campaign.add_argument("--workers", type=int, default=2,
+                          help="max concurrent worker subprocesses")
+    campaign.add_argument("--max-retries", type=int, default=2,
+                          help="transient-failure retries before a job is "
+                               "quarantined as a crash loop")
+    campaign.add_argument("--retry-base-delay", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="first retry backoff (doubles per retry)")
+    campaign.add_argument("--job-timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="per-job wall-clock budget before the "
+                               "SIGTERM→SIGKILL escalation")
+    campaign.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                          metavar="SECONDS",
+                          help="reap a worker whose heartbeat file is older "
+                               "than this")
+    campaign.add_argument("--min-free-mb", type=int, default=64,
+                          help="defer new launches while free disk is below "
+                               "this floor")
+    campaign.add_argument("--resume", action="store_true",
+                          help="continue an interrupted campaign: skip "
+                               "completed jobs (digest-verified), re-queue "
+                               "failed/interrupted ones, reap stale workers")
+    campaign.add_argument("--inject", action="append", default=None,
+                          metavar="JOB_ID=FAULT[:ARG]",
+                          help="chaos injection for one job: crash:N, fail, "
+                               "hang, slow_heartbeat:N; repeatable (a "
+                               "resumed campaign must repeat the same "
+                               "flags — injections are fingerprinted)")
+    campaign.add_argument("--out", default=None, metavar="PATH",
+                          help="write the campaign report JSON here")
+    _add_trace(campaign)
+
     return parser
 
 
@@ -421,8 +503,12 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    from dataclasses import replace
+
     _check_resume(args)
     config = default_config(args.dataset, args.scale)
+    if args.samples is not None:
+        config = replace(config, n_samples=args.samples)
     bundle = prepare_dataset(config)
     bus = _open_bus(args)
     try:
@@ -798,8 +884,7 @@ def _cmd_ingest(args) -> int:
             resume=args.resume,
         )
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _operator_error(str(exc)).code
 
     bus = _open_bus(args)
     metrics = MetricsRegistry()
@@ -816,8 +901,7 @@ def _cmd_ingest(args) -> int:
     try:
         result = ingestor.run()
     except (ResumeError, SchemaError, FileNotFoundError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _operator_error(str(exc)).code
     except InjectedCrash as exc:
         print(report_json(status="crashed"))
         print(f"error: {exc}", file=sys.stderr)
@@ -845,6 +929,73 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    """Run (or resume) a supervised experiment campaign.
+
+    Exit codes: 0 every job completed, 1 some jobs quarantined (the
+    report says which and why), 2 operator error (bad spec/flags, or a
+    workdir belonging to a different campaign).
+    """
+    from .orchestrator import (CampaignResumeError, CampaignSpecError,
+                               Supervisor, SupervisorConfig, build_campaign,
+                               parse_inject)
+
+    models = args.models if args.models else list(ALL_MODELS)
+    try:
+        spec = build_campaign(models, args.datasets, seeds=args.seeds,
+                              scale=args.scale, n_samples=args.samples,
+                              epochs=args.epochs,
+                              search_epochs=args.search_epochs,
+                              optinter_chain=args.optinter_chain)
+        for item in args.inject or ():
+            job_id, sep, fault = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"--inject wants JOB_ID=FAULT[:ARG], got {item!r}")
+            try:
+                spec = spec.with_inject(job_id, parse_inject(fault))
+            except KeyError:
+                raise ValueError(
+                    f"--inject targets unknown job {job_id!r}; job ids are "
+                    f"{spec.job_ids()}")
+    except (CampaignSpecError, ValueError) as exc:
+        return _operator_error(str(exc)).code
+
+    config = SupervisorConfig(
+        workers=args.workers, max_retries=args.max_retries,
+        retry_base_delay=args.retry_base_delay,
+        job_timeout_s=args.job_timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        min_free_bytes=args.min_free_mb * 1024 * 1024)
+    bus = _open_bus(args)
+    try:
+        supervisor = Supervisor(spec, args.workdir, config, bus=bus)
+        try:
+            report = supervisor.run(resume=args.resume)
+        except CampaignResumeError as exc:
+            return _operator_error(str(exc)).code
+    finally:
+        if bus is not None:
+            bus.close()
+            print(f"trace written to {args.trace}")
+
+    summary = (f"campaign: {report.completed}/{report.total} completed, "
+               f"{report.quarantined} quarantined")
+    if report.resumed:
+        summary += (f" ({report.skipped_completed} already done, "
+                    f"{report.orphans_reaped} stale workers reaped)")
+    print(summary)
+    for job_id, row in report.jobs.items():
+        line = f"  {row['status']:<12} {job_id}  attempts={row['attempts']}"
+        if row["reason"]:
+            line += f"  reason={row['reason']}"
+        print(line)
+    if args.out:
+        save_results(report.as_dict(), args.out)
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "report": _cmd_report,
@@ -858,6 +1009,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "obs": _cmd_obs,
     "ingest": _cmd_ingest,
+    "campaign": _cmd_campaign,
 }
 
 
@@ -875,9 +1027,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except CorruptCheckpointError as exc:
-        print(f"error: {exc}; re-run against an intact checkpoint "
-              f"(or delete the corrupt file and retrain)", file=sys.stderr)
-        return 2
+        return _operator_error(
+            f"{exc}; re-run against an intact checkpoint (or delete the "
+            f"corrupt file and retrain)").code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,17 +41,38 @@ from .configs import ExperimentConfig
 
 @dataclass
 class ResultRow:
-    """One row of an overall-performance table."""
+    """One row of an overall-performance table.
+
+    ``status`` is ``"ok"`` for a trained-and-scored model and
+    ``"failed"`` when :func:`run_zoo` caught the model's training
+    failure (``error`` then holds the one-line cause and the metric
+    fields are NaN/0).  Aggregations must skip failed rows — see
+    :meth:`~repro.experiments.tables.Table5Result.best`.
+    """
 
     model: str
     auc: float
     log_loss: float
     params: int
     extra: Optional[dict] = None
+    status: str = "ok"
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def failed(cls, model: str, error: BaseException) -> "ResultRow":
+        return cls(model=model, auc=float("nan"), log_loss=float("nan"),
+                   params=0, status="failed",
+                   error=f"{type(error).__name__}: {error}")
 
     def formatted(self) -> str:
         from ..training.metrics import format_param_count
 
+        if not self.ok:
+            return f"{self.model:<12} FAILED  ({self.error})"
         return (f"{self.model:<12} AUC {self.auc:.4f}  "
                 f"logloss {self.log_loss:.4f}  params {format_param_count(self.params)}")
 
@@ -208,5 +229,18 @@ def run_fixed_architecture(architecture: Architecture, bundle: DatasetBundle,
 
 def run_zoo(bundle: DatasetBundle, config: ExperimentConfig,
             models: Sequence[str] = ALL_MODELS) -> List[ResultRow]:
-    """Train and score a list of registry models on one dataset."""
-    return [run_model(name, bundle, config) for name in models]
+    """Train and score a list of registry models on one dataset.
+
+    One model's training failure must not sink the whole table: the
+    exception is recorded as a failed :class:`ResultRow` (status
+    ``"failed"``, NaN metrics, the cause in ``error``) and the remaining
+    models still run.  ``KeyboardInterrupt``/``SystemExit`` propagate —
+    a user abort is not a model failure.
+    """
+    rows: List[ResultRow] = []
+    for name in models:
+        try:
+            rows.append(run_model(name, bundle, config))
+        except Exception as exc:
+            rows.append(ResultRow.failed(name, exc))
+    return rows

@@ -86,12 +86,22 @@ class Table5Result:
         for dataset, rows in self.rows.items():
             headers = ["model", "AUC", "log loss", "params"]
             body = [[r.model, f"{r.auc:.4f}", f"{r.log_loss:.4f}",
-                     format_param_count(r.params)] for r in rows]
+                     format_param_count(r.params)] if r.ok
+                    else [r.model, "FAILED", "-", "-"] for r in rows]
             blocks.append(f"== {dataset} ==\n" + render_rows(headers, body))
         return "\n\n".join(blocks)
 
     def best(self, dataset: str) -> ResultRow:
-        return max(self.rows[dataset], key=lambda r: r.auc)
+        """Highest-AUC row among the models that actually trained.
+
+        Failed rows carry NaN AUC, which would poison ``max`` — they are
+        excluded here, and a dataset where *everything* failed raises.
+        """
+        ok_rows = [r for r in self.rows[dataset] if r.ok]
+        if not ok_rows:
+            raise ValueError(f"every model failed on {dataset!r}: "
+                             f"{[r.error for r in self.rows[dataset]]}")
+        return max(ok_rows, key=lambda r: r.auc)
 
     def row(self, dataset: str, model: str) -> ResultRow:
         for r in self.rows[dataset]:

@@ -45,6 +45,11 @@ EVENT_TYPES = {
     "alert",       # a monitor threshold tripped (drift kind, value, threshold)
     "ingest",      # ingest lifecycle: run/stage/resume/schema/io_retry
     "quarantine",  # one row quarantined (line, error code, reason, raw)
+    "job_start",   # orchestrator launched a worker (job id, attempt, pid)
+    "job_retry",   # transient failure: re-queued with backoff (reason, delay)
+    "job_quarantined",  # job removed from rotation (reason, attempts)
+    "job_done",    # job completed (attempts, wall time, result path)
+    "campaign",    # campaign lifecycle: start/end/throttle/orphan_reaped
 }
 
 

@@ -1,0 +1,45 @@
+"""Fault-tolerant multi-process experiment orchestrator.
+
+Runs an experiment campaign (model × dataset × seed jobs, including
+OptInter's search→retrain dependency chains) as isolated worker
+subprocesses under one supervisor with timeouts, a heartbeat watchdog,
+typed retry/quarantine policy and a fingerprinted resumable manifest.
+
+Layers:
+
+* :mod:`~repro.orchestrator.jobs` — job/campaign specs and the worker
+  exit-code protocol (0 ok / 1 deterministic / 2 operator / 3 transient)
+* :mod:`~repro.orchestrator.worker` — the ``python -m`` worker entry
+  point: heartbeat thread, checkpointed execution, deterministic results
+* :mod:`~repro.orchestrator.manifest` — atomic, fingerprinted campaign
+  state enabling bit-for-bit ``--resume``
+* :mod:`~repro.orchestrator.supervisor` — the control loop: launch,
+  watch, reap, retry, quarantine, account
+* :mod:`~repro.orchestrator.faults` — the orchestrator fault zoo for
+  chaos tests (crashing/hanging/heartbeat-stalling workers, full disks)
+"""
+
+from .faults import (CrashingJob, DiskPressure, FailingJob, HangingJob,
+                     SlowHeartbeat, parse_inject)
+from .jobs import (EXIT_FAILURE, EXIT_OK, EXIT_OPERATOR, EXIT_TRANSIENT,
+                   CampaignSpec, CampaignSpecError, JobSpec, build_campaign,
+                   config_for)
+from .manifest import (CampaignManifest, CampaignResumeError, JobState,
+                       ManifestError, sha256_of_file)
+from .supervisor import (CampaignReport, ResourceGuard, Supervisor,
+                         SupervisorConfig, find_orphans, pid_is_our_worker,
+                         run_campaign)
+from .worker import execute_job, job_dir_for
+
+__all__ = [
+    "EXIT_OK", "EXIT_FAILURE", "EXIT_OPERATOR", "EXIT_TRANSIENT",
+    "JobSpec", "CampaignSpec", "CampaignSpecError", "build_campaign",
+    "config_for",
+    "CampaignManifest", "JobState", "ManifestError", "CampaignResumeError",
+    "sha256_of_file",
+    "Supervisor", "SupervisorConfig", "CampaignReport", "ResourceGuard",
+    "run_campaign", "find_orphans", "pid_is_our_worker",
+    "CrashingJob", "HangingJob", "SlowHeartbeat", "FailingJob",
+    "DiskPressure", "parse_inject",
+    "execute_job", "job_dir_for",
+]

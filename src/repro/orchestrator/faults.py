@@ -1,0 +1,153 @@
+"""Orchestrator fault zoo: chaos for the supervision layer itself.
+
+The training/serving/ingest layers each grew a fault zoo
+(:mod:`repro.resilience.faults`, :mod:`repro.serving.faults`); this one
+targets the *orchestrator*: workers that crash on launch, hang forever,
+stop heartbeating, and disks that fill up mid-campaign.
+
+Worker-side faults ride inside a :class:`~repro.orchestrator.jobs.
+JobSpec`'s ``inject`` field as a plain JSON dict (``to_inject()``), so a
+resumed campaign re-creates the identical faulty world and the chaos
+tests can drive everything through the real CLI.  They are applied by
+:func:`apply_worker_faults` inside the worker subprocess, *after*
+heartbeating starts — the supervisor sees a live worker first, exactly
+like real failures.
+
+Supervisor-side, :class:`DiskPressure` is a stub ``free_bytes_fn`` for
+the resource guard: it reports a full disk for the first ``low_checks``
+probes and a healthy one afterwards, proving launches are deferred (not
+dropped) under pressure.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .jobs import EXIT_FAILURE, EXIT_TRANSIENT
+
+#: fault-name -> short description, for CLI help and validation.
+WORKER_FAULTS = {
+    "crash": "exit with the transient code on the first N attempts",
+    "fail": "exit with the deterministic-failure code every attempt",
+    "hang": "run forever (optionally ignoring SIGTERM) while heartbeating",
+    "slow_heartbeat": "keep running but stop heartbeating after N beats",
+}
+
+
+@dataclass(frozen=True)
+class CrashingJob:
+    """Transient crash: the worker dies (exit 3) on its first ``times``
+    attempts and behaves normally afterwards — the retry-with-backoff
+    path must land it in ``completed``."""
+
+    times: int = 1
+
+    def to_inject(self) -> Dict[str, Any]:
+        return {"fault": "crash", "times": self.times}
+
+
+@dataclass(frozen=True)
+class HangingJob:
+    """The worker enters an infinite loop while heartbeating normally,
+    so only the wall-clock timeout can reap it.  ``ignore_sigterm``
+    additionally masks SIGTERM, forcing the supervisor's
+    SIGTERM→SIGKILL escalation to go all the way."""
+
+    ignore_sigterm: bool = True
+
+    def to_inject(self) -> Dict[str, Any]:
+        return {"fault": "hang", "ignore_sigterm": self.ignore_sigterm}
+
+
+@dataclass(frozen=True)
+class SlowHeartbeat:
+    """The worker keeps running but its heartbeat file goes stale after
+    ``after_beats`` beats — the watchdog (not the timeout) must reap it."""
+
+    after_beats: int = 1
+
+    def to_inject(self) -> Dict[str, Any]:
+        return {"fault": "slow_heartbeat", "after_beats": self.after_beats}
+
+
+@dataclass(frozen=True)
+class FailingJob:
+    """Deterministic failure (exit 1): retrying is futile, the
+    supervisor must quarantine immediately and keep the campaign going."""
+
+    def to_inject(self) -> Dict[str, Any]:
+        return {"fault": "fail"}
+
+
+@dataclass
+class DiskPressure:
+    """Resource-guard stub: a disk that is full for a while, then clears.
+
+    Use as ``Supervisor(..., free_bytes_fn=DiskPressure(low_checks=3))``.
+    """
+
+    low_checks: int = 3
+    low_bytes: int = 0
+    recovered_bytes: int = 1 << 40
+    calls: int = field(default=0, init=False)
+
+    def __call__(self) -> int:
+        self.calls += 1
+        if self.calls <= self.low_checks:
+            return self.low_bytes
+        return self.recovered_bytes
+
+
+def parse_inject(text: str) -> Dict[str, Any]:
+    """Parse a CLI fault descriptor ``FAULT[:ARG]`` into an inject dict.
+
+    ``crash:2`` → two transient crashes; ``hang`` → SIGTERM-ignoring
+    hang; ``slow_heartbeat:3`` → beats stop after 3; ``fail`` →
+    deterministic failure.
+    """
+    name, _, arg = text.partition(":")
+    if name not in WORKER_FAULTS:
+        raise ValueError(f"unknown fault {name!r}; choose from "
+                         f"{sorted(WORKER_FAULTS)}")
+    if name == "crash":
+        return CrashingJob(times=int(arg) if arg else 1).to_inject()
+    if name == "hang":
+        return HangingJob(ignore_sigterm=(arg != "term")).to_inject()
+    if name == "slow_heartbeat":
+        return SlowHeartbeat(after_beats=int(arg) if arg else 1).to_inject()
+    return FailingJob().to_inject()
+
+
+def apply_worker_faults(inject: Optional[Dict[str, Any]], *, attempt: int,
+                        heartbeat,
+                        sleep=time.sleep) -> None:
+    """Interpret a spec's ``inject`` descriptor inside the worker.
+
+    Called after the heartbeat thread is live.  Crash/fail faults exit
+    the process with the protocol code; hang faults never return.
+    ``slow_heartbeat`` stalls the heartbeat and then hangs, so the
+    watchdog — not the wall-clock timeout — is what reaps the worker.
+    """
+    if not inject:
+        return
+    fault = inject.get("fault")
+    if fault == "crash":
+        if attempt <= int(inject.get("times", 1)):
+            sys.exit(EXIT_TRANSIENT)
+        return
+    if fault == "fail":
+        sys.exit(EXIT_FAILURE)
+    if fault == "hang":
+        if inject.get("ignore_sigterm", True):
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        while True:  # reaped by the supervisor's timeout escalation
+            sleep(0.05)
+    if fault == "slow_heartbeat":
+        heartbeat.stall_after(int(inject.get("after_beats", 1)))
+        while True:  # reaped by the heartbeat watchdog
+            sleep(0.05)
+    raise ValueError(f"unknown fault descriptor {inject!r}")

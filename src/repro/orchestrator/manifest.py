@@ -1,0 +1,190 @@
+"""The resumable campaign manifest: fingerprinted, atomic, exact.
+
+One JSON file per campaign workdir records every job's lifecycle:
+status, attempt count, the exit code and classification of every
+attempt, the pid/pgid of a live worker (so a resumed supervisor can
+reap survivors of its predecessor), and — for completed jobs — the
+SHA-256 of the result file, which lets ``--resume`` skip completed jobs
+**bit-for-bit**: a job is only skipped when its recorded digest still
+matches the bytes on disk.
+
+Every state transition rewrites the whole manifest through
+:func:`repro.fsutil.atomic_write_text` (tmp + fsync + ``os.replace``),
+the same complete-or-absent discipline as training checkpoints — a
+supervisor killed at any instant leaves a manifest that is exactly one
+of its previous states, never a torn hybrid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..fsutil import PathLike, atomic_write_text
+from .jobs import CampaignSpec
+
+#: Manifest format version; resume refuses manifests it cannot read.
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Job statuses. ``completed`` and ``quarantined`` are terminal;
+#: accounting closes when every job reaches one of them.
+JOB_STATUSES = ("pending", "running", "completed", "quarantined")
+TERMINAL_STATUSES = ("completed", "quarantined")
+
+
+class ManifestError(RuntimeError):
+    """The manifest file exists but cannot be used (unparseable, wrong
+    version, or written by a different campaign spec)."""
+
+
+class CampaignResumeError(ManifestError):
+    """Resume was requested against a missing/incompatible manifest, or
+    a fresh run would clobber an existing campaign without ``resume``."""
+
+
+def sha256_of_file(path: PathLike) -> str:
+    digest = hashlib.sha256()
+    digest.update(Path(path).read_bytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class JobState:
+    """One job's lifecycle, exactly as the supervisor observed it."""
+
+    status: str = "pending"
+    attempts: int = 0
+    exit_codes: List[Optional[int]] = field(default_factory=list)
+    reasons: List[str] = field(default_factory=list)
+    pid: Optional[int] = None
+    pgid: Optional[int] = None
+    result_path: Optional[str] = None
+    result_sha256: Optional[str] = None
+    quarantine_reason: Optional[str] = None
+    next_attempt_at: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "attempts": self.attempts,
+            "exit_codes": list(self.exit_codes),
+            "reasons": list(self.reasons),
+            "pid": self.pid,
+            "pgid": self.pgid,
+            "result_path": self.result_path,
+            "result_sha256": self.result_sha256,
+            "quarantine_reason": self.quarantine_reason,
+            "next_attempt_at": self.next_attempt_at,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "JobState":
+        status = raw.get("status", "pending")
+        if status not in JOB_STATUSES:
+            raise ManifestError(f"unknown job status {status!r}")
+        return cls(
+            status=status,
+            attempts=int(raw.get("attempts", 0)),
+            exit_codes=list(raw.get("exit_codes", [])),
+            reasons=list(raw.get("reasons", [])),
+            pid=raw.get("pid"),
+            pgid=raw.get("pgid"),
+            result_path=raw.get("result_path"),
+            result_sha256=raw.get("result_sha256"),
+            quarantine_reason=raw.get("quarantine_reason"),
+            next_attempt_at=float(raw.get("next_attempt_at", 0.0)),
+        )
+
+
+class CampaignManifest:
+    """In-memory manifest with atomic persistence and exact accounting."""
+
+    def __init__(self, fingerprint: str,
+                 jobs: Dict[str, JobState],
+                 version: int = MANIFEST_VERSION) -> None:
+        self.fingerprint = fingerprint
+        self.jobs = jobs
+        self.version = version
+
+    # ------------------------------------------------------------------
+    # Construction / persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, spec: CampaignSpec) -> "CampaignManifest":
+        return cls(fingerprint=spec.fingerprint(),
+                   jobs={job_id: JobState() for job_id in spec.job_ids()})
+
+    def save(self, path: PathLike) -> Path:
+        payload = {
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "jobs": {jid: state.as_dict()
+                     for jid, state in sorted(self.jobs.items())},
+        }
+        return atomic_write_text(
+            Path(path), json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CampaignManifest":
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no campaign manifest at {path}")
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ManifestError(
+                f"unparseable campaign manifest {path}: {exc}") from exc
+        version = int(raw.get("version", -1))
+        if version > MANIFEST_VERSION or version < 1:
+            raise ManifestError(
+                f"manifest {path} has format version {version}; this build "
+                f"reads up to {MANIFEST_VERSION}")
+        jobs = {jid: JobState.from_dict(state)
+                for jid, state in raw.get("jobs", {}).items()}
+        return cls(fingerprint=raw.get("fingerprint", ""), jobs=jobs,
+                   version=version)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def state(self, job_id: str) -> JobState:
+        return self.jobs[job_id]
+
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in JOB_STATUSES}
+        for state in self.jobs.values():
+            out[state.status] += 1
+        return out
+
+    def all_terminal(self) -> bool:
+        return all(state.status in TERMINAL_STATUSES
+                   for state in self.jobs.values())
+
+    def verify_result(self, job_id: str) -> bool:
+        """Does the completed job's result file still match its digest?"""
+        state = self.jobs[job_id]
+        if state.status != "completed" or not state.result_path:
+            return False
+        path = Path(state.result_path)
+        if not path.exists():
+            return False
+        return sha256_of_file(path) == state.result_sha256
+
+    def validate_against(self, spec: CampaignSpec) -> None:
+        """Refuse to resume progress that belongs to a different campaign."""
+        if self.fingerprint != spec.fingerprint():
+            raise CampaignResumeError(
+                "campaign manifest fingerprint does not match the requested "
+                "spec; the workdir belongs to a different campaign — point "
+                "--workdir elsewhere or re-run with the original flags")
+        missing = set(spec.job_ids()) - set(self.jobs)
+        extra = set(self.jobs) - set(spec.job_ids())
+        if missing or extra:
+            raise CampaignResumeError(
+                f"manifest job set differs from spec (missing {sorted(missing)}, "
+                f"extra {sorted(extra)})")

@@ -372,6 +372,10 @@ class CheckpointManager:
         for path in reversed(self.checkpoints()):
             try:
                 return TrainingCheckpoint.load(path), path
+            except FileNotFoundError:
+                # Pruned by a concurrent writer between the directory
+                # listing and the read — not corruption, just gone.
+                continue
             except CorruptCheckpointError as exc:
                 if on_corrupt is not None:
                     on_corrupt(path, exc)

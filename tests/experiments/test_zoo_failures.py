@@ -1,0 +1,92 @@
+"""run_zoo failure isolation: one broken model must not sink the table."""
+
+import math
+
+import pytest
+
+from repro.experiments import ExperimentConfig, prepare_dataset
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import ResultRow, run_zoo
+from repro.experiments.tables import Table5Result
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    config = ExperimentConfig(dataset="criteo", n_samples=1500,
+                              embed_dim=3, cross_embed_dim=2,
+                              hidden_dims=(8,), epochs=1, search_epochs=1,
+                              batch_size=256, seed=0)
+    return prepare_dataset(config), config
+
+
+class TestResultRow:
+    def test_default_status_is_ok(self):
+        row = ResultRow(model="LR", auc=0.7, log_loss=0.5, params=10)
+        assert row.ok and row.status == "ok" and row.error is None
+
+    def test_failed_constructor(self):
+        row = ResultRow.failed("FNN", RuntimeError("NaN loss"))
+        assert not row.ok
+        assert row.status == "failed"
+        assert row.error == "RuntimeError: NaN loss"
+        assert math.isnan(row.auc) and math.isnan(row.log_loss)
+
+    def test_failed_row_formats_without_crashing(self):
+        text = ResultRow.failed("FNN", RuntimeError("boom")).formatted()
+        assert "FAILED" in text and "boom" in text
+
+
+class TestRunZooIsolation:
+    def test_one_failure_does_not_sink_the_rest(self, tiny_setup,
+                                                monkeypatch):
+        bundle, config = tiny_setup
+        real_run_model = runner_mod.run_model
+
+        def sabotaged(name, bundle, config, **kwargs):
+            if name == "FNN":
+                raise RuntimeError("training diverged")
+            return real_run_model(name, bundle, config, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_model", sabotaged)
+        rows = run_zoo(bundle, config, models=["LR", "FNN", "FM"])
+        assert [r.model for r in rows] == ["LR", "FNN", "FM"]
+        assert [r.ok for r in rows] == [True, False, True]
+        failed = rows[1]
+        assert failed.status == "failed"
+        assert "training diverged" in failed.error
+
+    def test_user_abort_propagates(self, tiny_setup, monkeypatch):
+        bundle, config = tiny_setup
+
+        def aborted(name, bundle, config, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner_mod, "run_model", aborted)
+        with pytest.raises(KeyboardInterrupt):
+            run_zoo(bundle, config, models=["LR"])
+
+
+class TestTable5WithFailures:
+    def _rows(self):
+        return {"criteo": [
+            ResultRow(model="LR", auc=0.70, log_loss=0.5, params=10),
+            ResultRow.failed("FNN", RuntimeError("boom")),
+            ResultRow(model="FM", auc=0.75, log_loss=0.45, params=20),
+        ]}
+
+    def test_best_skips_failed_rows(self):
+        table = Table5Result(rows=self._rows())
+        assert table.best("criteo").model == "FM"
+
+    def test_best_raises_when_everything_failed(self):
+        table = Table5Result(rows={"criteo": [
+            ResultRow.failed("LR", RuntimeError("a")),
+            ResultRow.failed("FM", RuntimeError("b")),
+        ]})
+        with pytest.raises(ValueError, match="every model failed"):
+            table.best("criteo")
+
+    def test_render_marks_failed_rows(self):
+        text = Table5Result(rows=self._rows()).render()
+        assert "FAILED" in text
+        assert "nan" not in text.lower()

@@ -1,0 +1,221 @@
+"""The orchestrator acceptance proof (ISSUE 9).
+
+A 12-job campaign (2 datasets × 2 seeds × train + search→retrain) with
+injected crashes and one hanging job is started through the real CLI,
+the supervisor is SIGKILLed mid-campaign (workers survive as orphans),
+and ``--resume`` must finish with:
+
+* exact accounting — completed + quarantined == total,
+* zero orphan processes (every recorded pid verified dead),
+* the manifest digest-matching every result file on disk,
+* per-job ``result.json`` **bit-identical** to an uninterrupted serial
+  in-process run for every job that never had a fault injected.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.obs.events import EventBus, MemorySink
+from repro.orchestrator import (CrashingJob, HangingJob, Supervisor,
+                                SupervisorConfig, build_campaign,
+                                execute_job, find_orphans, job_dir_for,
+                                pid_is_our_worker)
+from repro.orchestrator.manifest import CampaignManifest
+
+pytestmark = pytest.mark.orchestrator
+
+MODELS = ["LR"]
+DATASETS = ["criteo", "avazu"]
+SEEDS = (0, 1)
+SAMPLES, EPOCHS, SEARCH_EPOCHS = 300, 1, 1
+INJECTIONS = {
+    "train:LR:criteo:s0": CrashingJob(times=1).to_inject(),
+    "search:avazu:s0": CrashingJob(times=1).to_inject(),
+    "train:LR:avazu:s1": HangingJob(ignore_sigterm=True).to_inject(),
+}
+#: the hanging job can only quarantine; everything else must complete.
+EXPECT_QUARANTINED = {"train:LR:avazu:s1"}
+JOB_TIMEOUT_S = 6.0
+MAX_RETRIES = 1
+
+
+def chaos_spec():
+    spec = build_campaign(MODELS, DATASETS, seeds=SEEDS, n_samples=SAMPLES,
+                          epochs=EPOCHS, search_epochs=SEARCH_EPOCHS,
+                          optinter_chain=True)
+    for job_id, inject in INJECTIONS.items():
+        spec = spec.with_inject(job_id, inject)
+    return spec
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Uninterrupted serial ground truth: every job in-process, in order.
+
+    Runs the *clean* spec (no injections) — faults only change how many
+    attempts a job needs, never what a successful job computes, so the
+    supervised runs must reproduce these bytes exactly.
+    """
+    workdir = tmp_path_factory.mktemp("baseline")
+    spec = build_campaign(MODELS, DATASETS, seeds=SEEDS, n_samples=SAMPLES,
+                          epochs=EPOCHS, search_epochs=SEARCH_EPOCHS,
+                          optinter_chain=True)
+    results = {}
+    for job in spec.jobs:  # build order puts dependencies first
+        from repro.orchestrator.worker import write_result
+
+        metrics = execute_job(job, workdir)
+        path = write_result(job, workdir, metrics)
+        results[job.job_id] = path.read_bytes()
+    return results
+
+
+def _campaign_argv(workdir):
+    argv = [sys.executable, "-m", "repro", "campaign",
+            "--workdir", str(workdir),
+            "--models", *MODELS, "--datasets", *DATASETS,
+            "--seeds", *(str(s) for s in SEEDS),
+            "--samples", str(SAMPLES), "--epochs", str(EPOCHS),
+            "--search-epochs", str(SEARCH_EPOCHS), "--optinter-chain",
+            "--workers", "3", "--max-retries", str(MAX_RETRIES),
+            "--retry-base-delay", "0.05",
+            "--job-timeout", str(JOB_TIMEOUT_S)]
+    for job_id, inject in INJECTIONS.items():
+        fault = inject["fault"]
+        if fault == "crash":
+            fault += f":{inject['times']}"
+        argv += ["--inject", f"{job_id}={fault}"]
+    return argv
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = (src if not env.get("PYTHONPATH")
+                         else src + os.pathsep + env["PYTHONPATH"])
+    return env
+
+
+def _completed_count(manifest_path):
+    try:
+        manifest = CampaignManifest.load(manifest_path)
+    except Exception:  # not written yet
+        return 0
+    return manifest.counts()["completed"]
+
+
+def test_killed_campaign_resumes_with_exact_accounting(tmp_path, baseline):
+    spec = chaos_spec()
+    workdir = tmp_path / "campaign"
+    manifest_path = workdir / "manifest.json"
+
+    # Phase 1: start the chaos campaign through the real CLI and SIGKILL
+    # the *supervisor* (not its workers) once real progress exists.
+    proc = subprocess.Popen(_campaign_argv(workdir), env=_cli_env(),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if _completed_count(manifest_path) >= 2 or proc.poll() is not None:
+            break
+        time.sleep(0.1)
+    else:
+        proc.kill()
+        proc.wait()
+        pytest.fail("campaign made no progress within 120s")
+    if proc.poll() is None:
+        os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+
+    interrupted = CampaignManifest.load(manifest_path)
+    assert not interrupted.all_terminal() or proc.returncode is not None
+
+    # Phase 2: resume.  The same spec (identical injections — they are
+    # fingerprinted) must reap surviving workers, skip verified results
+    # and finish the rest.
+    sink = MemorySink()
+    supervisor = Supervisor(
+        spec, workdir,
+        SupervisorConfig(workers=3, max_retries=MAX_RETRIES,
+                         retry_base_delay=0.05, job_timeout_s=JOB_TIMEOUT_S,
+                         poll_interval_s=0.02),
+        bus=EventBus([sink]))
+    report = supervisor.run(resume=True)
+
+    # Exact accounting: nothing lost, nothing double-counted.
+    assert report.completed + report.quarantined == report.total == 12
+    assert report.quarantined == len(EXPECT_QUARANTINED)
+    quarantined = {jid for jid, row in report.jobs.items()
+                   if row["status"] == "quarantined"}
+    assert quarantined == EXPECT_QUARANTINED
+
+    # Zero orphans: every pid the campaign ever recorded is dead.
+    final = CampaignManifest.load(manifest_path)
+    assert find_orphans(final) == []
+    for state in final.jobs.values():
+        assert state.pid is None or not pid_is_our_worker(state.pid)
+
+    # Manifest matches the results on disk, digest-verified.
+    for job_id, state in final.jobs.items():
+        if state.status == "completed":
+            assert final.verify_result(job_id), job_id
+            assert Path(state.result_path) == (
+                job_dir_for(workdir, job_id) / "result.json")
+        else:
+            assert state.quarantine_reason == "crash_loop"
+            assert "timeout" in state.reasons  # reaped by the watchdog
+
+    # Bit-for-bit: every never-fault-injected job reproduces the
+    # uninterrupted serial run exactly, despite kills and retries.
+    compared = 0
+    for job_id, expected in baseline.items():
+        if job_id in INJECTIONS:
+            continue
+        actual = (job_dir_for(workdir, job_id) / "result.json").read_bytes()
+        assert actual == expected, f"result drift for {job_id}"
+        compared += 1
+    assert compared == 12 - len(INJECTIONS)
+
+    # The resume emitted the typed lifecycle events.
+    types = {e.type for e in sink.events}
+    assert "job_done" in types
+    assert "campaign" in types
+
+
+def test_resume_of_finished_campaign_is_pure_skip(tmp_path, baseline):
+    """A second resume must skip everything, bit-for-bit, launching
+    nothing (skipped == completed count, attempts unchanged)."""
+    spec = chaos_spec()
+    # Use a fresh, *uninterrupted* supervised run to keep this test
+    # independent of the kill test's ordering.
+    spec = build_campaign(MODELS, ["criteo"], seeds=(0,), n_samples=SAMPLES,
+                          epochs=EPOCHS, search_epochs=SEARCH_EPOCHS,
+                          optinter_chain=True)
+    workdir = tmp_path / "campaign"
+    config = SupervisorConfig(workers=2, retry_base_delay=0.05,
+                              poll_interval_s=0.02)
+    first = Supervisor(spec, workdir, config).run()
+    assert first.ok
+    before = CampaignManifest.load(workdir / "manifest.json")
+    bytes_before = {
+        job_id: (job_dir_for(workdir, job_id) / "result.json").read_bytes()
+        for job_id in spec.job_ids()}
+
+    second = Supervisor(spec, workdir, config).run(resume=True)
+    assert second.ok
+    assert second.skipped_completed == second.total
+    after = CampaignManifest.load(workdir / "manifest.json")
+    for job_id in spec.job_ids():
+        assert after.jobs[job_id].attempts == before.jobs[job_id].attempts
+        assert (job_dir_for(workdir, job_id)
+                / "result.json").read_bytes() == bytes_before[job_id]
+        # The supervised results also match the in-process ground truth.
+        assert bytes_before[job_id] == baseline[job_id]

@@ -1,0 +1,133 @@
+"""Campaign manifest: atomic persistence, digests, resume validation."""
+
+import json
+
+import pytest
+
+from repro.orchestrator import (CampaignManifest, CampaignResumeError,
+                                JobState, ManifestError, build_campaign,
+                                sha256_of_file)
+from repro.orchestrator.manifest import MANIFEST_VERSION
+
+
+@pytest.fixture
+def spec():
+    return build_campaign(["LR"], ["criteo"], optinter_chain=True)
+
+
+class TestLifecycle:
+    def test_create_is_all_pending(self, spec):
+        manifest = CampaignManifest.create(spec)
+        assert set(manifest.jobs) == set(spec.job_ids())
+        assert manifest.counts()["pending"] == len(spec.jobs)
+        assert not manifest.all_terminal()
+
+    def test_save_load_round_trip(self, spec, tmp_path):
+        manifest = CampaignManifest.create(spec)
+        state = manifest.jobs["train:LR:criteo:s0"]
+        state.status = "quarantined"
+        state.attempts = 3
+        state.exit_codes = [3, 3, 1]
+        state.reasons = ["transient_exit", "transient_exit",
+                         "deterministic_failure"]
+        state.quarantine_reason = "deterministic_failure"
+        path = tmp_path / "manifest.json"
+        manifest.save(path)
+        loaded = CampaignManifest.load(path)
+        assert loaded.fingerprint == manifest.fingerprint
+        assert loaded.jobs["train:LR:criteo:s0"] == state
+
+    def test_counts_and_terminal(self, spec):
+        manifest = CampaignManifest.create(spec)
+        for state in manifest.jobs.values():
+            state.status = "completed"
+        assert manifest.all_terminal()
+        assert manifest.counts()["completed"] == len(spec.jobs)
+
+
+class TestValidation:
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CampaignManifest.load(tmp_path / "nope.json")
+
+    def test_load_unparseable(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{truncated")
+        with pytest.raises(ManifestError, match="unparseable"):
+            CampaignManifest.load(path)
+
+    def test_load_future_version(self, spec, tmp_path):
+        path = tmp_path / "manifest.json"
+        CampaignManifest.create(spec).save(path)
+        raw = json.loads(path.read_text())
+        raw["version"] = MANIFEST_VERSION + 1
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ManifestError, match="version"):
+            CampaignManifest.load(path)
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(ManifestError, match="status"):
+            JobState.from_dict({"status": "exploded"})
+
+    def test_fingerprint_mismatch_refused(self, spec):
+        manifest = CampaignManifest.create(spec)
+        other = build_campaign(["FNN"], ["criteo"])
+        with pytest.raises(CampaignResumeError, match="fingerprint"):
+            manifest.validate_against(other)
+
+    def test_matching_spec_accepted(self, spec):
+        CampaignManifest.create(spec).validate_against(spec)
+
+
+class TestResultDigest:
+    def test_verify_result_matches(self, spec, tmp_path):
+        manifest = CampaignManifest.create(spec)
+        result = tmp_path / "result.json"
+        result.write_text('{"auc": 0.5}\n')
+        state = manifest.jobs["train:LR:criteo:s0"]
+        state.status = "completed"
+        state.result_path = str(result)
+        state.result_sha256 = sha256_of_file(result)
+        assert manifest.verify_result("train:LR:criteo:s0")
+
+    def test_verify_result_detects_tamper(self, spec, tmp_path):
+        manifest = CampaignManifest.create(spec)
+        result = tmp_path / "result.json"
+        result.write_text('{"auc": 0.5}\n')
+        state = manifest.jobs["train:LR:criteo:s0"]
+        state.status = "completed"
+        state.result_path = str(result)
+        state.result_sha256 = sha256_of_file(result)
+        result.write_text('{"auc": 0.9}\n')  # bit-rot / tampering
+        assert not manifest.verify_result("train:LR:criteo:s0")
+
+    def test_verify_result_missing_file(self, spec, tmp_path):
+        manifest = CampaignManifest.create(spec)
+        state = manifest.jobs["train:LR:criteo:s0"]
+        state.status = "completed"
+        state.result_path = str(tmp_path / "gone.json")
+        state.result_sha256 = "0" * 64
+        assert not manifest.verify_result("train:LR:criteo:s0")
+
+    def test_non_completed_never_verifies(self, spec):
+        manifest = CampaignManifest.create(spec)
+        assert not manifest.verify_result("train:LR:criteo:s0")
+
+
+class TestAtomicity:
+    def test_no_tmp_litter_after_save(self, spec, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = CampaignManifest.create(spec)
+        for _ in range(5):
+            manifest.save(path)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != path.name]
+        assert leftovers == []
+
+    def test_saved_manifest_is_sorted_and_newline_terminated(self, spec,
+                                                             tmp_path):
+        path = tmp_path / "manifest.json"
+        CampaignManifest.create(spec).save(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(json.loads(text), indent=2,
+                                  sort_keys=True) + "\n"

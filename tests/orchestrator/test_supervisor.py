@@ -1,0 +1,288 @@
+"""Supervisor behaviour: worker protocol, retries, watchdog, guardrails.
+
+The subprocess-driving tests are marked ``orchestrator`` (the
+orchestrator-chaos CI job); jobs are shrunk to hundreds of samples and
+one epoch so each worker lives for a second or two.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.events import EventBus, MemorySink
+from repro.obs.metrics import MetricsRegistry
+from repro.orchestrator import (CampaignResumeError, CampaignSpec,
+                                CrashingJob, DiskPressure, FailingJob,
+                                HangingJob, JobSpec, ResourceGuard,
+                                SlowHeartbeat, Supervisor, SupervisorConfig,
+                                build_campaign, find_orphans, parse_inject,
+                                pid_is_our_worker)
+from repro.orchestrator import worker as worker_mod
+from repro.orchestrator.manifest import CampaignManifest
+from repro.orchestrator.worker import Heartbeat, job_dir_for
+
+
+def tiny_campaign(*models, seeds=(0,), optinter_chain=False):
+    return build_campaign(models or ["LR"], ["criteo"], seeds=seeds,
+                          n_samples=300, epochs=1, search_epochs=1,
+                          optinter_chain=optinter_chain)
+
+
+def fast_config(**overrides):
+    defaults = dict(workers=2, max_retries=2, retry_base_delay=0.05,
+                    retry_max_delay=0.2, job_timeout_s=60.0,
+                    term_grace_s=1.0, heartbeat_interval_s=0.1,
+                    heartbeat_timeout_s=30.0, poll_interval_s=0.02)
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+class TestHeartbeat:
+    def test_beat_writes_liveness_json(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", interval_s=10.0, attempt=2)
+        hb.beat()
+        payload = json.loads((tmp_path / "hb.json").read_text())
+        assert payload["pid"] == os.getpid()
+        assert payload["attempt"] == 2
+        assert payload["beats"] == 1
+        assert payload["time"] > 0
+
+    def test_stall_after_freezes_file(self, tmp_path):
+        hb = Heartbeat(tmp_path / "hb.json", interval_s=10.0, attempt=1)
+        hb.stall_after(1)
+        hb.beat()
+        first = (tmp_path / "hb.json").read_text()
+        hb.beat()
+        hb.beat()
+        assert (tmp_path / "hb.json").read_text() == first
+
+
+class TestWorkerProtocol:
+    """The typed exit codes, driven through worker.main in-process."""
+
+    def _spec_path(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.as_dict()))
+        return str(path)
+
+    def test_unreadable_spec_is_operator_error(self, tmp_path):
+        code = worker_mod.main([str(tmp_path / "ghost.json"),
+                                "--workdir", str(tmp_path)])
+        assert code == 2
+
+    def test_fail_fault_exits_deterministic(self, tmp_path):
+        spec = JobSpec(job_id="j", kind="train", model="LR", n_samples=300,
+                       epochs=1, inject=FailingJob().to_inject())
+        with pytest.raises(SystemExit) as info:
+            worker_mod.main([self._spec_path(tmp_path, spec),
+                             "--workdir", str(tmp_path)])
+        assert info.value.code == 1
+
+    def test_crash_fault_exits_transient_then_recovers(self, tmp_path):
+        spec = JobSpec(job_id="j", kind="train", model="LR", n_samples=300,
+                       epochs=1, inject=CrashingJob(times=1).to_inject())
+        args = [self._spec_path(tmp_path, spec), "--workdir", str(tmp_path)]
+        with pytest.raises(SystemExit) as info:
+            worker_mod.main(args + ["--attempt", "1"])
+        assert info.value.code == 3
+        assert worker_mod.main(args + ["--attempt", "2"]) == 0
+        result = job_dir_for(tmp_path, "j") / "result.json"
+        assert json.loads(result.read_text())["job_id"] == "j"
+
+    def test_missing_dependency_artifact_is_operator_error(self, tmp_path,
+                                                           capsys):
+        spec = JobSpec(job_id="r", kind="retrain", arch_from="s",
+                       n_samples=300, epochs=1)
+        code = worker_mod.main([self._spec_path(tmp_path, spec),
+                                "--workdir", str(tmp_path)])
+        assert code == 2
+        assert "has not produced" in capsys.readouterr().err
+
+    def test_result_bytes_deterministic(self, tmp_path):
+        spec = JobSpec(job_id="j", kind="train", model="LR", n_samples=300,
+                       epochs=1)
+        runs = []
+        for sub in ("a", "b"):
+            wd = tmp_path / sub
+            path = wd / "spec.json"
+            path.parent.mkdir()
+            path.write_text(json.dumps(spec.as_dict()))
+            assert worker_mod.main([str(path), "--workdir", str(wd)]) == 0
+            runs.append((job_dir_for(wd, "j") / "result.json").read_bytes())
+        assert runs[0] == runs[1]
+
+
+class TestResourceGuard:
+    def test_default_reads_real_disk(self, tmp_path):
+        guard = ResourceGuard(tmp_path, min_free_bytes=1)
+        assert guard.free_bytes() > 0
+        assert guard.ok_to_launch()
+
+    def test_injected_pressure(self, tmp_path):
+        guard = ResourceGuard(tmp_path, min_free_bytes=100,
+                              free_bytes_fn=DiskPressure(low_checks=2))
+        assert not guard.ok_to_launch()
+        assert not guard.ok_to_launch()
+        assert guard.ok_to_launch()  # pressure cleared
+
+
+class TestParseInject:
+    def test_known_faults(self):
+        assert parse_inject("crash:2") == CrashingJob(times=2).to_inject()
+        assert parse_inject("fail") == FailingJob().to_inject()
+        assert parse_inject("hang") == HangingJob().to_inject()
+        assert (parse_inject("slow_heartbeat:3")
+                == SlowHeartbeat(after_beats=3).to_inject())
+
+    def test_unknown_fault(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            parse_inject("gremlins")
+
+
+class TestPidVerification:
+    def test_own_pid_is_not_a_worker(self):
+        # Alive, but the cmdline is pytest's — must not be reapable.
+        assert not pid_is_our_worker(os.getpid())
+
+    def test_dead_pid(self):
+        # Max pid is bounded well below this on Linux.
+        assert not pid_is_our_worker(2 ** 22 + 1)
+
+
+class TestManifestGuards:
+    def test_fresh_run_refuses_existing_manifest(self, tmp_path):
+        spec = tiny_campaign()
+        CampaignManifest.create(spec).save(tmp_path / "manifest.json")
+        with pytest.raises(CampaignResumeError, match="already exists"):
+            Supervisor(spec, tmp_path, fast_config()).run(resume=False)
+
+    def test_resume_requires_manifest(self, tmp_path):
+        with pytest.raises(CampaignResumeError, match="does not exist"):
+            Supervisor(tiny_campaign(), tmp_path,
+                       fast_config()).run(resume=True)
+
+    def test_resume_refuses_foreign_fingerprint(self, tmp_path):
+        CampaignManifest.create(
+            tiny_campaign("FNN")).save(tmp_path / "manifest.json")
+        with pytest.raises(CampaignResumeError, match="fingerprint"):
+            Supervisor(tiny_campaign(), tmp_path,
+                       fast_config()).run(resume=True)
+
+
+@pytest.mark.orchestrator
+class TestSupervisedExecution:
+    def test_crash_retries_then_completes(self, tmp_path):
+        spec = tiny_campaign().with_inject(
+            "train:LR:criteo:s0", CrashingJob(times=1).to_inject())
+        sink = MemorySink()
+        report = Supervisor(spec, tmp_path, fast_config(),
+                            bus=EventBus([sink])).run()
+        assert report.ok
+        state = CampaignManifest.load(
+            tmp_path / "manifest.json").jobs["train:LR:criteo:s0"]
+        assert state.attempts == 2
+        assert state.exit_codes == [3, 0]
+        types = [e.type for e in sink.events]
+        assert "job_retry" in types and "job_done" in types
+
+    def test_deterministic_failure_quarantines_campaign_continues(
+            self, tmp_path):
+        spec = tiny_campaign("LR", "FNN").with_inject(
+            "train:LR:criteo:s0", FailingJob().to_inject())
+        metrics = MetricsRegistry()
+        report = Supervisor(spec, tmp_path, fast_config(),
+                            metrics=metrics).run()
+        assert report.completed == 1 and report.quarantined == 1
+        assert report.completed + report.quarantined == report.total
+        state = CampaignManifest.load(
+            tmp_path / "manifest.json").jobs["train:LR:criteo:s0"]
+        assert state.quarantine_reason == "deterministic_failure"
+        assert state.attempts == 1  # no retry for exit code 1
+        assert metrics.counter("orchestrate.quarantined").value == 1
+
+    def test_crash_loop_quarantined_after_max_retries(self, tmp_path):
+        spec = tiny_campaign().with_inject(
+            "train:LR:criteo:s0", CrashingJob(times=99).to_inject())
+        report = Supervisor(spec, tmp_path,
+                            fast_config(max_retries=1)).run()
+        assert report.quarantined == 1
+        state = CampaignManifest.load(
+            tmp_path / "manifest.json").jobs["train:LR:criteo:s0"]
+        assert state.quarantine_reason == "crash_loop"
+        assert state.exit_codes == [3, 3]
+
+    def test_hanging_job_reaped_by_timeout_escalation(self, tmp_path):
+        # The fault ignores SIGTERM, so completion proves the escalation
+        # went all the way to SIGKILL on the process group.
+        spec = tiny_campaign().with_inject(
+            "train:LR:criteo:s0", HangingJob(ignore_sigterm=True).to_inject())
+        metrics = MetricsRegistry()
+        started = time.time()
+        report = Supervisor(spec, tmp_path,
+                            fast_config(job_timeout_s=1.5, max_retries=0),
+                            metrics=metrics).run()
+        assert time.time() - started < 30
+        assert report.quarantined == 1
+        manifest = CampaignManifest.load(tmp_path / "manifest.json")
+        state = manifest.jobs["train:LR:criteo:s0"]
+        assert "timeout" in state.reasons
+        assert state.exit_codes[0] < 0  # killed by signal
+        assert metrics.counter("orchestrate.timeouts").value == 1
+        assert find_orphans(manifest) == []
+
+    def test_stale_heartbeat_reaped_by_watchdog(self, tmp_path):
+        # Wall-clock budget is generous; only the heartbeat watchdog can
+        # reap this worker.
+        spec = tiny_campaign().with_inject(
+            "train:LR:criteo:s0", SlowHeartbeat(after_beats=1).to_inject())
+        metrics = MetricsRegistry()
+        report = Supervisor(spec, tmp_path,
+                            fast_config(heartbeat_timeout_s=1.0,
+                                        max_retries=0),
+                            metrics=metrics).run()
+        assert report.quarantined == 1
+        state = CampaignManifest.load(
+            tmp_path / "manifest.json").jobs["train:LR:criteo:s0"]
+        assert "hung" in state.reasons
+        assert metrics.counter("orchestrate.hung_reaped").value == 1
+
+    def test_dependency_failure_cascades_without_launch(self, tmp_path):
+        spec = tiny_campaign(optinter_chain=True).with_inject(
+            "search:criteo:s0", FailingJob().to_inject())
+        report = Supervisor(spec, tmp_path, fast_config()).run()
+        manifest = CampaignManifest.load(tmp_path / "manifest.json")
+        retrain = manifest.jobs["retrain:criteo:s0"]
+        assert retrain.status == "quarantined"
+        assert retrain.quarantine_reason == "dependency_failed"
+        assert retrain.attempts == 0  # never launched
+        assert report.completed + report.quarantined == report.total
+
+    def test_disk_pressure_defers_launch_but_campaign_finishes(self,
+                                                               tmp_path):
+        pressure = DiskPressure(low_checks=3)
+        metrics = MetricsRegistry()
+        report = Supervisor(tiny_campaign(), tmp_path, fast_config(),
+                            metrics=metrics, free_bytes_fn=pressure).run()
+        assert report.ok
+        assert pressure.calls > 3  # guard kept probing until it cleared
+        assert metrics.counter("orchestrate.throttled").value >= 1
+
+    def test_span_tree_covers_jobs_and_attempts(self, tmp_path):
+        spec = tiny_campaign().with_inject(
+            "train:LR:criteo:s0", CrashingJob(times=1).to_inject())
+        sink = MemorySink()
+        Supervisor(spec, tmp_path, fast_config(), bus=EventBus([sink])).run()
+        spans = [e.payload for e in sink.events if e.type == "span"]
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        assert len(by_name["campaign.run"]) == 1
+        assert len(by_name["campaign.job"]) == 1
+        assert len(by_name["campaign.attempt"]) == 2  # crash + success
+        run = by_name["campaign.run"][0]
+        job = by_name["campaign.job"][0]
+        assert job["parent_id"] == run["span_id"]
+        assert all(a["parent_id"] == job["span_id"]
+                   for a in by_name["campaign.attempt"])
