@@ -258,7 +258,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chaos injection: flaky:K (first K scores fail), "
                             "slow:SECONDS (added scoring latency), "
                             "crash:N (hard-exit after N requests); "
-                            "repeatable")
+                            "repeatable (pool mode targets replica 0)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="replica pool size (1 = classic single-instance "
+                            "stack; >1 adds health-checked failover, hedged "
+                            "requests and canary checkpoint rollout)")
+    serve.add_argument("--min-healthy", type=int, default=1,
+                       help="pool mode: quarantine/canary never drop the "
+                            "healthy replica count below this floor")
+    serve.add_argument("--hedge-ms", default=None, metavar="MS|auto",
+                       help="pool mode: hedge a silent request to a second "
+                            "replica after this many ms ('auto' tracks the "
+                            "p99 dispatch latency; 0/unset disables hedging)")
+    serve.add_argument("--canary-mirror", type=float, default=None,
+                       metavar="FRACTION",
+                       help="pool mode: fraction of live traffic shadow-"
+                            "scored on the canary replica during rollout "
+                            "(default 0.1; 0 disables canary rollout)")
     _add_trace(serve)
 
     predict = sub.add_parser(
@@ -630,6 +646,16 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _parse_hedge_ms(raw):
+    """``--hedge-ms`` accepts a number, 'auto', or nothing."""
+    if raw is None or raw == "auto":
+        return raw
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise SystemExit(f"--hedge-ms must be a number or 'auto', got {raw!r}")
+
+
 def _build_stack_from_args(args, bus):
     from .serving.server import build_serving_stack
 
@@ -645,6 +671,10 @@ def _build_stack_from_args(args, bus):
         reload_interval_s=getattr(args, "reload_interval", 1.0),
         inject=getattr(args, "inject", None),
         drift_window=getattr(args, "drift_window", None),
+        replicas=getattr(args, "replicas", 1),
+        min_healthy=getattr(args, "min_healthy", 1),
+        hedge_ms=_parse_hedge_ms(getattr(args, "hedge_ms", None)),
+        canary_mirror=getattr(args, "canary_mirror", None),
         bus=bus)
 
 

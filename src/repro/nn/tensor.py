@@ -23,26 +23,28 @@ from .sparse import SparseGrad
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+# Per-thread, like torch: a save/restore pair on a process-wide flag
+# races once two threads score concurrently (both save, the later exit
+# restores the earlier's "disabled"), permanently turning autograd off
+# for everyone — including a training loop in another thread.
+_grad_state = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction (like torch.no_grad)."""
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = is_grad_enabled()
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _grad_state.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are currently recorded in the graph."""
-    return _grad_enabled
+    return getattr(_grad_state, "enabled", True)
 
 
 _rowwise_state = threading.local()
@@ -236,7 +238,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = backward

@@ -50,6 +50,8 @@ EVENT_TYPES = {
     "job_quarantined",  # job removed from rotation (reason, attempts)
     "job_done",    # job completed (attempts, wall time, result path)
     "campaign",    # campaign lifecycle: start/end/throttle/orphan_reaped
+    "replica",     # pool replica lifecycle: quarantined/restarted/canary
+    "rollout",     # canary rollout: detected/mirroring/promoted/rolled_back
 }
 
 

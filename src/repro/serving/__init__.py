@@ -24,12 +24,19 @@ answer inside its deadline**.  Six cooperating pieces:
 * :mod:`repro.serving.batching` — micro-batching: coalesce queued
   requests into one scoring call, bit-for-bit equal to sequential
   single-request scoring.
+* :mod:`repro.serving.replica` — high availability: a pool of
+  independently-health-checked replicas behind least-inflight routing,
+  quarantined restart with full-jitter backoff, and hedged requests.
+* :mod:`repro.serving.rollout` — canary checkpoint rollout: shadow a
+  candidate on one replica against live mirrored traffic, auto-promote
+  replica-by-replica or auto-rollback, resumable via an atomic
+  manifest.
 
 ``repro serve`` (stdio or threaded socket JSONL) and ``repro predict``
 (batch scoring) expose it from the CLI; see ``docs/serving.md``.
 """
 
-from .backoff import backoff_delays, retry_with_backoff
+from .backoff import RestartBackoff, backoff_delays, retry_with_backoff
 from .batching import MicroBatcher
 from .degradation import (
     CircuitBreaker,
@@ -48,6 +55,19 @@ from .errors import (
 )
 from .queue import BoundedRequestQueue
 from .reload import GoldenSet, HotReloader
+from .replica import (
+    REPLICA_CANARY,
+    REPLICA_HEALTHY,
+    REPLICA_UNHEALTHY,
+    Replica,
+    ReplicaPool,
+)
+from .rollout import (
+    CanaryController,
+    RolloutManifest,
+    RolloutPolicy,
+    select_initial_checkpoint,
+)
 from .server import (
     SERVABLE_MODELS,
     ServingStack,
@@ -95,6 +115,16 @@ __all__ = [
     "STATUS_SHED",
     "backoff_delays",
     "retry_with_backoff",
+    "RestartBackoff",
+    "Replica",
+    "ReplicaPool",
+    "REPLICA_HEALTHY",
+    "REPLICA_UNHEALTHY",
+    "REPLICA_CANARY",
+    "CanaryController",
+    "RolloutManifest",
+    "RolloutPolicy",
+    "select_initial_checkpoint",
     "SERVABLE_MODELS",
     "ServingStack",
     "SocketServer",

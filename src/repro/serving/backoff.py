@@ -3,10 +3,21 @@
 Checkpoint reads during hot reload (and initial model loading) can hit
 transient ``OSError``s — NFS hiccups, a file mid-replace on another
 host, momentary permission races.  :func:`retry_with_backoff` retries
-those with capped exponential delays and multiplicative jitter so a
-fleet of replicas does not hammer shared storage in lockstep.  Both the
-sleeper and the RNG are injectable, so tests run instantly and
-deterministically.
+those with capped exponential delays and jitter so a fleet of replicas
+does not hammer shared storage in lockstep.  Both the sleeper and the
+RNG are injectable, so tests run instantly and deterministically.
+
+Two jitter modes:
+
+``"equal"`` (the historical default)
+    Delay ``i`` is ``min(base * factor**i, max_delay)`` scaled by a
+    uniform factor in ``[1 - jitter, 1 + jitter]`` — the expected delay
+    equals the deterministic schedule.
+``"full"``
+    Full jitter (AWS style): delay ``i`` is uniform in
+    ``[0, min(base * factor**i, max_delay)]``.  Spreads a thundering
+    herd hardest; the replica pool uses it for quarantined restarts so
+    several replicas restarting after a shared fault do not stampede.
 """
 
 from __future__ import annotations
@@ -18,26 +29,39 @@ import numpy as np
 
 T = TypeVar("T")
 
+#: Valid jitter modes for :func:`backoff_delays`.
+JITTER_MODES = ("equal", "full")
+
 
 def backoff_delays(retries: int, base_delay: float = 0.05,
                    factor: float = 2.0, max_delay: float = 2.0,
                    jitter: float = 0.5,
+                   mode: str = "equal",
                    rng: Optional[np.random.Generator] = None):
     """Yield ``retries`` delays: capped exponential, jittered.
 
-    Delay ``i`` is ``min(base * factor**i, max_delay)`` scaled by a
-    uniform factor in ``[1 - jitter, 1 + jitter]``.
+    With ``mode="equal"`` delay ``i`` is ``min(base * factor**i,
+    max_delay)`` scaled by a uniform factor in ``[1 - jitter, 1 +
+    jitter]``.  With ``mode="full"`` it is uniform in ``[0, cap_i]``
+    where ``cap_i`` is the same capped exponential (``jitter`` is
+    ignored — full jitter is maximal by construction).
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     if not 0.0 <= jitter < 1.0:
         raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    if mode not in JITTER_MODES:
+        raise ValueError(f"mode must be one of {JITTER_MODES}, got {mode!r}")
     rng = rng or np.random.default_rng()
     for attempt in range(retries):
-        delay = min(base_delay * factor ** attempt, max_delay)
-        if jitter:
-            delay *= 1.0 + jitter * (2.0 * float(rng.random()) - 1.0)
-        yield delay
+        cap = min(base_delay * factor ** attempt, max_delay)
+        if mode == "full":
+            yield cap * float(rng.random())
+        else:
+            delay = cap
+            if jitter:
+                delay *= 1.0 + jitter * (2.0 * float(rng.random()) - 1.0)
+            yield delay
 
 
 def retry_with_backoff(fn: Callable[[], T], *,
@@ -46,6 +70,7 @@ def retry_with_backoff(fn: Callable[[], T], *,
                        factor: float = 2.0,
                        max_delay: float = 2.0,
                        jitter: float = 0.5,
+                       mode: str = "equal",
                        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
                        sleep: Callable[[float], None] = time.sleep,
                        rng: Optional[np.random.Generator] = None,
@@ -60,7 +85,8 @@ def retry_with_backoff(fn: Callable[[], T], *,
     the original typed exception.
     """
     delays = backoff_delays(retries, base_delay=base_delay, factor=factor,
-                            max_delay=max_delay, jitter=jitter, rng=rng)
+                            max_delay=max_delay, jitter=jitter, mode=mode,
+                            rng=rng)
     attempt = 0
     while True:
         try:
@@ -74,3 +100,36 @@ def retry_with_backoff(fn: Callable[[], T], *,
             if on_retry is not None:
                 on_retry(attempt, exc)
             sleep(delay)
+
+
+class RestartBackoff:
+    """Stateful full-jitter backoff schedule for replica restarts.
+
+    Each :meth:`next_delay` call advances the attempt counter and
+    returns the next jittered delay; :meth:`reset` (called after a
+    successful restart) starts the schedule over.  Thread-compatible by
+    being trivially small — callers serialize access themselves.
+    """
+
+    def __init__(self, base_delay: float = 0.2, factor: float = 2.0,
+                 max_delay: float = 10.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if base_delay <= 0:
+            raise ValueError(f"base_delay must be > 0, got {base_delay}")
+        if max_delay < base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        self.base_delay = base_delay
+        self.factor = factor
+        self.max_delay = max_delay
+        self._rng = rng or np.random.default_rng()
+        self.attempt = 0
+
+    def next_delay(self) -> float:
+        """The next full-jitter delay; advances the attempt counter."""
+        cap = min(self.base_delay * self.factor ** self.attempt,
+                  self.max_delay)
+        self.attempt += 1
+        return cap * float(self._rng.random())
+
+    def reset(self) -> None:
+        self.attempt = 0

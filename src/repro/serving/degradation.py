@@ -49,6 +49,14 @@ class CircuitBreaker:
     one probe request may try the full model; its outcome closes or
     re-opens the circuit).  Thread-safe; the clock is injectable so
     tests control time.
+
+    The single-probe token is released only by :meth:`record_success` /
+    :meth:`record_failure`.  A probe whose thread dies without reporting
+    would otherwise pin the breaker half-open forever, denying every
+    later request; ``probe_timeout_s`` bounds that — a probe older than
+    the timeout forfeits its token and the next :meth:`allow` caller
+    becomes the probe.  ``None`` (the default) keeps the historical
+    behaviour of trusting probes to always report.
     """
 
     CLOSED = "closed"
@@ -56,20 +64,26 @@ class CircuitBreaker:
     HALF_OPEN = "half_open"
 
     def __init__(self, failure_threshold: int = 5, cooldown_s: float = 30.0,
+                 probe_timeout_s: Optional[float] = None,
                  clock=time.monotonic) -> None:
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold}")
         if cooldown_s <= 0:
             raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        if probe_timeout_s is not None and probe_timeout_s <= 0:
+            raise ValueError(
+                f"probe_timeout_s must be > 0, got {probe_timeout_s}")
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
+        self.probe_timeout_s = probe_timeout_s
         self._clock = clock
         self._lock = threading.Lock()
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
         self._probe_in_flight = False
+        self._probe_started_at: Optional[float] = None
 
     @property
     def state(self) -> str:
@@ -93,9 +107,17 @@ class CircuitBreaker:
             state = self._peek_state()
             if state == self.CLOSED:
                 return True
+            if (state == self.HALF_OPEN and self._probe_in_flight
+                    and self.probe_timeout_s is not None
+                    and self._probe_started_at is not None
+                    and (self._clock() - self._probe_started_at
+                         >= self.probe_timeout_s)):
+                # The probe vanished without reporting; reclaim its token.
+                self._probe_in_flight = False
             if state == self.HALF_OPEN and not self._probe_in_flight:
                 self._state = self.HALF_OPEN
                 self._probe_in_flight = True
+                self._probe_started_at = self._clock()
                 return True
             return False
 
@@ -106,6 +128,7 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             self._opened_at = None
             self._probe_in_flight = False
+            self._probe_started_at = None
 
     def record_failure(self) -> None:
         """A scoring failure/timeout; open on threshold or failed probe."""
@@ -115,6 +138,7 @@ class CircuitBreaker:
                 self._state = self.OPEN
                 self._opened_at = self._clock()
                 self._probe_in_flight = False
+                self._probe_started_at = None
                 return
             self._consecutive_failures += 1
             if self._consecutive_failures >= self.failure_threshold:

@@ -16,6 +16,19 @@ matching what production inference actually sees:
   the hot-reload watch directory *mid-traffic*, driving promote and
   rollback while requests are in flight.
 
+The HA layer (PR 10) adds pool-level chaos on top:
+
+* :class:`WedgedModel` / :func:`wedge_replica` — scoring blocks on an
+  event instead of returning, so the replica's in-flight work never
+  completes: the wedge the pool's heartbeat-staleness probe must catch;
+* :func:`slow_replica` — one replica becomes a latency outlier (the
+  hedging target case) while the rest of the fleet stays fast;
+* :class:`PoisonedCheckpoint` — writes checkpoints that *pass* integrity
+  checks but carry bad weights: ``nan`` (unscorable — the golden set
+  must veto before any mirroring) and ``drift`` (finite but wildly
+  rescaled — only the canary mirror comparison catches it, driving
+  automatic rollback).
+
 :class:`ServeCrash` re-uses :class:`~repro.resilience.faults.
 InjectedCrash` to kill the serving loop after N predictions — the
 process-level chaos test SIGKILLs instead, but in-process tests need a
@@ -24,6 +37,7 @@ deterministic crash point.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -141,6 +155,106 @@ class ServeCrash:
         if self.seen >= self.at_request:
             raise InjectedCrash(
                 f"injected serving crash after {self.seen} requests")
+
+
+class WedgedModel(_ModelProxy):
+    """Scoring blocks until :meth:`release` (or a safety timeout).
+
+    Unlike :class:`SlowModel`, a wedged call may *never* return on its
+    own — exactly the failure the pool's heartbeat-staleness probe must
+    catch (consecutive-failure counting alone cannot see a call that is
+    still "in progress").  ``max_wedge_s`` bounds the block so an
+    un-released wedge cannot leak a thread past the end of a test run.
+    """
+
+    def __init__(self, base, after: int = 0,
+                 max_wedge_s: float = 60.0) -> None:
+        super().__init__(base)
+        self.after = after
+        self.max_wedge_s = max_wedge_s
+        self.calls = 0
+        self.wedged_calls = 0
+        self._release = threading.Event()
+
+    def release(self) -> None:
+        """Un-wedge: every blocked and future call proceeds normally."""
+        self._release.set()
+
+    def predict_proba(self, batch):
+        self.calls += 1
+        if self.calls > self.after and not self._release.is_set():
+            self.wedged_calls += 1
+            self._release.wait(timeout=self.max_wedge_s)
+        return self._base.predict_proba(batch)
+
+
+def wedge_replica(replica, after: int = 0,
+                  max_wedge_s: float = 60.0) -> WedgedModel:
+    """Wedge one pool replica's live model in place.
+
+    Wraps the replica's current model with :class:`WedgedModel` under
+    the *same* version string, so the injection is invisible to version
+    accounting — only the wedge itself is observable, exactly like a
+    production hang.
+    """
+    service = replica.service
+    wedged = WedgedModel(service.model, after=after, max_wedge_s=max_wedge_s)
+    service.swap_model(wedged, service.model_version)
+    return wedged
+
+
+def slow_replica(replica, delay_s: float, after: int = 0,
+                 sleep=time.sleep) -> SlowModel:
+    """Make one pool replica a latency outlier (the hedging target)."""
+    service = replica.service
+    slow = SlowModel(service.model, delay_s, after=after, sleep=sleep)
+    service.swap_model(slow, service.model_version)
+    return slow
+
+
+class PoisonedCheckpoint:
+    """Writes checkpoints that pass integrity but carry bad weights.
+
+    The archive checksums verify and the model loads cleanly — the
+    corruption is *semantic*, which is exactly the class of failure that
+    motivates canary rollout:
+
+    ``nan``
+        Every weight becomes NaN.  Unscorable — the golden set (or the
+        ladder's finiteness check) vetoes it before mirroring starts.
+    ``drift``
+        Weights are finite but rescaled by ``drift_scale``; golden sets
+        with loose tolerance pass it, yet the score distribution shifts
+        hard enough that the canary mirror comparison (PSI / agreement)
+        must roll it back.
+    """
+
+    def __init__(self, manager: CheckpointManager,
+                 drift_scale: float = 25.0) -> None:
+        self.swapper = CheckpointSwapper(manager)
+        self.drift_scale = drift_scale
+
+    def write(self, model, kind: str = "nan", optimizer=None) -> str:
+        if kind not in ("nan", "drift"):
+            raise ValueError(f"unknown poison kind {kind!r}")
+        epoch = self.swapper.next_epoch()
+        if optimizer is None:
+            from ..nn.optim import SGD
+
+            optimizer = SGD(model.parameters(), lr=0.0)
+        checkpoint = TrainingCheckpoint.capture(
+            model, optimizer, epoch=epoch, global_step=0)
+        poisoned = {}
+        for name, value in checkpoint.model_state.items():
+            value = np.array(value, dtype=float, copy=True)
+            if kind == "nan":
+                value[...] = np.nan
+            else:
+                value *= self.drift_scale
+            poisoned[name] = value
+        checkpoint.model_state = poisoned
+        path = self.swapper.manager.save(checkpoint)
+        return str(path)
 
 
 class CheckpointSwapper:

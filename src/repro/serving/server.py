@@ -28,8 +28,9 @@ import json
 import socket
 import sys
 import threading
+import time as _time_module
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +47,9 @@ from .errors import OverloadedError
 from .faults import FlakyModel, ServeCrash, SlowModel, valid_requests
 from .queue import BoundedRequestQueue
 from .reload import GoldenSet, HotReloader
+from .replica import ReplicaPool
+from .rollout import (MANIFEST_NAME, CanaryController, RolloutManifest,
+                      RolloutPolicy, select_initial_checkpoint)
 from .service import (BatchRequest, PredictionService, PredictionResponse,
                       STATUS_INVALID)
 from .validation import RequestValidator
@@ -60,13 +64,54 @@ SERVABLE_MODELS = ("LR", "FNN", "FM", "FwFM", "FmFM", "IPNN", "OPNN",
 # ----------------------------------------------------------------------
 @dataclass
 class ServingStack:
-    """Everything a serving process runs: service, reloader, metadata."""
+    """Everything a serving process runs: service, reloader, metadata.
 
-    service: PredictionService
+    ``service`` is the scoring facade the protocol handlers talk to —
+    a plain :class:`PredictionService` in single-instance mode, or a
+    :class:`~repro.serving.replica.ReplicaPool` (which duck-types the
+    same surface) when ``--replicas N`` builds a pool.  ``pool`` /
+    ``canary`` are then the same objects under their own names for
+    lifecycle management.
+    """
+
+    service: Any
     reloader: Optional[HotReloader]
     model_name: str
     dataset: str
     notes: List[str] = field(default_factory=list)
+    pool: Optional[ReplicaPool] = None
+    canary: Optional[CanaryController] = None
+
+    def start_background(self) -> None:
+        """Start every background loop this stack owns (idempotent)."""
+        if self.reloader is not None:
+            self.reloader.start()
+        if self.pool is not None:
+            self.pool.start()
+        if self.canary is not None:
+            self.canary.start()
+
+    def stop_background(self) -> None:
+        if self.canary is not None:
+            self.canary.stop()
+        if self.pool is not None:
+            self.pool.stop()
+        if self.reloader is not None:
+            self.reloader.stop()
+
+    def poll_inline(self) -> None:
+        """Drive background work inline when no threads are running.
+
+        The stdio transport calls this between requests so single-
+        threaded tests stay deterministic (same contract as the old
+        ``reloader.poll_once()`` inline path).
+        """
+        if self.reloader is not None and self.reloader._thread is None:
+            self.reloader.poll_once()
+        if self.pool is not None and self.pool._thread is None:
+            self.pool.check_replicas()
+        if self.canary is not None and self.canary._thread is None:
+            self.canary.poll_once()
 
 
 def parse_injections(specs: Optional[List[str]]) -> Dict[str, float]:
@@ -95,6 +140,10 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
                         reload_interval_s: float = 1.0,
                         inject: Optional[List[str]] = None,
                         drift_window: Optional[int] = None,
+                        replicas: int = 1,
+                        min_healthy: int = 1,
+                        hedge_ms: Union[None, float, str] = None,
+                        canary_mirror: Optional[float] = None,
                         bus: Optional[EventBus] = None) -> ServingStack:
     """Assemble the full serving stack the way ``repro serve`` does.
 
@@ -102,13 +151,24 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
     produced the weights — the synthetic pipeline is deterministic, so
     equal configs yield identical schemas, vocabularies and cross
     cardinalities.
+
+    ``replicas=1`` (the default) builds the classic single-instance
+    stack with a :class:`HotReloader`.  ``replicas > 1`` builds a
+    :class:`ReplicaPool` (one model / breaker / metrics / drift monitor
+    per replica) and, when a checkpoint directory is watched, a
+    :class:`CanaryController` instead of the reloader: new checkpoints
+    are staged on one canary replica against mirrored live traffic and
+    promoted or rolled back automatically.
     """
     from ..experiments import default_config, prepare_dataset
     from ..experiments.runner import _build_plain_model
     from ..io import load_architecture
 
     from dataclasses import replace
+    from pathlib import Path
 
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
     config = default_config(dataset, scale)
     if samples is not None:
         config = replace(config, n_samples=samples)
@@ -144,7 +204,11 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
                 "dataset/scale/samples must match the training run")
 
     # Initial weights: explicit .npz beats checkpoint dir beats random.
+    # In pool mode the pick consults the rollout manifest, so a restart
+    # after an interrupted canary never boots the fleet on an
+    # unpromoted or rolled-back checkpoint.
     manager = None
+    manifest_path: Optional[Path] = None
     loaded_epoch: Optional[int] = None
     if weights is not None:
         from ..io import load_checkpoint
@@ -153,8 +217,13 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
         notes.append(f"weights loaded from {weights}")
     if checkpoint_dir is not None:
         manager = CheckpointManager(checkpoint_dir)
+        manifest_path = Path(manager.directory) / MANIFEST_NAME
         if weights is None:
-            loaded = manager.latest_valid()
+            if replicas > 1:
+                loaded = select_initial_checkpoint(
+                    manager, RolloutManifest.load(manifest_path))
+            else:
+                loaded = manager.latest_valid()
             if loaded is not None:
                 checkpoint, path = loaded
                 model.load_state_dict(checkpoint.model_state)
@@ -167,66 +236,154 @@ def build_serving_stack(model_name: str, dataset: str, scale: str = "quick",
     if weights is None and manager is None:
         notes.append("serving randomly-initialised weights (no --weights / "
                      "--checkpoint-dir)")
+    initial_state = model.state_dict()
 
     # Drift monitoring (opt-in): the reference fingerprint is the train
     # split's feature distribution plus the *loaded* model's scores over
     # it — computed before chaos wrappers so injected faults can't
-    # poison the baseline.
+    # poison the baseline.  The reference is computed once and shared by
+    # every replica's own monitor.
     metrics = MetricsRegistry()
-    drift = None
+    drift_sample = None
+    drift_scores = None
     if drift_window is not None:
-        sample = bundle.train.x[:4096]
-        x_cross = (cross_transform.transform(sample)
+        drift_sample = bundle.train.x[:4096]
+        x_cross = (cross_transform.transform(drift_sample)
                    if cross_transform is not None else None)
-        scores = model.predict_proba(
-            Batch(x=sample, x_cross=x_cross, y=np.zeros(len(sample))))
-        drift = DriftMonitor(field_names=bundle.full.schema.field_names,
-                             window=drift_window, metrics=metrics, bus=bus)
-        drift.fit_reference(sample, scores=np.asarray(scores),
-                            cardinalities=bundle.full.cardinalities)
+        drift_scores = np.asarray(model.predict_proba(
+            Batch(x=drift_sample, x_cross=x_cross,
+                  y=np.zeros(len(drift_sample)))))
         notes.append(f"drift monitoring on (window={drift_window}, "
-                     f"reference={len(sample)} train rows)")
+                     f"reference={len(drift_sample)} train rows)")
 
-    # Chaos injection wrappers (outermost wins the scoring call).
+    def make_drift(registry: MetricsRegistry) -> Optional[DriftMonitor]:
+        if drift_sample is None:
+            return None
+        monitor = DriftMonitor(field_names=bundle.full.schema.field_names,
+                               window=drift_window, metrics=registry, bus=bus)
+        monitor.fit_reference(drift_sample, scores=drift_scores,
+                              cardinalities=bundle.full.cardinalities)
+        return monitor
+
+    prior = max(min(bundle.train.positive_ratio, 1.0 - 1e-6), 1e-6)
+
+    def make_service(model_obj, registry: MetricsRegistry,
+                     version: str) -> PredictionService:
+        return PredictionService(
+            model_obj, bundle.full.schema,
+            validator=RequestValidator(bundle.full.schema),
+            cross_transform=cross_transform,
+            prior_ctr=prior,
+            deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+            breaker=CircuitBreaker(failure_threshold=breaker_threshold,
+                                   cooldown_s=breaker_cooldown_s),
+            metrics=registry,
+            bus=bus,
+            drift=make_drift(registry),
+            model_version=version)
+
     injections = parse_injections(inject)
     crash: Optional[ServeCrash] = None
-    if "slow" in injections:
-        model = SlowModel(model, delay_s=injections["slow"])
-        notes.append(f"injected slow scoring: +{injections['slow']}s")
-    if "flaky" in injections:
-        model = FlakyModel(model, fail_first=int(injections["flaky"]))
-        notes.append(f"injected flaky scoring: first "
-                     f"{int(injections['flaky'])} calls fail")
     if "crash" in injections:
         crash = ServeCrash(at_request=int(injections["crash"]))
         notes.append(f"injected crash after {int(injections['crash'])} "
                      "requests")
+    version = ("initial" if loaded_epoch is None
+               else f"epoch-{loaded_epoch:08d}")
 
-    service = PredictionService(
-        model, bundle.full.schema,
-        validator=RequestValidator(bundle.full.schema),
-        cross_transform=cross_transform,
-        prior_ctr=max(min(bundle.train.positive_ratio, 1.0 - 1e-6), 1e-6),
-        deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
-        breaker=CircuitBreaker(failure_threshold=breaker_threshold,
-                               cooldown_s=breaker_cooldown_s),
-        metrics=metrics,
-        bus=bus,
-        drift=drift,
-        model_version=("initial" if loaded_epoch is None
-                       else f"epoch-{loaded_epoch:08d}"))
-    service._crash = crash  # picked up by the protocol loop
+    if replicas == 1:
+        # Chaos injection wrappers (outermost wins the scoring call).
+        if "slow" in injections:
+            model = SlowModel(model, delay_s=injections["slow"])
+            notes.append(f"injected slow scoring: +{injections['slow']}s")
+        if "flaky" in injections:
+            model = FlakyModel(model, fail_first=int(injections["flaky"]))
+            notes.append(f"injected flaky scoring: first "
+                         f"{int(injections['flaky'])} calls fail")
+        service = make_service(model, metrics, version)
+        service._crash = crash  # picked up by the protocol loop
 
-    reloader = None
-    if manager is not None:
+        reloader = None
+        if manager is not None:
+            golden = GoldenSet(list(valid_requests(bundle.full.schema,
+                                                   count=golden_requests)))
+            reloader = HotReloader(service, manager, model_factory,
+                                   golden=golden,
+                                   interval_s=reload_interval_s,
+                                   bus=bus)
+            reloader._loaded_epoch = loaded_epoch
+        return ServingStack(service=service, reloader=reloader,
+                            model_name=model_name, dataset=dataset,
+                            notes=notes)
+
+    # ---- replica pool mode -------------------------------------------
+    def build_replica_service(replica_id: int) -> PredictionService:
+        """Build (or rebuild, for quarantined restarts) one replica.
+
+        Called again at restart time, so the checkpoint pick re-reads
+        the rollout manifest: a replica restarted after a rollback must
+        not reload the checkpoint the fleet just rolled away from.
+        """
+        rep_model = model_factory()
+        state = initial_state
+        rep_version = version
+        if manager is not None and weights is None:
+            picked = select_initial_checkpoint(
+                manager, RolloutManifest.load(manifest_path))
+            if picked is not None:
+                ckpt, _path = picked
+                state = ckpt.model_state
+                rep_version = f"epoch-{ckpt.epoch:08d}"
+        if state is not None:
+            rep_model.load_state_dict(state)
+        return make_service(rep_model, MetricsRegistry(), rep_version)
+
+    services = [build_replica_service(i) for i in range(replicas)]
+    # Chaos wrappers in pool mode target replica 0 only, so the pool's
+    # defences (failover, hedging, quarantine) are what the chaos suite
+    # exercises rather than a uniformly-broken fleet.
+    if "slow" in injections:
+        first = services[0]
+        first.swap_model(SlowModel(first.model, delay_s=injections["slow"]),
+                         first.model_version)
+        notes.append(f"injected slow scoring on replica 0: "
+                     f"+{injections['slow']}s")
+    if "flaky" in injections:
+        first = services[0]
+        first.swap_model(
+            FlakyModel(first.model, fail_first=int(injections["flaky"])),
+            first.model_version)
+        notes.append(f"injected flaky scoring on replica 0: first "
+                     f"{int(injections['flaky'])} calls fail")
+
+    pool = ReplicaPool(services,
+                       service_factory=build_replica_service,
+                       min_healthy=min_healthy,
+                       hedge_ms=hedge_ms,
+                       prior_ctr=prior,
+                       bus=bus)
+    pool._crash = crash  # picked up by the protocol loop
+    notes.append(f"replica pool: {replicas} replicas, "
+                 f"min_healthy={min_healthy}, hedge_ms={hedge_ms}")
+
+    canary = None
+    if manager is not None and (canary_mirror is None or canary_mirror > 0):
         golden = GoldenSet(list(valid_requests(bundle.full.schema,
                                                count=golden_requests)))
-        reloader = HotReloader(service, manager, model_factory,
-                               golden=golden, interval_s=reload_interval_s,
-                               bus=bus)
-        reloader._loaded_epoch = loaded_epoch
-    return ServingStack(service=service, reloader=reloader,
-                        model_name=model_name, dataset=dataset, notes=notes)
+        policy = (RolloutPolicy() if canary_mirror is None
+                  else RolloutPolicy(mirror_fraction=canary_mirror))
+        canary = CanaryController(pool, manager, model_factory,
+                                  golden=golden, policy=policy,
+                                  manifest_path=manifest_path,
+                                  loaded_epoch=loaded_epoch,
+                                  interval_s=reload_interval_s,
+                                  bus=bus)
+        pool._rollout = canary.rollout_state  # the `rollout` protocol op
+        notes.append(f"canary rollout on (mirror="
+                     f"{policy.mirror_fraction:g})")
+    return ServingStack(service=pool, reloader=None,
+                        model_name=model_name, dataset=dataset,
+                        notes=notes, pool=pool, canary=canary)
 
 
 # ----------------------------------------------------------------------
@@ -273,6 +430,11 @@ def handle_request_line(line: str, service: PredictionService,
                 return {"drift": "pending",
                         "window": service.drift.window}, False
             return report.as_dict(), False
+        if op == "rollout":
+            state_fn = getattr(service, "_rollout", None)
+            if state_fn is None:
+                return {"rollout": "disabled"}, False
+            return state_fn(), False
         if op == "shutdown":
             return {"status": "shutting_down"}, True
         return (PredictionResponse(
@@ -379,8 +541,7 @@ def serve_stdio(stack: ServingStack, stdin=None, stdout=None, *,
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    if stack.reloader is not None:
-        stack.reloader.start()
+    stack.start_background()
     print(json.dumps({"status": "ready",
                       "model": stack.model_name,
                       "dataset": stack.dataset,
@@ -389,9 +550,7 @@ def serve_stdio(stack: ServingStack, stdin=None, stdout=None, *,
         if batch_size <= 1:
             for line in stdin:
                 queued_at = stack.service.tracer.clock()
-                if (stack.reloader is not None
-                        and stack.reloader._thread is None):
-                    stack.reloader.poll_once()
+                stack.poll_inline()
                 response, shutdown = handle_request_line(line, stack.service,
                                                          queued_at=queued_at)
                 if response:
@@ -403,8 +562,7 @@ def serve_stdio(stack: ServingStack, stdin=None, stdout=None, *,
                                  batch_size=batch_size,
                                  batch_wait_ms=batch_wait_ms)
     finally:
-        if stack.reloader is not None:
-            stack.reloader.stop()
+        stack.stop_background()
     return 0
 
 
@@ -446,8 +604,7 @@ def _serve_stdio_batched(stack: ServingStack, stdin, stdout, *,
             if not reader.is_alive() and len(queue) == 0:
                 return
             continue
-        if stack.reloader is not None and stack.reloader._thread is None:
-            stack.reloader.poll_once()
+        stack.poll_inline()
         lines = [line for line, _ in items]
         queued = [queued_at for _, queued_at in items]
         responses, shutdown = handle_request_lines(lines, stack.service,
@@ -490,8 +647,29 @@ class SocketServer:
         self._sock: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
+        # Accepted-but-unanswered accounting for graceful drain: bumped
+        # *before* a request enters the queue, released only after its
+        # response is written (or it was shed with a typed answer), so
+        # "pending == 0" means no accepted request is still unanswered.
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self.drain_dropped = 0
 
     # -- queue plumbing -------------------------------------------------
+    def _pending_inc(self) -> None:
+        with self._pending_lock:
+            self._pending += 1
+
+    def _pending_dec(self, count: int = 1) -> None:
+        with self._pending_lock:
+            self._pending -= count
+
+    @property
+    def pending(self) -> int:
+        """Accepted requests not yet answered (queued + in flight)."""
+        with self._pending_lock:
+            return self._pending
+
     def _on_shed(self, item, error: OverloadedError) -> None:
         write, _line, request_id, _queued_at = item
         response = self.service.shed_response(error, request_id=request_id)
@@ -508,14 +686,17 @@ class SocketServer:
                 continue
             write, line, _request_id, queued_at = item
             try:
-                response, _shutdown = handle_request_line(
-                    line, self.service, queued_at=queued_at)
-            except Exception as exc:  # noqa: BLE001 — workers must survive
-                response = {"status": "error",
-                            "error": {"code": "internal",
-                                      "message": str(exc)}}
-            if response:
-                write(response)
+                try:
+                    response, _shutdown = handle_request_line(
+                        line, self.service, queued_at=queued_at)
+                except Exception as exc:  # noqa: BLE001 — workers survive
+                    response = {"status": "error",
+                                "error": {"code": "internal",
+                                          "message": str(exc)}}
+                if response:
+                    write(response)
+            finally:
+                self._pending_dec()
 
     def _batch_worker(self) -> None:
         """Worker loop coalescing queue entries via :class:`MicroBatcher`.
@@ -532,18 +713,21 @@ class SocketServer:
                 if self._stop.is_set():
                     return
                 continue
-            lines = [line for _write, line, _rid, _q in items]
-            queued = [queued_at for _w, _l, _rid, queued_at in items]
             try:
-                responses, _shutdown = handle_request_lines(
-                    lines, self.service, queued_ats=queued)
-            except Exception as exc:  # noqa: BLE001 — workers must survive
-                responses = [{"status": "error",
-                              "error": {"code": "internal",
-                                        "message": str(exc)}}] * len(items)
-            for (write, _line, _rid, _q), response in zip(items, responses):
-                if response:
-                    write(response)
+                lines = [line for _write, line, _rid, _q in items]
+                queued = [queued_at for _w, _l, _rid, queued_at in items]
+                try:
+                    responses, _shutdown = handle_request_lines(
+                        lines, self.service, queued_ats=queued)
+                except Exception as exc:  # noqa: BLE001 — workers survive
+                    responses = [{"status": "error",
+                                  "error": {"code": "internal",
+                                            "message": str(exc)}}] * len(items)
+                for (write, _l, _rid, _q), response in zip(items, responses):
+                    if response:
+                        write(response)
+            finally:
+                self._pending_dec(len(items))
 
     # -- connection plumbing --------------------------------------------
     def _handle_connection(self, conn: socket.socket) -> None:
@@ -578,10 +762,24 @@ class SocketServer:
                     continue
                 _features, request_id, priority, _deadline = split_envelope(
                     payload)
-                self.queue.put(
-                    (write, stripped, request_id,
-                     self.service.tracer.clock()),
-                    priority=priority)
+                self._pending_inc()
+                accepted = False
+                try:
+                    accepted = self.queue.put(
+                        (write, stripped, request_id,
+                         self.service.tracer.clock()),
+                        priority=priority)
+                except RuntimeError:
+                    # Queue closed by shutdown: this request was never
+                    # accepted — answer with a typed overload response
+                    # instead of silently dropping the line.
+                    error = OverloadedError("shutting_down",
+                                            depth=len(self.queue))
+                    write(self.service.shed_response(
+                        error, request_id=request_id).as_dict())
+                if not accepted:
+                    # Shed (on_shed already answered) or refused above.
+                    self._pending_dec()
         except (OSError, ValueError):
             pass
         finally:
@@ -618,8 +816,7 @@ class SocketServer:
                                     daemon=True)
         acceptor.start()
         self._threads.append(acceptor)
-        if self.stack.reloader is not None:
-            self.stack.reloader.start()
+        self.stack.start_background()
         return self.host, self.port
 
     def wait(self) -> None:
@@ -628,16 +825,31 @@ class SocketServer:
             pass
         self.shutdown()
 
-    def shutdown(self) -> None:
-        self._stop.set()
-        self.queue.close()
-        if self.stack.reloader is not None:
-            self.stack.reloader.stop()
+    def shutdown(self, drain_s: float = 5.0) -> None:
+        """Drain accepted work, then stop.
+
+        Refuses new work first (listener + queue close: late arrivals
+        get a typed ``shutting_down`` answer from the reader), then
+        waits — bounded by ``drain_s`` — until every accepted request
+        has been answered before stopping the workers.  Anything still
+        unanswered past the deadline is counted in ``drain_dropped``;
+        a clean drain always leaves it 0.
+        """
         if self._sock is not None:
             try:
                 self._sock.close()
             except OSError:
                 pass
+        try:
+            self.queue.close()
+        except RuntimeError:
+            pass
+        deadline = _time_module.monotonic() + max(drain_s, 0.0)
+        while self.pending > 0 and _time_module.monotonic() < deadline:
+            _time_module.sleep(0.01)
+        self.drain_dropped = max(self.pending, 0)
+        self._stop.set()
+        self.stack.stop_background()
         for thread in self._threads:
             thread.join(timeout=2.0)
         self._threads.clear()

@@ -1,5 +1,7 @@
 """Tensor edge cases: error paths, odd shapes, dtype handling."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -125,6 +127,59 @@ class TestGraphEdges:
                 assert not is_grad_enabled()
             assert not is_grad_enabled()
         assert is_grad_enabled()
+
+    def test_no_grad_is_per_thread(self):
+        """One thread inside no_grad must not turn autograd off for
+        another — concurrent serving threads score under no_grad while
+        a trainer elsewhere still needs its graph."""
+        inside, release = threading.Event(), threading.Event()
+
+        def worker():
+            with no_grad():
+                inside.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            assert inside.wait(5.0)
+            assert is_grad_enabled()
+            a = Tensor(np.ones(3), requires_grad=True)
+            assert (a * 2.0).requires_grad
+        finally:
+            release.set()
+            thread.join(5.0)
+        assert is_grad_enabled()
+
+    def test_interleaved_no_grad_exits_do_not_leak(self):
+        """enter(A), enter(B), exit(A), exit(B) — the save/restore
+        interleaving that used to leave grads off process-wide."""
+        order = [threading.Event() for _ in range(3)]
+
+        def a():
+            with no_grad():
+                order[0].set()          # A entered
+                order[1].wait(5.0)      # ... B entered
+            order[2].set()              # A exited
+
+        def b():
+            order[0].wait(5.0)
+            with no_grad():
+                order[1].set()
+                order[2].wait(5.0)      # ... A exited while B inside
+
+        threads = [threading.Thread(target=f) for f in (a, b)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        assert is_grad_enabled()
+        fresh = []
+        probe = threading.Thread(target=lambda: fresh.append(
+            is_grad_enabled()))
+        probe.start()
+        probe.join(5.0)
+        assert fresh == [True]
 
     def test_backward_twice_accumulates(self, rng):
         a = Tensor(rng.normal(size=3), requires_grad=True)

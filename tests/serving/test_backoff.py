@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.serving import backoff_delays, retry_with_backoff
+from repro.serving import RestartBackoff, backoff_delays, retry_with_backoff
 
 
 class TestBackoffDelays:
@@ -33,6 +33,97 @@ class TestBackoffDelays:
             list(backoff_delays(-1))
         with pytest.raises(ValueError):
             list(backoff_delays(1, jitter=1.0))
+        with pytest.raises(ValueError):
+            list(backoff_delays(1, mode="half"))
+
+
+class TestFullJitter:
+    """Property tests for mode="full" over a sweep of parameter sets."""
+
+    PARAMS = [
+        dict(base_delay=0.05, factor=2.0, max_delay=2.0),
+        dict(base_delay=0.2, factor=3.0, max_delay=1.0),
+        dict(base_delay=1.0, factor=1.5, max_delay=4.0),
+        dict(base_delay=0.01, factor=10.0, max_delay=0.5),
+    ]
+
+    @pytest.mark.parametrize("params", PARAMS)
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_every_delay_within_its_cap(self, params, seed):
+        rng = np.random.default_rng(seed)
+        delays = list(backoff_delays(20, mode="full", rng=rng, **params))
+        assert len(delays) == 20
+        for i, delay in enumerate(delays):
+            cap = min(params["base_delay"] * params["factor"] ** i,
+                      params["max_delay"])
+            assert 0.0 <= delay <= cap
+
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_caps_are_monotone_then_flat(self, params):
+        caps = [min(params["base_delay"] * params["factor"] ** i,
+                    params["max_delay"]) for i in range(20)]
+        assert all(a <= b for a, b in zip(caps, caps[1:]))
+        assert caps[-1] == params["max_delay"]
+
+    @pytest.mark.parametrize("seed", [0, 3, 99])
+    def test_deterministic_under_injected_rng(self, seed):
+        a = list(backoff_delays(10, mode="full",
+                                rng=np.random.default_rng(seed)))
+        b = list(backoff_delays(10, mode="full",
+                                rng=np.random.default_rng(seed)))
+        assert a == b
+
+    def test_jitter_parameter_is_ignored_in_full_mode(self):
+        a = list(backoff_delays(10, mode="full", jitter=0.0,
+                                rng=np.random.default_rng(5)))
+        b = list(backoff_delays(10, mode="full", jitter=0.9,
+                                rng=np.random.default_rng(5)))
+        assert a == b
+
+    def test_full_mode_spreads_wider_than_equal(self):
+        # Full jitter can land anywhere in [0, cap]; equal jitter stays
+        # in [cap/2, 3cap/2] at jitter=0.5.  With one shared cap the two
+        # supports differ below cap/2.
+        rng = np.random.default_rng(0)
+        full = list(backoff_delays(500, base_delay=1.0, factor=1.0,
+                                   max_delay=1.0, mode="full", rng=rng))
+        assert min(full) < 0.5
+        rng = np.random.default_rng(0)
+        equal = list(backoff_delays(500, base_delay=1.0, factor=1.0,
+                                    max_delay=1.0, jitter=0.5, rng=rng))
+        assert min(equal) >= 0.5
+
+
+class TestRestartBackoff:
+    def test_schedule_advances_and_respects_caps(self):
+        backoff = RestartBackoff(base_delay=0.2, factor=2.0, max_delay=1.0,
+                                 rng=np.random.default_rng(0))
+        for i in range(10):
+            cap = min(0.2 * 2.0 ** i, 1.0)
+            delay = backoff.next_delay()
+            assert 0.0 <= delay <= cap
+        assert backoff.attempt == 10
+
+    def test_reset_restarts_the_schedule(self):
+        backoff = RestartBackoff(base_delay=0.2, factor=2.0, max_delay=10.0,
+                                 rng=np.random.default_rng(0))
+        for _ in range(5):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.attempt == 0
+        assert backoff.next_delay() <= 0.2
+
+    def test_deterministic_under_injected_rng(self):
+        a = RestartBackoff(rng=np.random.default_rng(11))
+        b = RestartBackoff(rng=np.random.default_rng(11))
+        assert [a.next_delay() for _ in range(8)] \
+            == [b.next_delay() for _ in range(8)]
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            RestartBackoff(base_delay=0.0)
+        with pytest.raises(ValueError):
+            RestartBackoff(base_delay=1.0, max_delay=0.5)
 
 
 class TestRetryWithBackoff:

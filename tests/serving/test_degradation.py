@@ -1,6 +1,7 @@
 """Circuit breaker state machine and the degradation ladder."""
 
 import math
+import threading
 
 import numpy as np
 import pytest
@@ -96,6 +97,98 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown_s=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_timeout_s=0.0)
+
+
+class TestHalfOpenConcurrency:
+    """The single-probe token under racing threads.
+
+    Two callers hitting ``allow()`` at the same instant in half-open
+    must resolve to exactly one probe — a torn check-then-set here would
+    let several requests stampede a barely-recovering model.
+    """
+
+    def _trip_and_cool(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_racing_threads_get_exactly_one_probe_token(self, breaker,
+                                                        clock):
+        self._trip_and_cool(breaker, clock)
+        start = threading.Barrier(8)
+        grants = []
+
+        def contender():
+            start.wait()
+            if breaker.allow():
+                grants.append(threading.get_ident())
+
+        threads = [threading.Thread(target=contender) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(grants) == 1
+
+    def test_token_races_repeat_after_each_failed_probe(self, breaker,
+                                                        clock):
+        for _round in range(5):
+            self._trip_and_cool(breaker, clock)
+            start = threading.Barrier(4)
+            grants = []
+
+            def contender():
+                start.wait()
+                if breaker.allow():
+                    grants.append(1)
+
+            threads = [threading.Thread(target=contender) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(grants) == 1
+            breaker.record_failure()   # probe fails → back to open
+
+    def test_stuck_probe_is_reclaimed_after_timeout(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0,
+                                 probe_timeout_s=2.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()        # probe granted... and never reports
+        assert not breaker.allow()    # token held
+        clock.advance(1.9)
+        assert not breaker.allow()    # still inside the probe timeout
+        clock.advance(0.2)
+        assert breaker.allow()        # reclaimed: a new caller probes
+        assert not breaker.allow()    # ...and holds the fresh token
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_without_timeout_a_silent_probe_pins_half_open(self, breaker,
+                                                           clock):
+        self._trip_and_cool(breaker, clock)
+        assert breaker.allow()
+        clock.advance(3600.0)         # the probe thread died silently
+        assert not breaker.allow()    # historical default: trust the probe
+
+    def test_late_probe_report_after_reclaim_is_harmless(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0,
+                                 probe_timeout_s=2.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        clock.advance(2.5)
+        assert breaker.allow()        # token reclaimed by a second probe
+        breaker.record_failure()      # first probe finally reports failure
+        assert breaker.state == CircuitBreaker.OPEN
+        breaker.record_success()      # second probe lands
+        assert breaker.state == CircuitBreaker.CLOSED
 
 
 class TestDegradationLadder:

@@ -200,6 +200,81 @@ class TestGoldenSet:
         assert "not_a_field" in reason
 
 
+class TestConcurrentSwap:
+    """A reload landing mid-``predict_batch`` must never mix versions.
+
+    The batch path snapshots (model, version) once per batch; a hot swap
+    racing it may only affect *later* batches — one coalesced batch
+    answering from two different models would make micro-batching
+    observably different from sequential scoring.
+    """
+
+    def test_batches_never_mix_model_versions(self, schema, reload_stack,
+                                              swapper):
+        import threading
+
+        from repro.serving import BatchRequest
+
+        service, reloader, _ = reload_stack
+        requests = [BatchRequest(features={"field_0": i % 4,
+                                           "field_1": i % 3,
+                                           "field_2": i % 5})
+                    for i in range(8)]
+        stop = threading.Event()
+        swap_errors = []
+
+        def churn():
+            while not stop.is_set():
+                try:
+                    swapper.write_valid(LogisticRegression(
+                        schema.cardinalities,
+                        rng=np.random.default_rng(77)))
+                    reloader.poll_once()
+                except Exception as exc:  # noqa: BLE001 — fail the test
+                    swap_errors.append(exc)
+                    return
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            versions_seen = set()
+            for _ in range(50):
+                responses = service.predict_batch(requests)
+                batch_versions = {r.model_version for r in responses
+                                  if r.status == "ok"}
+                assert len(batch_versions) <= 1  # one snapshot per batch
+                versions_seen |= batch_versions
+        finally:
+            stop.set()
+            churner.join(timeout=30.0)
+        assert not swap_errors
+        # The race was real: scoring overlapped more than one version.
+        assert len(versions_seen) >= 2
+
+    def test_single_requests_racing_a_swap_stay_typed(self, reload_stack,
+                                                      swapper):
+        import threading
+
+        service, reloader, _ = reload_stack
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                swapper.write_valid(service.model)
+                reloader.poll_once()
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for _ in range(100):
+                response = service.predict({"field_0": 1})
+                assert response.status in ("ok", "degraded")
+                assert response.model_version is not None
+        finally:
+            stop.set()
+            churner.join(timeout=30.0)
+
+
 class TestBackgroundThread:
     def test_start_stop_polls_in_the_background(self, schema, reload_stack,
                                                 swapper):
